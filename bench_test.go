@@ -1,0 +1,53 @@
+package repro_test
+
+// One benchmark per table/figure of the paper: each runs the harness
+// experiment that regenerates it, at a reduced (Quick) scale so the
+// whole set completes in minutes. The printed rows for the full-scale
+// runs are recorded in EXPERIMENTS.md; use `go run ./cmd/zerodev run
+// <id>` for those.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func benchOptions() harness.Options {
+	return harness.Options{Scale: 32, Accesses: 5000, Seed: 1, Quick: true}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := harness.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(o, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B)        { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)        { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)        { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig17(b *testing.B)       { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)       { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)       { benchExperiment(b, "fig19") }
+func BenchmarkFig20(b *testing.B)       { benchExperiment(b, "fig20") }
+func BenchmarkFig21(b *testing.B)       { benchExperiment(b, "fig21") }
+func BenchmarkFig22(b *testing.B)       { benchExperiment(b, "fig22") }
+func BenchmarkFig23(b *testing.B)       { benchExperiment(b, "fig23") }
+func BenchmarkFig24(b *testing.B)       { benchExperiment(b, "fig24") }
+func BenchmarkFig25(b *testing.B)       { benchExperiment(b, "fig25") }
+func BenchmarkFig26(b *testing.B)       { benchExperiment(b, "fig26") }
+func BenchmarkFig27(b *testing.B)       { benchExperiment(b, "fig27") }
+func BenchmarkClaims(b *testing.B)      { benchExperiment(b, "claims") }
+func BenchmarkEnergy(b *testing.B)      { benchExperiment(b, "energy") }
+func BenchmarkMultiSocket(b *testing.B) { benchExperiment(b, "multisocket") }

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/llc"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// compareCmd runs one workload under several named configurations and
+// prints the metrics side by side — the quickstart example generalized
+// to arbitrary configuration lists.
+//
+//	zerodev compare -configs baseline:1,zerodev:0,zerodev:0.125 canneal
+func compareCmd(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	scale := fs.Int("scale", 8, "capacity scale divisor")
+	accesses := fs.Int("accesses", 60000, "memory accesses per core")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	configs := fs.String("configs", "baseline:1,zerodev:0",
+		"comma-separated kind:ratio list (kinds: baseline, zerodev, unbounded, secdir, mgd)")
+	mode := fs.String("mode", "noninclusive", "noninclusive | epd | inclusive")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "compare: exactly one application name required")
+		os.Exit(2)
+	}
+	prof, err := workload.Get(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	pre := config.TableI(*scale)
+	lm := map[string]llc.Mode{"noninclusive": llc.NonInclusive, "epd": llc.EPD, "inclusive": llc.Inclusive}[strings.ToLower(*mode)]
+
+	var names []string
+	var runs []stats.Run
+	for _, spec := range strings.Split(*configs, ",") {
+		kind, ratioStr, _ := strings.Cut(strings.TrimSpace(spec), ":")
+		var ratio float64
+		fmt.Sscanf(ratioStr, "%g", &ratio)
+		var sysSpec core.SystemSpec
+		switch strings.ToLower(kind) {
+		case "baseline":
+			sysSpec = pre.Baseline(ratio, lm)
+		case "zerodev":
+			sysSpec = pre.ZeroDEV(ratio, core.FPSS, llc.DataLRU, lm)
+		case "unbounded":
+			sysSpec = pre.Unbounded(lm)
+		case "secdir":
+			sysSpec = pre.SecDir(ratio, lm)
+		case "mgd":
+			sysSpec = pre.MgD(ratio, lm)
+		default:
+			fatal(fmt.Errorf("compare: unknown config kind %q", kind))
+		}
+		streams := workload.Threads(prof, sysSpec.Cores, *accesses, *scale, *seed)
+		if prof.Suite == "CPU2017" {
+			streams = workload.Rate(prof, sysSpec.Cores, *accesses, *scale, *seed)
+		}
+		sys := core.NewSystem(sysSpec, streams)
+		cycles := sys.Run()
+		if err := sys.Engine.CheckInvariants(); err != nil {
+			fatal(err)
+		}
+		names = append(names, spec)
+		runs = append(runs, stats.Collect(spec, sys, cycles))
+	}
+
+	t := stats.Table{
+		Title:   fmt.Sprintf("%s (%d cores, %d accesses/core, scale %d)", prof.Name, pre.Cores, *accesses, *scale),
+		Headers: append([]string{"metric"}, names...),
+	}
+	addRow := func(label string, get func(stats.Run) string) {
+		cells := []string{label}
+		for _, r := range runs {
+			cells = append(cells, get(r))
+		}
+		t.AddRow(cells...)
+	}
+	base := runs[0]
+	addRow("speedup vs first", func(r stats.Run) string {
+		if prof.Suite == "CPU2017" {
+			return fmt.Sprintf("%.3f", stats.WeightedSpeedup(base, r))
+		}
+		return fmt.Sprintf("%.3f", stats.Speedup(base, r))
+	})
+	addRow("cycles", func(r stats.Run) string { return fmt.Sprintf("%d", r.Cycles) })
+	addRow("core cache misses", func(r stats.Run) string { return fmt.Sprintf("%d", r.CoreCacheMisses()) })
+	addRow("MPKI", func(r stats.Run) string { return fmt.Sprintf("%.1f", r.MPKI()) })
+	addRow("interconnect bytes", func(r stats.Run) string { return fmt.Sprintf("%d", r.Traffic.TotalBytes()) })
+	addRow("DEVs", func(r stats.Run) string { return fmt.Sprintf("%d", r.Engine.DEVs) })
+	addRow("DE spills/fuses", func(r stats.Run) string {
+		return fmt.Sprintf("%d/%d", r.Engine.DESpills, r.Engine.DEFuses)
+	})
+	addRow("WB_DE", func(r stats.Run) string { return fmt.Sprintf("%d", r.Engine.DEEvictionsToMemory) })
+	addRow("DRAM reads/writes", func(r stats.Run) string {
+		return fmt.Sprintf("%d/%d", r.DRAM.Reads, r.DRAM.Writes)
+	})
+	t.Fprint(os.Stdout)
+}

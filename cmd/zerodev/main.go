@@ -1,0 +1,163 @@
+// Command zerodev runs the ZeroDEV reproduction experiments: one per
+// table/figure in the paper (see DESIGN.md for the index), or a single
+// workload under a chosen configuration for exploration.
+//
+// Usage:
+//
+//	zerodev list
+//	zerodev run [-scale N] [-accesses N] [-seed N] [-quick] <experiment>...
+//	zerodev run all            # every experiment, paper order
+//	zerodev single [-config baseline|zerodev] [-ratio R] [-policy P] <app>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/llc"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range harness.List() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		runCmd(os.Args[2:])
+	case "single":
+		singleCmd(os.Args[2:])
+	case "trace":
+		traceCmd(os.Args[2:])
+	case "compare":
+		compareCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr,
+		"usage: zerodev list | run [flags] <experiment>...|all | single [flags] <app> | compare [flags] <app> | trace [flags]")
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	o := harness.DefaultOptions()
+	fs.IntVar(&o.Scale, "scale", o.Scale, "capacity scale divisor (power of two; 1 = Table I)")
+	fs.IntVar(&o.Accesses, "accesses", o.Accesses, "memory accesses per core")
+	var seed uint64
+	fs.Uint64Var(&seed, "seed", 1, "workload synthesis seed")
+	fs.BoolVar(&o.Quick, "quick", false, "trim application lists to a representative subset")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	o.Seed = seed
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "run: no experiments named; try `zerodev list`")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range harness.List() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		e, err := harness.Get(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		if err := e.Run(o, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s finished in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func singleCmd(args []string) {
+	fs := flag.NewFlagSet("single", flag.ExitOnError)
+	scale := fs.Int("scale", 8, "capacity scale divisor")
+	accesses := fs.Int("accesses", 100000, "memory accesses per core")
+	cfg := fs.String("config", "zerodev", "baseline | zerodev | unbounded")
+	ratio := fs.Float64("ratio", 0, "sparse directory size as a fraction of aggregate L2 blocks (0 = none)")
+	policy := fs.String("policy", "fpss", "spillall | fpss | fuseall")
+	mode := fs.String("mode", "noninclusive", "noninclusive | epd | inclusive")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "single: exactly one application name required")
+		os.Exit(2)
+	}
+	prof, err := workload.Get(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pre := config.TableI(*scale)
+	lm := map[string]llc.Mode{"noninclusive": llc.NonInclusive, "epd": llc.EPD, "inclusive": llc.Inclusive}[strings.ToLower(*mode)]
+	pm := map[string]core.DEPolicy{"spillall": core.SpillAll, "fpss": core.FPSS, "fuseall": core.FuseAll}[strings.ToLower(*policy)]
+	var spec core.SystemSpec
+	switch strings.ToLower(*cfg) {
+	case "baseline":
+		r := *ratio
+		if r == 0 {
+			r = 1
+		}
+		spec = pre.Baseline(r, lm)
+	case "unbounded":
+		spec = pre.Unbounded(lm)
+	default:
+		spec = pre.ZeroDEV(*ratio, pm, llc.DataLRU, lm)
+	}
+	streams := workload.Threads(prof, spec.Cores, *accesses, *scale, 1)
+	if prof.Suite == "CPU2017" {
+		streams = workload.Rate(prof, spec.Cores, *accesses, *scale, 1)
+	}
+	sys := core.NewSystem(spec, streams)
+	cycles := sys.Run()
+	r := stats.Collect(prof.Name, sys, cycles)
+	fmt.Printf("app=%s config=%s dir=%s cycles=%d\n", prof.Name, *cfg, sys.Engine.Directory().Name(), cycles)
+	fmt.Printf("core cache misses=%d (%.2f MPKI)  traffic=%d bytes  DRAM r/w=%d/%d\n",
+		r.CoreCacheMisses(), r.MPKI(), r.Traffic.TotalBytes(), r.DRAM.Reads, r.DRAM.Writes)
+	st := r.Engine
+	fmt.Printf("DEVs=%d demandInv=%d inclusionInv=%d forwards=%d\n", st.DEVs, st.DemandInvals, st.InclusionInvals, st.Forwards3Hop)
+	fmt.Printf("DE: spills=%d fuses=%d spill2fuse=%d fuse2spill=%d evictedToMem=%d getDE=%d corruptedFetch=%d\n",
+		st.DESpills, st.DEFuses, st.DESpillToFuse, st.DEFuseToSpill, st.DEEvictionsToMemory, st.GetDEFlows, st.CorruptedFetches)
+	fmt.Printf("LLC lines: data=%d spilled=%d fused=%d\n", r.LLCData, r.LLCSpilled, r.LLCFused)
+	if n := st.NReadLLCHit + st.NReadForward + st.NReadMemory; n > 0 {
+		avg := func(lat, n uint64) float64 {
+			if n == 0 {
+				return 0
+			}
+			return float64(lat) / float64(n)
+		}
+		fmt.Printf("read latency: LLC hit %.1f cyc (%d), forward %.1f cyc (%d), memory %.1f cyc (%d)\n",
+			avg(st.LatReadLLCHit, st.NReadLLCHit), st.NReadLLCHit,
+			avg(st.LatReadForward, st.NReadForward), st.NReadForward,
+			avg(st.LatReadMemory, st.NReadMemory), st.NReadMemory)
+	}
+	if err := sys.Engine.CheckInvariants(); err != nil {
+		fmt.Fprintf(os.Stderr, "INVARIANT VIOLATION: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("invariants: ok")
+}

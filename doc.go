@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Zero Directory
+// Eviction Victim: Unbounded Coherence Directory and Core Cache
+// Isolation" (Mainak Chaudhuri, HPCA 2021): a deterministic multicore
+// cache-hierarchy simulator implementing the baseline MESI
+// home-directory protocol, the full ZeroDEV protocol, the SecDir and
+// Multi-grain Directory comparison points, synthetic stand-ins for the
+// paper's benchmark suites, and one runnable experiment per table and
+// figure in the evaluation. See README.md for a tour and DESIGN.md for
+// the system inventory.
+package repro

@@ -1,0 +1,70 @@
+// Multisocket runs a four-socket ZeroDEV system with a deliberately
+// small LLC so that directory entries overflow all the way into home
+// memory, exercising the corrupted-block machinery of §III-D: WB_DE
+// writebacks (Fig. 14), GET_DE core-eviction flows (Fig. 16), forwarded
+// socket misses with DENF_NACK retries (Fig. 15), and last-copy
+// retrieval. It prints the flow counts and verifies that no socket ever
+// produced a directory eviction victim.
+//
+//	go run ./examples/multisocket
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/llc"
+	"repro/internal/socket"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		sockets  = 4
+		scale    = 32 // small caches: heavy LLC pressure, frequent DE eviction
+		accesses = 40_000
+	)
+	pre := config.TableI(scale)
+	spec := pre.ZeroDEV(0, core.FPSS, llc.DataLRU, llc.NonInclusive)
+	// Shrink the LLC relative to the private caches so housed directory
+	// entries genuinely overflow to home memory: the aggregate L2
+	// capacity (and so the live-entry population) exceeds the LLC line
+	// count several times over.
+	spec.LLCBytes = 128 << 10
+	spec.CPU.L2Bytes = 64 << 10
+	prof := workload.MustGet("ocean_cp")
+
+	p := socket.DefaultParams(sockets, 1024)
+	streams := workload.Threads(prof, sockets*spec.Cores, accesses, scale, 11)
+	sys, err := socket.New(p, spec, streams)
+	if err != nil {
+		panic(err)
+	}
+	cycles := sys.Run()
+	if err := sys.CheckInvariants(); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("4-socket ZeroDEV (no sparse directory), %s with %d threads\n", prof.Name, sockets*spec.Cores)
+	fmt.Printf("parallel completion: %d cycles\n\n", cycles)
+	fmt.Printf("%-8s %12s %12s %12s %12s %10s\n", "socket", "L2 misses", "DE spills", "DE fuses", "WB_DE", "GET_DE")
+	for i, s := range sys.Sockets {
+		st := s.Engine.Stats()
+		var misses uint64
+		for _, c := range s.Cores {
+			misses += c.Stats().L2Misses
+		}
+		if st.DEVs != 0 {
+			panic("directory eviction victim under ZeroDEV")
+		}
+		fmt.Printf("%-8d %12d %12d %12d %12d %10d\n",
+			i, misses, st.DESpills, st.DEFuses, st.DEEvictionsToMemory, st.GetDEFlows)
+	}
+	ss := sys.Stats()
+	fmt.Printf("\nsocket-level: misses=%d forwards=%d DENF_NACK=%d corrupted-merges=%d last-copy-restores=%d\n",
+		ss.SocketMisses, ss.SocketForwards, ss.DENFNacks, ss.CorruptedMerges, ss.LastCopyRestores)
+	dm := sys.DRAM().Stats()
+	fmt.Printf("DRAM: reads=%d writes=%d (DE reads=%d, DE writes=%d)\n", dm.Reads, dm.Writes, dm.DEReads, dm.DEWrites)
+	fmt.Println("\nzero-DEV guarantee held on every socket; all invariants verified")
+}

@@ -1,0 +1,80 @@
+// Policysweep explores the ZeroDEV design space on one workload: the
+// three directory-entry caching policies (§III-C) crossed with the two
+// extended LLC replacement policies (§III-D1), across sparse-directory
+// sizes from 1× down to none, against the traditional baseline at the
+// same sizes. It prints speedups normalized to the 1× baseline — the
+// experiment to run first when porting the protocol to a new
+// configuration.
+//
+//	go run ./examples/policysweep [app]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/llc"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		scale    = 8
+		accesses = 60_000
+	)
+	app := "freqmine"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	prof, err := workload.Get(app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pre := config.TableI(scale)
+
+	run := func(spec core.SystemSpec) stats.Run {
+		sys := core.NewSystem(spec, workload.Threads(prof, spec.Cores, accesses, scale, 3))
+		cycles := sys.Run()
+		return stats.Collect("", sys, cycles)
+	}
+	base := run(pre.Baseline(1, llc.NonInclusive))
+
+	ratios := []float64{1, 1.0 / 8, 1.0 / 32, 0}
+	ratioName := []string{"1x", "1/8x", "1/32x", "none"}
+
+	t := stats.Table{
+		Title:   fmt.Sprintf("%s: speedup vs baseline 1x across directory sizes", prof.Name),
+		Headers: []string{"design", "1x", "1/8x", "1/32x", "none"},
+	}
+	baseRow := []string{"baseline (DEVs)"}
+	for i, r := range ratios {
+		if r == 0 {
+			baseRow = append(baseRow, "n/a")
+			continue
+		}
+		x := run(pre.Baseline(r, llc.NonInclusive))
+		baseRow = append(baseRow, fmt.Sprintf("%.3f", stats.Speedup(base, x)))
+		_ = i
+	}
+	t.AddRow(baseRow...)
+	for _, pol := range []core.DEPolicy{core.SpillAll, core.FPSS, core.FuseAll} {
+		for _, repl := range []llc.Repl{llc.SpLRU, llc.DataLRU} {
+			row := []string{fmt.Sprintf("ZeroDEV %s+%s", pol, repl)}
+			for _, r := range ratios {
+				x := run(pre.ZeroDEV(r, pol, repl, llc.NonInclusive))
+				if x.Engine.DEVs != 0 {
+					panic("DEVs under ZeroDEV")
+				}
+				row = append(row, fmt.Sprintf("%.3f", stats.Speedup(base, x)))
+			}
+			t.AddRow(row...)
+		}
+	}
+	_ = ratioName
+	t.Fprint(os.Stdout)
+	fmt.Println("every ZeroDEV cell ran with zero directory eviction victims")
+}

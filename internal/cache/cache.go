@@ -1,0 +1,280 @@
+// Package cache provides a generic set-associative array with LRU or
+// 1-bit NRU replacement. It is the storage substrate for the private L1
+// and L2 caches, the sparse directory variants, the socket-level
+// directory cache, and (with custom victim filtering) the shared LLC.
+package cache
+
+import "fmt"
+
+// Policy selects the replacement bookkeeping an Array maintains.
+type Policy uint8
+
+const (
+	// LRU is true least-recently-used replacement (per-line use stamps).
+	LRU Policy = iota
+	// NRU is 1-bit not-recently-used replacement, as in the paper's
+	// baseline sparse directory (Table I).
+	NRU
+)
+
+// Geometry describes a set-associative organization.
+type Geometry struct {
+	Sets int
+	Ways int
+}
+
+// Blocks returns the total line count.
+func (g Geometry) Blocks() int { return g.Sets * g.Ways }
+
+// GeometryFor derives a geometry from a capacity in bytes, associativity,
+// and line size, validating that the set count is a positive power of two.
+func GeometryFor(capacityBytes, ways, lineBytes int) (Geometry, error) {
+	if capacityBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		return Geometry{}, fmt.Errorf("cache: non-positive geometry parameter")
+	}
+	blocks := capacityBytes / lineBytes
+	if blocks*lineBytes != capacityBytes {
+		return Geometry{}, fmt.Errorf("cache: capacity %d not a multiple of line size %d", capacityBytes, lineBytes)
+	}
+	sets := blocks / ways
+	if sets*ways != blocks {
+		return Geometry{}, fmt.Errorf("cache: %d blocks not divisible by %d ways", blocks, ways)
+	}
+	if sets&(sets-1) != 0 || sets == 0 {
+		return Geometry{}, fmt.Errorf("cache: set count %d is not a positive power of two", sets)
+	}
+	return Geometry{Sets: sets, Ways: ways}, nil
+}
+
+// MustGeometry is GeometryFor that panics on error; intended for
+// configuration presets validated by tests.
+func MustGeometry(capacityBytes, ways, lineBytes int) Geometry {
+	g, err := GeometryFor(capacityBytes, ways, lineBytes)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Array is a set-associative array whose lines carry a payload of type T.
+// The zero value is not usable; construct with New.
+type Array[T any] struct {
+	geo    Geometry
+	policy Policy
+	tags   []uint64
+	valid  []bool
+	use    []uint64 // LRU stamps
+	ref    []bool   // NRU reference bits
+	data   []T
+	tick   uint64
+}
+
+// New constructs an empty array.
+func New[T any](geo Geometry, policy Policy) *Array[T] {
+	n := geo.Blocks()
+	return &Array[T]{
+		geo:    geo,
+		policy: policy,
+		tags:   make([]uint64, n),
+		valid:  make([]bool, n),
+		use:    make([]uint64, n),
+		ref:    make([]bool, n),
+		data:   make([]T, n),
+	}
+}
+
+// Geometry returns the array's organization.
+func (a *Array[T]) Geometry() Geometry { return a.geo }
+
+// SetIndex maps a block address to a set using the low-order index bits,
+// the same index function the paper's LLC and spilled entries share.
+func (a *Array[T]) SetIndex(blockAddr uint64) int {
+	return int(blockAddr & uint64(a.geo.Sets-1))
+}
+
+// Tag returns the tag for a block address under this geometry.
+func (a *Array[T]) Tag(blockAddr uint64) uint64 {
+	return blockAddr / uint64(a.geo.Sets)
+}
+
+// AddrOf reconstructs the block address stored in (set, way).
+func (a *Array[T]) AddrOf(set, way int) uint64 {
+	return a.tags[a.idx(set, way)]*uint64(a.geo.Sets) + uint64(set)
+}
+
+func (a *Array[T]) idx(set, way int) int { return set*a.geo.Ways + way }
+
+// Lookup finds the way holding blockAddr in its set. It does not update
+// replacement state; callers decide when an access counts as a use.
+func (a *Array[T]) Lookup(blockAddr uint64) (set, way int, ok bool) {
+	set = a.SetIndex(blockAddr)
+	tag := a.Tag(blockAddr)
+	base := set * a.geo.Ways
+	for w := 0; w < a.geo.Ways; w++ {
+		if a.valid[base+w] && a.tags[base+w] == tag {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// Contains reports whether blockAddr is present.
+func (a *Array[T]) Contains(blockAddr uint64) bool {
+	_, _, ok := a.Lookup(blockAddr)
+	return ok
+}
+
+// Touch marks (set, way) most recently used (LRU) or referenced (NRU).
+func (a *Array[T]) Touch(set, way int) {
+	i := a.idx(set, way)
+	switch a.policy {
+	case LRU:
+		a.tick++
+		a.use[i] = a.tick
+	case NRU:
+		a.ref[i] = true
+	}
+}
+
+// Demote marks (set, way) least recently used within its set, making it
+// the preferred victim. ZeroDEV's directory-caching studies use this for
+// replacement-priority experiments.
+func (a *Array[T]) Demote(set, way int) {
+	i := a.idx(set, way)
+	switch a.policy {
+	case LRU:
+		a.use[i] = 0
+	case NRU:
+		a.ref[i] = false
+	}
+}
+
+// FreeWay returns an invalid way in set, or ok=false when the set is full.
+func (a *Array[T]) FreeWay(set int) (way int, ok bool) {
+	base := set * a.geo.Ways
+	for w := 0; w < a.geo.Ways; w++ {
+		if !a.valid[base+w] {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Victim selects the replacement victim among the valid ways of set.
+// The set must have at least one valid way.
+func (a *Array[T]) Victim(set int) int {
+	w, ok := a.VictimWhere(set, func(int, T) bool { return true })
+	if !ok {
+		panic("cache: Victim on set with no valid ways")
+	}
+	return w
+}
+
+// VictimWhere selects the replacement victim among valid ways satisfying
+// eligible. Under LRU it is the eligible way with the oldest use stamp;
+// under NRU it is the first eligible way with a clear reference bit,
+// clearing all bits first when every eligible way is referenced.
+func (a *Array[T]) VictimWhere(set int, eligible func(way int, payload T) bool) (way int, ok bool) {
+	base := set * a.geo.Ways
+	switch a.policy {
+	case LRU:
+		best, bestUse := -1, ^uint64(0)
+		for w := 0; w < a.geo.Ways; w++ {
+			i := base + w
+			if a.valid[i] && eligible(w, a.data[i]) && a.use[i] < bestUse {
+				best, bestUse = w, a.use[i]
+			}
+		}
+		return best, best >= 0
+	case NRU:
+		any := false
+		for pass := 0; pass < 2; pass++ {
+			for w := 0; w < a.geo.Ways; w++ {
+				i := base + w
+				if !a.valid[i] || !eligible(w, a.data[i]) {
+					continue
+				}
+				any = true
+				if !a.ref[i] {
+					return w, true
+				}
+			}
+			if !any {
+				return -1, false
+			}
+			// All eligible ways referenced: clear and rescan.
+			for w := 0; w < a.geo.Ways; w++ {
+				i := base + w
+				if a.valid[i] && eligible(w, a.data[i]) {
+					a.ref[i] = false
+				}
+			}
+		}
+		return -1, false
+	}
+	return -1, false
+}
+
+// Insert fills (set, way) with blockAddr and its payload and marks it
+// most recently used. The way may be valid (overwrite) or invalid.
+func (a *Array[T]) Insert(set, way int, blockAddr uint64, payload T) {
+	i := a.idx(set, way)
+	a.tags[i] = a.Tag(blockAddr)
+	a.valid[i] = true
+	a.data[i] = payload
+	a.Touch(set, way)
+}
+
+// Invalidate frees (set, way), zeroing its payload.
+func (a *Array[T]) Invalidate(set, way int) {
+	i := a.idx(set, way)
+	a.valid[i] = false
+	var zero T
+	a.data[i] = zero
+	a.use[i] = 0
+	a.ref[i] = false
+}
+
+// Valid reports whether (set, way) holds a line.
+func (a *Array[T]) Valid(set, way int) bool {
+	return a.valid[a.idx(set, way)]
+}
+
+// Payload returns a pointer to the payload at (set, way) for in-place
+// mutation. The way must be valid.
+func (a *Array[T]) Payload(set, way int) *T {
+	i := a.idx(set, way)
+	if !a.valid[i] {
+		panic("cache: Payload of invalid way")
+	}
+	return &a.data[i]
+}
+
+// UseStamp exposes the LRU stamp of (set, way), used by the LLC's
+// extended policies to reason about relative recency.
+func (a *Array[T]) UseStamp(set, way int) uint64 {
+	return a.use[a.idx(set, way)]
+}
+
+// ForEachValid calls fn for every valid line.
+func (a *Array[T]) ForEachValid(fn func(set, way int, blockAddr uint64, payload *T)) {
+	for set := 0; set < a.geo.Sets; set++ {
+		base := set * a.geo.Ways
+		for w := 0; w < a.geo.Ways; w++ {
+			if a.valid[base+w] {
+				fn(set, w, a.AddrOf(set, w), &a.data[base+w])
+			}
+		}
+	}
+}
+
+// CountValid returns the number of valid lines.
+func (a *Array[T]) CountValid() int {
+	n := 0
+	for _, v := range a.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

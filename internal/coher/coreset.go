@@ -1,0 +1,111 @@
+package coher
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// CoreSet is a full-map sharer bit-vector over up to MaxCores cores.
+// The zero value is the empty set.
+type CoreSet struct {
+	w [2]uint64
+}
+
+// Add inserts core c.
+func (s *CoreSet) Add(c CoreID) {
+	s.w[c>>6] |= 1 << (c & 63)
+}
+
+// Remove deletes core c; removing an absent core is a no-op.
+func (s *CoreSet) Remove(c CoreID) {
+	s.w[c>>6] &^= 1 << (c & 63)
+}
+
+// Contains reports whether core c is in the set.
+func (s CoreSet) Contains(c CoreID) bool {
+	return s.w[c>>6]&(1<<(c&63)) != 0
+}
+
+// Count returns the number of cores in the set.
+func (s CoreSet) Count() int {
+	return bits.OnesCount64(s.w[0]) + bits.OnesCount64(s.w[1])
+}
+
+// Empty reports whether the set has no members.
+func (s CoreSet) Empty() bool {
+	return s.w[0] == 0 && s.w[1] == 0
+}
+
+// First returns the lowest-numbered member. It panics on an empty set;
+// callers must check Empty first.
+func (s CoreSet) First() CoreID {
+	if s.w[0] != 0 {
+		return CoreID(bits.TrailingZeros64(s.w[0]))
+	}
+	if s.w[1] != 0 {
+		return CoreID(64 + bits.TrailingZeros64(s.w[1]))
+	}
+	panic("coher: First on empty CoreSet")
+}
+
+// ForEach calls fn for each member in ascending order.
+func (s CoreSet) ForEach(fn func(CoreID)) {
+	for wi, w := range s.w {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(CoreID(wi*64 + b))
+			w &^= 1 << b
+		}
+	}
+}
+
+// Members returns the members in ascending order.
+func (s CoreSet) Members() []CoreID {
+	out := make([]CoreID, 0, s.Count())
+	s.ForEach(func(c CoreID) { out = append(out, c) })
+	return out
+}
+
+// Clear empties the set.
+func (s *CoreSet) Clear() {
+	s.w[0], s.w[1] = 0, 0
+}
+
+// Equal reports whether two sets have identical membership.
+func (s CoreSet) Equal(o CoreSet) bool {
+	return s.w == o.w
+}
+
+// Words exposes the raw 128-bit representation (low word first), used by
+// the bit-exact line encodings.
+func (s CoreSet) Words() (lo, hi uint64) {
+	return s.w[0], s.w[1]
+}
+
+// SetWords overwrites the raw representation.
+func (s *CoreSet) SetWords(lo, hi uint64) {
+	s.w[0], s.w[1] = lo, hi
+}
+
+// String renders the set as {c0,c3,...} for debugging.
+func (s CoreSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(c CoreID) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmtUint(&b, uint64(c))
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+func fmtUint(b *strings.Builder, v uint64) {
+	if v >= 10 {
+		fmtUint(b, v/10)
+	}
+	b.WriteByte(byte('0' + v%10))
+}

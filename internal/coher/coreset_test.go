@@ -1,0 +1,131 @@
+package coher
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoreSetBasics(t *testing.T) {
+	var s CoreSet
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("zero value must be empty")
+	}
+	s.Add(0)
+	s.Add(127)
+	s.Add(64)
+	if s.Count() != 3 {
+		t.Fatalf("count = %d, want 3", s.Count())
+	}
+	if !s.Contains(0) || !s.Contains(64) || !s.Contains(127) || s.Contains(1) {
+		t.Fatal("membership wrong")
+	}
+	if s.First() != 0 {
+		t.Fatalf("First = %d, want 0", s.First())
+	}
+	s.Remove(0)
+	if s.First() != 64 {
+		t.Fatalf("First = %d, want 64", s.First())
+	}
+	got := s.Members()
+	if len(got) != 2 || got[0] != 64 || got[1] != 127 {
+		t.Fatalf("Members = %v", got)
+	}
+	if s.String() != "{64,127}" {
+		t.Fatalf("String = %q", s.String())
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestCoreSetRemoveAbsent(t *testing.T) {
+	var s CoreSet
+	s.Remove(5) // must not panic or add
+	if !s.Empty() {
+		t.Fatal("removing an absent member changed the set")
+	}
+}
+
+func TestCoreSetFirstPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("First on empty set must panic")
+		}
+	}()
+	var s CoreSet
+	s.First()
+}
+
+// Property: adding a list of members and removing a sublist leaves
+// exactly the set difference, independent of order.
+func TestCoreSetProperty(t *testing.T) {
+	f := func(adds, removes []uint8) bool {
+		var s CoreSet
+		ref := map[CoreID]bool{}
+		for _, a := range adds {
+			c := CoreID(a % MaxCores)
+			s.Add(c)
+			ref[c] = true
+		}
+		for _, r := range removes {
+			c := CoreID(r % MaxCores)
+			s.Remove(c)
+			delete(ref, c)
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for c := range ref {
+			if !s.Contains(c) {
+				return false
+			}
+		}
+		ok := true
+		s.ForEach(func(c CoreID) {
+			if !ref[c] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Words/SetWords round-trip.
+func TestCoreSetWordsRoundTrip(t *testing.T) {
+	f := func(lo, hi uint64) bool {
+		var s, s2 CoreSet
+		s.SetWords(lo, hi)
+		a, b := s.Words()
+		s2.SetWords(a, b)
+		return s.Equal(s2) && a == lo && b == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSocketSet(t *testing.T) {
+	var v SocketSet
+	v.Add(3)
+	v.Add(0)
+	if v.Count() != 2 || !v.Contains(3) || v.Contains(1) {
+		t.Fatal("SocketSet membership wrong")
+	}
+	if v.First() != 0 {
+		t.Fatalf("First = %d", v.First())
+	}
+	var seen []int
+	v.ForEach(func(s int) { seen = append(seen, s) })
+	if len(seen) != 2 || seen[0] != 0 || seen[1] != 3 {
+		t.Fatalf("ForEach order: %v", seen)
+	}
+	v.Remove(0)
+	v.Remove(3)
+	if !v.Empty() {
+		t.Fatal("not empty after removals")
+	}
+}

@@ -1,0 +1,271 @@
+package coher
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randEntry produces a random live, stable directory entry.
+func randEntry(r *rand.Rand, cores int) Entry {
+	var e Entry
+	if r.Intn(2) == 0 {
+		e.State = DirOwned
+		e.Owner = CoreID(r.Intn(cores))
+	} else {
+		e.State = DirShared
+		n := 1 + r.Intn(cores)
+		for i := 0; i < n; i++ {
+			e.Sharers.Add(CoreID(r.Intn(cores)))
+		}
+	}
+	return e
+}
+
+// Entry implements quick.Generator via this wrapper for spill tests.
+type spillEntry Entry
+
+func (spillEntry) Generate(r *rand.Rand, _ int) reflect.Value {
+	e := randEntry(r, MaxCores)
+	e.Busy = r.Intn(4) == 0
+	return reflect.ValueOf(spillEntry(e))
+}
+
+func TestSpilledRoundTripProperty(t *testing.T) {
+	f := func(se spillEntry) bool {
+		e := Entry(se)
+		got, err := DecodeSpilled(EncodeSpilled(e))
+		return err == nil && got.State == e.State && got.Busy == e.Busy &&
+			(e.State != DirOwned || got.Owner == e.Owner) &&
+			(e.State != DirShared || got.Sharers.Equal(e.Sharers))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeSpilledRejectsFused(t *testing.T) {
+	var l Line // bit 0 clear = fused
+	if _, err := DecodeSpilled(l); err == nil {
+		t.Fatal("expected error decoding a fused line as spilled")
+	}
+}
+
+func TestFusedFPSSRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, cores := range []int{2, 8, 64, 128} {
+		for i := 0; i < 200; i++ {
+			var block Line
+			r.Read(block[:])
+			f := FusedFPSS{
+				BlockDirty: r.Intn(2) == 0,
+				Busy:       r.Intn(2) == 0,
+				Owner:      CoreID(r.Intn(cores)),
+			}
+			enc := EncodeFusedFPSS(block, f, cores)
+			got, err := DecodeFusedFPSS(enc, cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != f {
+				t.Fatalf("cores=%d: got %+v want %+v", cores, got, f)
+			}
+			// Only the corrupted low bits may differ from the original.
+			low := LowBitsFPSS(block, cores)
+			rec := ReconstructFPSS(enc, low, cores)
+			if rec != block {
+				t.Fatalf("cores=%d: reconstruction failed", cores)
+			}
+		}
+	}
+}
+
+func TestFusedFPSSCorruptedBits(t *testing.T) {
+	if got := CorruptedBitsFPSS(8); got != 6 {
+		t.Fatalf("8 cores: %d corrupted bits, want 3+log2(8)=6", got)
+	}
+	if got := CorruptedBitsFPSS(128); got != 10 {
+		t.Fatalf("128 cores: %d corrupted bits, want 10", got)
+	}
+}
+
+func TestFusedFuseAllRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for _, cores := range []int{8, 128} {
+		for i := 0; i < 200; i++ {
+			var block Line
+			r.Read(block[:])
+			f := FusedFuseAll{
+				BlockDirty: r.Intn(2) == 0,
+				Busy:       r.Intn(2) == 0,
+			}
+			if r.Intn(2) == 0 {
+				f.State = DirOwned
+				f.Owner = CoreID(r.Intn(cores))
+			} else {
+				f.State = DirShared
+				for j := 0; j < 1+r.Intn(4); j++ {
+					f.Sharers.Add(CoreID(r.Intn(cores)))
+				}
+			}
+			enc, err := EncodeFusedFuseAll(block, f, cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeFusedFuseAll(enc, cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.State != f.State || got.BlockDirty != f.BlockDirty || got.Busy != f.Busy {
+				t.Fatalf("header mismatch: got %+v want %+v", got, f)
+			}
+			if f.State == DirOwned && got.Owner != f.Owner {
+				t.Fatalf("owner mismatch")
+			}
+			if f.State == DirShared && !got.Sharers.Equal(f.Sharers) {
+				t.Fatalf("sharers mismatch")
+			}
+		}
+	}
+}
+
+func TestFusedFuseAllRejectsInvalidState(t *testing.T) {
+	var block Line
+	if _, err := EncodeFusedFuseAll(block, FusedFuseAll{State: DirInvalid}, 8); err == nil {
+		t.Fatal("expected error for invalid state")
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for _, cores := range []int{8, 64, 128} {
+		max := MaxSocketsFullMap(cores)
+		for i := 0; i < 100; i++ {
+			var l Line
+			socket := r.Intn(max)
+			e := randEntry(r, cores)
+			l2, err := EncodeSegment(l, socket, cores, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeSegment(l2, socket, cores)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.State != e.State {
+				t.Fatalf("state mismatch: %v vs %v", got.State, e.State)
+			}
+			if e.State == DirOwned && got.Owner != e.Owner {
+				t.Fatal("owner mismatch")
+			}
+			if e.State == DirShared && !got.Sharers.Equal(e.Sharers) {
+				t.Fatal("sharers mismatch")
+			}
+		}
+	}
+}
+
+func TestSegmentsDoNotOverlap(t *testing.T) {
+	const cores = 8
+	var l Line
+	var err error
+	entries := make([]Entry, 4)
+	for s := 0; s < 4; s++ {
+		e := Entry{State: DirShared}
+		e.Sharers.Add(CoreID(s))
+		e.Sharers.Add(CoreID(7 - s))
+		entries[s] = e
+		l, err = EncodeSegment(l, s, cores, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < 4; s++ {
+		got, err := DecodeSegment(l, s, cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Sharers.Equal(entries[s].Sharers) {
+			t.Fatalf("segment %d corrupted by neighbours: %v", s, got)
+		}
+	}
+}
+
+func TestSegmentRejects(t *testing.T) {
+	var l Line
+	if _, err := EncodeSegment(l, 0, 8, Entry{State: DirOwned, Busy: true}); err == nil {
+		t.Fatal("busy entries must be rejected")
+	}
+	if _, err := EncodeSegment(l, 0, 8, Entry{}); err == nil {
+		t.Fatal("dead entries must be rejected")
+	}
+	if _, err := EncodeSegment(l, MaxSocketsFullMap(8), 8, Entry{State: DirOwned}); err == nil {
+		t.Fatal("out-of-range sockets must be rejected")
+	}
+}
+
+func TestCapacityBounds(t *testing.T) {
+	// §III-D: ⌊512/(N+1)⌋ sockets with full-map segments.
+	if got := MaxSocketsFullMap(8); got != 56 {
+		t.Fatalf("MaxSocketsFullMap(8) = %d, want 56", got)
+	}
+	if got := MaxSocketsFullMap(128); got != 3 {
+		t.Fatalf("MaxSocketsFullMap(128) = %d, want 3", got)
+	}
+	// §III-D5: M ≤ ⌊510/(N+2)⌋ with the socket-level partition.
+	if got := MaxSocketsWithSocketPartition(8); got != 51 {
+		t.Fatalf("MaxSocketsWithSocketPartition(8) = %d, want 51", got)
+	}
+	if got := StorageBits(8); got != 9 {
+		t.Fatalf("StorageBits(8) = %d", got)
+	}
+	if got := StorageBitsSocket(4); got != 6 {
+		t.Fatalf("StorageBitsSocket(4) = %d", got)
+	}
+}
+
+func TestMessageBytes(t *testing.T) {
+	if MsgGetS.Bytes(8) != 8 {
+		t.Fatalf("control message size: %d", MsgGetS.Bytes(8))
+	}
+	if MsgData.Bytes(8) != 72 {
+		t.Fatalf("data message size: %d", MsgData.Bytes(8))
+	}
+	// PutE carries 3+log2(8)=6 extra bits → 1 byte.
+	if MsgPutE.Bytes(8) != 9 {
+		t.Fatalf("PutE size: %d", MsgPutE.Bytes(8))
+	}
+	// LastSharerAck retrieves 4+N bits: 4+128=132 bits → 17 bytes.
+	if MsgLastSharerAck.Bytes(128) != 8+17 {
+		t.Fatalf("LastSharerAck size: %d", MsgLastSharerAck.Bytes(128))
+	}
+	for mt := MsgType(0); int(mt) < NumMsgTypes; mt++ {
+		if mt.Bytes(8) < 8 {
+			t.Fatalf("%v smaller than a control header", mt)
+		}
+		if mt.String() == "Msg(?)" {
+			t.Fatalf("message %d has no name", mt)
+		}
+	}
+}
+
+func TestEntryHelpers(t *testing.T) {
+	e := Entry{State: DirOwned, Owner: 5}
+	if !e.Live() || e.Holders().Count() != 1 || !e.Holders().Contains(5) {
+		t.Fatal("owned entry helpers wrong")
+	}
+	if freed := e.RemoveHolder(5); !freed || e.Live() {
+		t.Fatal("removing the owner must free the entry")
+	}
+	var s Entry
+	s.State = DirShared
+	s.Sharers.Add(1)
+	s.Sharers.Add(2)
+	if freed := s.RemoveHolder(1); freed {
+		t.Fatal("removing one of two sharers must not free")
+	}
+	if freed := s.RemoveHolder(2); !freed {
+		t.Fatal("removing the last sharer must free")
+	}
+}

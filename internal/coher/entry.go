@@ -1,0 +1,92 @@
+package coher
+
+import "fmt"
+
+// Entry is a sparse-directory entry: the stable coherence state and the
+// location(s) of a block that is privately cached by at least one core.
+type Entry struct {
+	// State is the stable directory state. DirInvalid means the entry is
+	// free (no private copies remain).
+	State DirState
+	// Owner is meaningful only in DirOwned state: the single core holding
+	// the block in M or E.
+	Owner CoreID
+	// Sharers is meaningful only in DirShared state: the read-only copy
+	// holders.
+	Sharers CoreSet
+	// Busy marks a transient/pending transaction (e.g. a forwarded request
+	// awaiting the owner's "busy clear" message).
+	Busy bool
+}
+
+// Live reports whether the entry tracks at least one private copy.
+func (e Entry) Live() bool {
+	return e.State != DirInvalid
+}
+
+// Holders returns the set of cores holding a private copy, regardless of
+// state.
+func (e Entry) Holders() CoreSet {
+	switch e.State {
+	case DirOwned:
+		var s CoreSet
+		s.Add(e.Owner)
+		return s
+	case DirShared:
+		return e.Sharers
+	}
+	return CoreSet{}
+}
+
+// RemoveHolder drops core c from the entry, transitioning to DirInvalid
+// when the last holder leaves. It reports whether the entry became free.
+func (e *Entry) RemoveHolder(c CoreID) (freed bool) {
+	switch e.State {
+	case DirOwned:
+		if e.Owner == c {
+			e.State = DirInvalid
+			return true
+		}
+	case DirShared:
+		e.Sharers.Remove(c)
+		if e.Sharers.Empty() {
+			e.State = DirInvalid
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the entry for debugging.
+func (e Entry) String() string {
+	switch e.State {
+	case DirOwned:
+		return fmt.Sprintf("M/E owner=%d busy=%v", e.Owner, e.Busy)
+	case DirShared:
+		return fmt.Sprintf("S sharers=%v busy=%v", e.Sharers, e.Busy)
+	}
+	return "I"
+}
+
+// StorageBits returns the number of bits a stable full-map entry occupies
+// when housed in a home-memory segment: N sharer bits plus one state bit
+// distinguishing M/E from S (paper §III-D: "a valid intra-socket sparse
+// directory entry in a stable state would require N+1 bits").
+func StorageBits(cores int) int {
+	return cores + 1
+}
+
+// MaxSocketsFullMap returns the number of per-socket directory-entry
+// segments a 64-byte memory block can hold for the given per-socket core
+// count: ⌊512/(N+1)⌋ (paper §III-D).
+func MaxSocketsFullMap(coresPerSocket int) int {
+	return BlockBits / StorageBits(coresPerSocket)
+}
+
+// MaxSocketsWithSocketPartition returns the socket-count bound when the
+// memory block additionally reserves a partition for an evicted
+// socket-level directory entry: the largest M with 512 >= M(N+1)+(M+2),
+// i.e. M = ⌊510/(N+2)⌋ (paper §III-D5, solution 2).
+func MaxSocketsWithSocketPartition(coresPerSocket int) int {
+	return (BlockBits - 2) / (StorageBits(coresPerSocket) + 1)
+}

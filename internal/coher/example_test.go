@@ -1,0 +1,68 @@
+package coher_test
+
+import (
+	"fmt"
+
+	"repro/internal/coher"
+)
+
+// A directory entry for a block shared by three cores round-trips
+// through the spilled LLC-line format of the paper's Fig. 9a.
+func ExampleEncodeSpilled() {
+	var e coher.Entry
+	e.State = coher.DirShared
+	e.Sharers.Add(0)
+	e.Sharers.Add(3)
+	e.Sharers.Add(7)
+
+	line := coher.EncodeSpilled(e)
+	back, err := coher.DecodeSpilled(line)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(back.State, back.Sharers)
+	// Output: S {0,3,7}
+}
+
+// FPSS fuses an M/E block's directory entry into the block's own LLC
+// line, corrupting only 3+log2(N) low bits (Fig. 9b); the owner's
+// eviction notice carries those bits back so the line is reconstructed
+// exactly.
+func ExampleEncodeFusedFPSS() {
+	const cores = 8
+	var block coher.Line
+	copy(block[:], "the cached data of the block...")
+
+	fused := coher.EncodeFusedFPSS(block, coher.FusedFPSS{Owner: 5, BlockDirty: true}, cores)
+	hdr, _ := coher.DecodeFusedFPSS(fused, cores)
+	restored := coher.ReconstructFPSS(fused, coher.LowBitsFPSS(block, cores), cores)
+
+	fmt.Println(hdr.Owner, hdr.BlockDirty, restored == block)
+	// Output: 5 true true
+}
+
+// The hybrid compressed format (§III-D) keeps entries precise while the
+// holder count fits limited pointers, and falls back to a coarse vector
+// whose decode is a superset of the true holders.
+func ExampleCompress() {
+	const cores, budget = 128, 21 // budget = three 7-bit pointers
+
+	var small coher.Entry
+	small.State = coher.DirShared
+	small.Sharers.Add(9)
+	small.Sharers.Add(90)
+	c1, _ := coher.Compress(small, cores, budget)
+
+	var big coher.Entry
+	big.State = coher.DirShared
+	for i := coher.CoreID(0); i < 40; i++ {
+		big.Sharers.Add(i * 3)
+	}
+	c2, _ := coher.Compress(big, cores, budget)
+
+	fmt.Println(c1.Format, c1.Precise())
+	fmt.Println(c2.Format, c2.Precise(), c2.Holders().Count() >= 40)
+	// Output:
+	// limited-pointer true
+	// coarse-vector false true
+}

@@ -1,0 +1,119 @@
+package coher
+
+// MsgType enumerates every coherence message class exchanged on the
+// on-chip interconnect or between sockets. The simulator charges each
+// message its size in bytes when accounting interconnect traffic, which
+// is what the paper's "total bytes communicated" metric measures.
+type MsgType uint8
+
+const (
+	// MsgGetS is a read request from a core to the home LLC bank.
+	MsgGetS MsgType = iota
+	// MsgGetX is a read-exclusive (write-allocate) request.
+	MsgGetX
+	// MsgUpg is an upgrade request from S to M; no data response needed.
+	MsgUpg
+	// MsgPutS is a clean eviction notice for a block held in S. Carries no
+	// data (paper §III-A).
+	MsgPutS
+	// MsgPutE is a clean eviction notice for a block held in E. Under
+	// ZeroDEV FPSS/FuseAll it additionally carries the low bits needed to
+	// reconstruct a fused LLC block (paper §III-C2).
+	MsgPutE
+	// MsgPutM is a dirty writeback carrying the full block.
+	MsgPutM
+	// MsgData is a data response (home to requester, or owner to requester
+	// on the three-hop path).
+	MsgData
+	// MsgDataless is a dataless response (e.g. upgrade acknowledgement
+	// carrying the expected invalidation-ack count).
+	MsgDataless
+	// MsgInv is an invalidation request from home to a sharer.
+	MsgInv
+	// MsgInvAck is the sharer's invalidation acknowledgement.
+	MsgInvAck
+	// MsgFwd is a request forwarded by home to the owner or to an elected
+	// sharer.
+	MsgFwd
+	// MsgBusyClear is the owner's "busy clear" notification to the home
+	// directory slice after serving a forwarded request (paper §III-A).
+	// Under ZeroDEV it carries the low bits for fused-block reconstruction.
+	MsgBusyClear
+	// MsgWBDE is a directory-entry writeback from an LLC to the home
+	// socket when a fused or spilled entry is evicted (paper Fig. 14).
+	MsgWBDE
+	// MsgGetDE is a directory-entry read request issued when a core-cache
+	// eviction cannot find its sparse directory entry within the socket
+	// (paper Fig. 16).
+	MsgGetDE
+	// MsgDENFNack is the "directory entry not found" negative
+	// acknowledgement from a forwarded socket back to home (paper Fig. 15).
+	MsgDENFNack
+	// MsgSocketFwd is an inter-socket forwarded request; when re-sent after
+	// a DENF_NACK it carries the extracted directory entry.
+	MsgSocketFwd
+	// MsgSocketEvict is the notice a socket sends to home when it evicts
+	// its last copy of a block (keeps the socket-level directory precise).
+	MsgSocketEvict
+	// MsgLastSharerAck is FuseAll's special acknowledgement retrieving the
+	// low 4+N bits from the last sharer so the fused LLC block can be
+	// reconstructed (paper §III-C3).
+	MsgLastSharerAck
+
+	numMsgTypes = int(MsgLastSharerAck) + 1
+)
+
+// NumMsgTypes is the number of distinct message classes, exported for
+// traffic-accounting arrays.
+const NumMsgTypes = numMsgTypes
+
+// ctrlBytes is the size of an address-carrying control message: 8 bytes
+// of header/routing plus the block address.
+const ctrlBytes = 8
+
+// dataBytes is a control message plus a full 64-byte cache block.
+const dataBytes = ctrlBytes + BlockBytes
+
+// Bytes returns the interconnect cost of one message of this type in a
+// system with the given per-socket core count. Low-bit payloads (PutE
+// reconstruction bits, busy-clear bits, last-sharer retrieval) round up
+// to whole bytes; the paper calls their overhead negligible and so does
+// this model, but it still accounts them.
+func (t MsgType) Bytes(cores int) int {
+	switch t {
+	case MsgPutM, MsgData, MsgWBDE:
+		return dataBytes
+	case MsgPutE, MsgBusyClear:
+		// 3 + ceil(log2 N) extra bits, rounded up to bytes.
+		return ctrlBytes + (3+ceilLog2(cores)+7)/8
+	case MsgLastSharerAck:
+		// Retrieves 4 + N bits from the evicting sharer.
+		return ctrlBytes + (4+cores+7)/8
+	case MsgSocketFwd:
+		// May carry an extracted directory entry (N+1 bits).
+		return ctrlBytes + (StorageBits(cores)+7)/8
+	default:
+		return ctrlBytes
+	}
+}
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	names := [...]string{
+		"GetS", "GetX", "Upg", "PutS", "PutE", "PutM", "Data", "Dataless",
+		"Inv", "InvAck", "Fwd", "BusyClear", "WB_DE", "GET_DE", "DENF_NACK",
+		"SocketFwd", "SocketEvict", "LastSharerAck",
+	}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return "Msg(?)"
+}
+
+func ceilLog2(n int) int {
+	b := 0
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+// Package coher defines the vocabulary of the coherence protocol: MESI
+// private-cache states, directory states, sharer sets, directory entries,
+// the message taxonomy with interconnect byte costs, and the bit-exact
+// 64-byte encodings of spilled and fused directory entries used by the
+// ZeroDEV protocol (paper Figs. 9 and 11).
+package coher
+
+import "fmt"
+
+// MaxCores is the largest core count the full-map sharer vector supports.
+// The paper evaluates up to 128 cores per socket.
+const MaxCores = 128
+
+// BlockBytes is the cache block size used throughout the system.
+const BlockBytes = 64
+
+// BlockBits is the number of bits in a cache block.
+const BlockBits = BlockBytes * 8
+
+// CoreID identifies a core within a socket.
+type CoreID uint8
+
+// PrivState is the MESI state of a block in a private (L1/L2) cache.
+type PrivState uint8
+
+const (
+	// PrivInvalid means the block is not present.
+	PrivInvalid PrivState = iota
+	// PrivShared means a read-only copy, possibly one of many.
+	PrivShared
+	// PrivExclusive means the only copy, clean.
+	PrivExclusive
+	// PrivModified means the only copy, dirty.
+	PrivModified
+)
+
+// String implements fmt.Stringer.
+func (s PrivState) String() string {
+	switch s {
+	case PrivInvalid:
+		return "I"
+	case PrivShared:
+		return "S"
+	case PrivExclusive:
+		return "E"
+	case PrivModified:
+		return "M"
+	}
+	return fmt.Sprintf("PrivState(%d)", uint8(s))
+}
+
+// DirState is the stable coherence state recorded by a directory entry.
+// As in the paper's baseline, the directory cannot distinguish M from E,
+// so both map to DirOwned.
+type DirState uint8
+
+const (
+	// DirInvalid means no private copies exist and the entry is free.
+	DirInvalid DirState = iota
+	// DirShared means one or more cores hold read-only copies.
+	DirShared
+	// DirOwned means exactly one core holds the block in M or E.
+	DirOwned
+)
+
+// String implements fmt.Stringer.
+func (s DirState) String() string {
+	switch s {
+	case DirInvalid:
+		return "I"
+	case DirShared:
+		return "S"
+	case DirOwned:
+		return "M/E"
+	}
+	return fmt.Sprintf("DirState(%d)", uint8(s))
+}
+
+// Addr is a physical block address (byte address >> 6). The simulator
+// works at block granularity everywhere; byte offsets never matter.
+type Addr uint64

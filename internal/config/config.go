@@ -1,0 +1,198 @@
+// Package config provides the simulated-system presets of the paper's
+// Table I (the 8-core socket and the 128-core server socket) and spec
+// builders for every directory/LLC organization the evaluation sweeps:
+// baseline sparse directories at arbitrary R× sizing, unbounded
+// directories, ZeroDEV with each caching policy, SecDir, and MgD.
+//
+// Every preset takes a power-of-two Scale factor that shrinks all cache
+// capacities (and, via workload.scaleDown, the synthetic footprints) so
+// the full figure set regenerates quickly; Scale=1 reproduces Table I
+// sizes exactly.
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/coher"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/directory"
+	"repro/internal/dram"
+	"repro/internal/llc"
+	"repro/internal/noc"
+)
+
+// Preset is a socket's physical organization.
+type Preset struct {
+	Name  string
+	Cores int
+	Scale int
+
+	LLCBytes, LLCWays, LLCBanks int
+	CPU                         cpu.Params
+	DRAMChannels                int
+	DirWays                     int
+}
+
+// TableI returns the paper's 8-core socket (Table I) at the given scale.
+func TableI(scale int) Preset {
+	mustPow2(scale)
+	c := cpu.DefaultParams()
+	c.L1Bytes = 32 << 10 / scale
+	c.L2Bytes = 256 << 10 / scale
+	return Preset{
+		Name:  "TableI-8core",
+		Cores: 8, Scale: scale,
+		LLCBytes: 8 << 20 / scale, LLCWays: 16, LLCBanks: 8,
+		CPU:          c,
+		DRAMChannels: 2,
+		DirWays:      8,
+	}
+}
+
+// Server128 returns the 128-core single-socket server configuration
+// (§IV): 32 MB 16-way LLC, 128 KB per-core L2, eight DRAM channels.
+func Server128(scale int) Preset {
+	mustPow2(scale)
+	c := cpu.DefaultParams()
+	c.L1Bytes = 32 << 10 / scale
+	c.L2Bytes = 128 << 10 / scale
+	return Preset{
+		Name:  "Server-128core",
+		Cores: 128, Scale: scale,
+		LLCBytes: 32 << 20 / scale, LLCWays: 16, LLCBanks: 16,
+		CPU:          c,
+		DRAMChannels: 8,
+		DirWays:      8,
+	}
+}
+
+func mustPow2(s int) {
+	if s <= 0 || s&(s-1) != 0 {
+		panic(fmt.Sprintf("config: scale %d is not a positive power of two", s))
+	}
+}
+
+// AggregateL2Blocks is the total block count of the private last-level
+// core caches — the denominator of the paper's R× directory sizing.
+func (p Preset) AggregateL2Blocks() int {
+	return p.Cores * p.CPU.L2Bytes / coher.BlockBytes
+}
+
+// DirEntries returns the entry count of an R× directory, rounded to a
+// power-of-two set count at the preset's directory associativity.
+func (p Preset) DirEntries(ratio float64) int {
+	e := int(float64(p.AggregateL2Blocks()) * ratio)
+	sets := e / p.DirWays
+	if sets < 1 {
+		sets = 1
+	}
+	// Round down to a power of two (sparse directories are indexed).
+	pw := 1
+	for pw*2 <= sets {
+		pw *= 2
+	}
+	return pw * p.DirWays
+}
+
+// base assembles the spec fields shared by every organization.
+func (p Preset) base(mode llc.Mode, repl llc.Repl) core.SystemSpec {
+	return core.SystemSpec{
+		Cores:    p.Cores,
+		CPU:      p.CPU,
+		LLCBytes: p.LLCBytes, LLCWays: p.LLCWays, LLCBanks: p.LLCBanks,
+		Mode: mode, Repl: repl,
+		DRAM:   dram.DDR3_2133(p.DRAMChannels),
+		NoC:    noc.DefaultParams(),
+		Uncore: core.DefaultParams(p.Cores),
+	}
+}
+
+// Baseline returns the traditional design: an R×-sized NRU sparse
+// directory whose evictions generate DEVs.
+func (p Preset) Baseline(ratio float64, mode llc.Mode) core.SystemSpec {
+	s := p.base(mode, llc.LRU)
+	entries := p.DirEntries(ratio)
+	ways := p.DirWays
+	s.Dir = func() directory.Directory { return directory.MustTraditional(entries, ways) }
+	return s
+}
+
+// Unbounded returns the unlimited-capacity directory used by the
+// motivation studies (Figs. 2, 3, 5), with overflow tracking against
+// the preset's 1x organization for the Fig. 5 projection.
+func (p Preset) Unbounded(mode llc.Mode) core.SystemSpec {
+	s := p.base(mode, llc.LRU)
+	sets := p.DirEntries(1) / p.DirWays
+	ways := p.DirWays
+	s.Dir = func() directory.Directory {
+		u := directory.NewUnbounded()
+		u.SetShadow(sets, ways)
+		return u
+	}
+	return s
+}
+
+// ZeroDEV returns the proposal: a replacement-disabled sparse directory
+// of the given ratio (0 = no directory at all), a DE caching policy, and
+// an extended LLC replacement policy.
+func (p Preset) ZeroDEV(ratio float64, pol core.DEPolicy, repl llc.Repl, mode llc.Mode) core.SystemSpec {
+	s := p.base(mode, repl)
+	s.ZeroDEV = true
+	s.Policy = pol
+	if ratio <= 0 {
+		s.Dir = func() directory.Directory { return directory.NoDir{} }
+		return s
+	}
+	entries := p.DirEntries(ratio)
+	ways := p.DirWays
+	s.Dir = func() directory.Directory { return directory.MustReplacementDisabled(entries, ways) }
+	return s
+}
+
+// ZeroDEVReplEnabled returns the §III-C4 ablation: ZeroDEV on top of a
+// replacement-ENABLED (NRU) sparse directory. Directory victims are
+// rehoused in the LLC rather than invalidated, so the zero-DEV
+// guarantee still holds, but an entry can disturb both structures
+// during its lifetime — the design the paper argues is strictly worse.
+func (p Preset) ZeroDEVReplEnabled(ratio float64, pol core.DEPolicy, repl llc.Repl, mode llc.Mode) core.SystemSpec {
+	s := p.base(mode, repl)
+	s.ZeroDEV = true
+	s.Policy = pol
+	entries := p.DirEntries(ratio)
+	ways := p.DirWays
+	s.Dir = func() directory.Directory { return directory.MustTraditional(entries, ways) }
+	return s
+}
+
+// SecDir returns the iso-storage SecDir comparison point (Fig. 27): the
+// baseline R× slice is split into a 5/8-associativity shared partition
+// and per-core private partitions of 7 ways with 1/16 the sets, per the
+// paper's 8-core configuration, scaled with ratio.
+func (p Preset) SecDir(ratio float64, mode llc.Mode) core.SystemSpec {
+	s := p.base(mode, llc.LRU)
+	baseSets := p.DirEntries(ratio) / p.DirWays
+	sharedWays := p.DirWays * 5 / 8
+	if sharedWays < 1 {
+		sharedWays = 1
+	}
+	privSets := baseSets / 16
+	if privSets < 1 {
+		privSets = 1
+	}
+	cores := p.Cores
+	s.Dir = func() directory.Directory {
+		return directory.MustSecDir(cores, baseSets, sharedWays, privSets, p.DirWays-1)
+	}
+	return s
+}
+
+// MgD returns the Multi-grain Directory comparison point (Fig. 26) with
+// the given entry budget ratio.
+func (p Preset) MgD(ratio float64, mode llc.Mode) core.SystemSpec {
+	s := p.base(mode, llc.LRU)
+	entries := p.DirEntries(ratio)
+	ways := p.DirWays
+	s.Dir = func() directory.Directory { return directory.MustMgD(entries, ways) }
+	return s
+}

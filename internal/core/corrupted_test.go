@@ -1,0 +1,98 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/coher"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/llc"
+)
+
+// TestCorruptedBlockLifecycle drives the §III-D machinery end to end
+// with a deliberately tiny LLC (one set, four ways) so every step is
+// forced deterministically: housed entries overflow to home memory
+// (WB_DE), a later miss extracts the entry from the corrupted block,
+// eviction notices that cannot find their entry run GET_DE, and the
+// system-wide last copy restores memory.
+func TestCorruptedBlockLifecycle(t *testing.T) {
+	pre := config.TableI(microScale)
+	spec := pre.ZeroDEV(0, core.FPSS, llc.DataLRU, llc.NonInclusive)
+	spec.LLCSets = 1
+	spec.LLCWays = 4
+	spec.LLCBanks = 1
+	sys, sc := microSystem(spec)
+	mem := sys.Home.Mem()
+	l2Sets := pre.CPU.L2Bytes / 64 / pre.CPU.L2Ways
+
+	// Core 0 touches five blocks in distinct L2 sets; all five map to
+	// the single LLC set, so the fifth fill must displace a fused entry
+	// into home memory.
+	blocks := make([]coher.Addr, 5)
+	for i := range blocks {
+		blocks[i] = coher.Addr(0x9000 + i)
+		sc[0].load(blocks[i])
+		sys.Cores[0].Step()
+	}
+	st := sys.Engine.Stats()
+	if st.DEVs != 0 {
+		t.Fatalf("DEVs under ZeroDEV: %d", st.DEVs)
+	}
+	if st.DEEvictionsToMemory == 0 {
+		t.Fatal("overflowing the LLC set must trigger WB_DE")
+	}
+	if mem.CorruptedCount() == 0 {
+		t.Fatal("WB_DE must corrupt home memory")
+	}
+	if sys.Home.DRAM().Stats().DEWrites == 0 {
+		t.Fatal("WB_DE must reach DRAM")
+	}
+
+	// Find a corrupted block still cached by core 0 and have core 1 read
+	// it: the socket miss extracts the entry from the corrupted block.
+	var victim coher.Addr
+	found := false
+	for _, b := range blocks {
+		if mem.Corrupted(b) {
+			if _, ok := sys.Cores[0].HasBlock(b); ok {
+				victim, found = b, true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no corrupted block remains cached by core 0")
+	}
+	sc[1].load(victim)
+	sys.Cores[1].Step()
+	st = sys.Engine.Stats()
+	if st.CorruptedFetches == 0 {
+		t.Fatal("reading a corrupted block must extract the directory entry")
+	}
+	if s0, _ := sys.Cores[0].HasBlock(victim); s0 != coher.PrivShared {
+		t.Fatalf("holder not downgraded after extraction: %v", s0)
+	}
+
+	// Conflict-evict everything from both cores' private caches. Any
+	// eviction whose entry sits in home memory runs GET_DE; the
+	// system-wide last copy of a corrupted block is retrieved (§III-D4).
+	for c := 0; c < 2; c++ {
+		for i := 1; i <= pre.CPU.L2Ways+1; i++ {
+			for _, b := range blocks {
+				sc[c].load(b + coher.Addr(0x100000+i*l2Sets))
+				sys.Cores[c].Step()
+			}
+		}
+	}
+	st = sys.Engine.Stats()
+	if st.GetDEFlows == 0 && st.LastCopyRetrievals == 0 {
+		t.Fatalf("expected GET_DE or last-copy retrieval flows; stats: %+v", st)
+	}
+	if st.DEVs != 0 {
+		t.Fatalf("DEVs appeared late: %d", st.DEVs)
+	}
+
+	if err := sys.Engine.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package core implements the paper's contribution: the uncore
+// coherence protocol engine for one socket, in both its baseline form
+// (traditional MESI home directory whose evictions produce directory
+// eviction victims) and the ZeroDEV form (replacement-disabled sparse
+// directory, directory-entry caching in the LLC under the SpillAll /
+// FusePrivateSpillShared / FuseAll policies, and invalidation-free
+// directory-entry eviction into home memory).
+//
+// The engine is synchronous: each request executes its full protocol
+// transaction atomically at a point in simulated time, mutating global
+// state and returning the completion time. Cores are interleaved by the
+// min-clock scheduler in package sim, so transactions from different
+// cores serialize in timestamp order. A consequence is that directory
+// entries are never left in a transient (busy) state between
+// transactions; the busy machinery of the real protocol is represented
+// in the line formats and message taxonomy but needs no retry logic
+// here. DESIGN.md discusses this approximation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coher"
+	"repro/internal/directory"
+	"repro/internal/llc"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// DEPolicy selects how ZeroDEV houses directory entries in the LLC
+// (§III-C).
+type DEPolicy uint8
+
+const (
+	// SpillAll spills every entry into a full LLC line.
+	SpillAll DEPolicy = iota
+	// FPSS fuses entries of M/E blocks with the block's own LLC line and
+	// spills entries of S blocks (FusePrivateSpillShared).
+	FPSS
+	// FuseAll fuses regardless of coherence state whenever the block is
+	// LLC-resident, spilling otherwise.
+	FuseAll
+)
+
+// String implements fmt.Stringer.
+func (p DEPolicy) String() string {
+	switch p {
+	case SpillAll:
+		return "SpillAll"
+	case FPSS:
+		return "FPSS"
+	case FuseAll:
+		return "FuseAll"
+	}
+	return "DEPolicy(?)"
+}
+
+// Params configure a protocol engine.
+type Params struct {
+	// Cores is the per-socket core count.
+	Cores int
+	// ZeroDEV enables the ZeroDEV protocol; otherwise the baseline
+	// protocol runs and directory evictions produce DEVs.
+	ZeroDEV bool
+	// Policy is the directory-entry caching policy (ZeroDEV only).
+	Policy DEPolicy
+	// TagCycles and DataCycles are the LLC array lookup latencies
+	// (Table I: 3-cycle tag, 4-cycle data).
+	TagCycles, DataCycles sim.Cycle
+	// QueueCycles approximates the waiting time at the interface queues
+	// up and down the hierarchy that the paper's simulator models
+	// explicitly ("the round-trip latency for LLC lookup includes ...
+	// the waiting time at several interface queues", §IV). Charged once
+	// per request at the home bank.
+	QueueCycles sim.Cycle
+	// OwnerLookupCycles approximates the private-hierarchy lookup time a
+	// forwarded request spends at the owner/sharer core.
+	OwnerLookupCycles sim.Cycle
+	// Socket is this socket's identity in a multi-socket system.
+	Socket int
+}
+
+// DefaultParams returns the Table I uncore timing.
+func DefaultParams(cores int) Params {
+	return Params{
+		Cores:             cores,
+		TagCycles:         3,
+		DataCycles:        4,
+		OwnerLookupCycles: 10,
+		QueueCycles:       14,
+	}
+}
+
+// CorePort is the view the engine has of a core's private hierarchy for
+// externally initiated coherence actions. *cpu.Core implements it.
+type CorePort interface {
+	HasBlock(addr coher.Addr) (coher.PrivState, bool)
+	Invalidate(addr coher.Addr) coher.PrivState
+	Downgrade(addr coher.Addr) coher.PrivState
+}
+
+// Engine is the per-socket uncore: sparse directory, LLC, interconnect
+// and the coherence state machine gluing them to the home agent.
+type Engine struct {
+	p     Params
+	cores []CorePort
+	dir   directory.Directory
+	llc   *llc.LLC
+	mesh  *noc.Mesh
+	home  Home
+	stats Stats
+}
+
+// New wires an engine. cores may be attached later with AttachCores when
+// construction order requires it (cpu.Core needs the engine as its
+// Uncore and vice versa).
+func New(p Params, dir directory.Directory, l *llc.LLC, mesh *noc.Mesh, home Home) *Engine {
+	if p.Cores <= 0 || p.Cores > coher.MaxCores {
+		panic(fmt.Sprintf("core: unsupported core count %d", p.Cores))
+	}
+	return &Engine{p: p, dir: dir, llc: l, mesh: mesh, home: home}
+}
+
+// AttachCores registers the core ports; index is the CoreID.
+func (e *Engine) AttachCores(cores []CorePort) {
+	if len(cores) != e.p.Cores {
+		panic("core: AttachCores count mismatch")
+	}
+	e.cores = cores
+}
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// LLC exposes the cache for instrumentation and invariant checks.
+func (e *Engine) LLC() *llc.LLC { return e.llc }
+
+// Directory exposes the sparse directory for instrumentation.
+func (e *Engine) Directory() directory.Directory { return e.dir }
+
+// Mesh exposes the interconnect for traffic reporting.
+func (e *Engine) Mesh() *noc.Mesh { return e.mesh }
+
+// Params exposes the configuration.
+func (e *Engine) Params() Params { return e.p }
+
+// --- directory entry location ----------------------------------------------
+
+type deLoc uint8
+
+const (
+	locNone deLoc = iota
+	locDir
+	locLLC
+)
+
+// findDE locates the directory entry for addr within the socket: the
+// sparse directory and, under ZeroDEV, the LLC (spilled or fused line in
+// the pre-computed view).
+func (e *Engine) findDE(addr coher.Addr, v llc.View) (coher.Entry, deLoc) {
+	if ent, ok := e.dir.Lookup(addr); ok {
+		return ent, locDir
+	}
+	if e.p.ZeroDEV && v.HasDE() {
+		return e.llc.Payload(v, v.DEWay).Entry, locLLC
+	}
+	return coher.Entry{}, locNone
+}
+
+// record charges one interconnect message.
+func (e *Engine) record(mt coher.MsgType) {
+	e.mesh.Record(mt, e.p.Cores)
+}
+
+func (e *Engine) bankOf(addr coher.Addr) int { return e.llc.BankOf(addr) }
+
+func max2(a, b sim.Cycle) sim.Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/coher"
+	"repro/internal/llc"
+)
+
+// BlockLister is the optional CorePort extension the invariant checker
+// uses to enumerate a core's resident blocks. *cpu.Core implements it.
+type BlockLister interface {
+	ForEachBlock(fn func(addr coher.Addr, state coher.PrivState))
+}
+
+type truth struct {
+	owner    coher.CoreID
+	hasOwner bool
+	sharers  coher.CoreSet
+	mixed    bool
+}
+
+// CheckInvariants cross-validates the coherence state against ground
+// truth assembled from the private caches:
+//
+//   - at most one core owns a block, and an owner excludes sharers;
+//   - every privately cached block has exactly one live directory entry
+//     (sparse directory, LLC, or home-memory segment) whose state and
+//     holder set match the private caches exactly;
+//   - every live entry tracks at least one private copy;
+//   - FPSS: fused entries track M/E blocks; a spilled entry whose block
+//     is co-resident tracks an S block;
+//   - the baseline never houses entries in the LLC.
+//
+// It is O(private blocks + directory entries) and intended for tests.
+func (e *Engine) CheckInvariants() error {
+	tr := make(map[coher.Addr]*truth)
+	for i, cp := range e.cores {
+		bl, ok := cp.(BlockLister)
+		if !ok {
+			return fmt.Errorf("core %d does not support block listing", i)
+		}
+		id := coher.CoreID(i)
+		var err error
+		bl.ForEachBlock(func(addr coher.Addr, st coher.PrivState) {
+			t := tr[addr]
+			if t == nil {
+				t = &truth{}
+				tr[addr] = t
+			}
+			switch st {
+			case coher.PrivModified, coher.PrivExclusive:
+				if t.hasOwner || !t.sharers.Empty() {
+					t.mixed = true
+				}
+				t.hasOwner = true
+				t.owner = id
+			case coher.PrivShared:
+				if t.hasOwner {
+					t.mixed = true
+				}
+				t.sharers.Add(id)
+			default:
+				err = fmt.Errorf("block %#x cached in state %v at core %d", uint64(addr), st, id)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	for addr, t := range tr {
+		if t.mixed {
+			return fmt.Errorf("block %#x has an owner alongside other copies", uint64(addr))
+		}
+		ent, where, err := e.locateEntry(addr)
+		if err != nil {
+			return err
+		}
+		if where == "" {
+			return fmt.Errorf("block %#x is privately cached but has no directory entry", uint64(addr))
+		}
+		if t.hasOwner {
+			if ent.State != coher.DirOwned || ent.Owner != t.owner {
+				return fmt.Errorf("block %#x owned by core %d but %s entry is %v", uint64(addr), t.owner, where, ent)
+			}
+		} else {
+			if ent.State != coher.DirShared || !ent.Sharers.Equal(t.sharers) {
+				return fmt.Errorf("block %#x shared by %v but %s entry is %v", uint64(addr), t.sharers, where, ent)
+			}
+		}
+	}
+
+	// Every live on-socket entry must track real copies.
+	var err error
+	checkEntry := func(addr coher.Addr, ent coher.Entry, where string) {
+		if err != nil {
+			return
+		}
+		if !ent.Live() {
+			err = fmt.Errorf("dead entry for %#x housed in %s", uint64(addr), where)
+			return
+		}
+		if tr[addr] == nil {
+			err = fmt.Errorf("%s entry for %#x tracks no privately cached block", where, uint64(addr))
+		}
+	}
+	live, _ := e.dir.Occupancy()
+	_ = live
+	e.llc.ForEachDE(func(addr coher.Addr, fused bool, ent coher.Entry) {
+		if !e.p.ZeroDEV && err == nil {
+			err = fmt.Errorf("baseline housed a directory entry in the LLC for %#x", uint64(addr))
+			return
+		}
+		checkEntry(addr, ent, "LLC")
+		if err != nil {
+			return
+		}
+		if e.p.Policy == FPSS && e.p.ZeroDEV {
+			if fused && ent.State != coher.DirOwned {
+				err = fmt.Errorf("FPSS fused entry for %#x in state %v", uint64(addr), ent.State)
+				return
+			}
+			if !fused && ent.State == coher.DirOwned {
+				if v := e.llc.Probe(addr); v.HasData() && !v.Fused && e.llc.Mode() != llc.EPD {
+					err = fmt.Errorf("FPSS spilled M/E entry for %#x with co-resident block", uint64(addr))
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// locateEntry finds the single live entry for addr across the sparse
+// directory, the LLC, and this socket's home-memory segment, reporting
+// an error when more than one location holds it.
+func (e *Engine) locateEntry(addr coher.Addr) (coher.Entry, string, error) {
+	var found coher.Entry
+	where := ""
+	if ent, ok := e.dir.Lookup(addr); ok && ent.Live() {
+		found, where = ent, "directory"
+	}
+	if v := e.llc.Probe(addr); v.HasDE() {
+		if where != "" {
+			return found, where, fmt.Errorf("block %#x tracked in both %s and LLC", uint64(addr), where)
+		}
+		found, where = e.llc.Payload(v, v.DEWay).Entry, "LLC"
+	}
+	if ent, ok := e.home.Segment(e.p.Socket, addr); ok {
+		if where != "" {
+			return found, where, fmt.Errorf("block %#x tracked in both %s and home memory", uint64(addr), where)
+		}
+		found, where = ent, "home-memory"
+	}
+	return found, where, nil
+}

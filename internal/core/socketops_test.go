@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/coher"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/llc"
+)
+
+// Micro-tests for the socket-facing operations (Fig. 15 steps 5-7)
+// exercised here through a single-socket system whose engine doubles as
+// the forwarded-to socket F.
+
+func TestServeForwardedDowngradesOwner(t *testing.T) {
+	pre := config.TableI(microScale)
+	sys, sc := microSystem(pre.Baseline(1, llc.NonInclusive))
+	const X = coher.Addr(0xA000)
+
+	sc[0].store(X)
+	sys.Cores[0].Step()
+
+	found, dirty := sys.Engine.ServeForwarded(1000, X, false, nil)
+	if !found || !dirty {
+		t.Fatalf("found=%v dirty=%v, want true/true (owner held M)", found, dirty)
+	}
+	if s0, _ := sys.Cores[0].HasBlock(X); s0 != coher.PrivShared {
+		t.Fatalf("owner state after GetS forward = %v", s0)
+	}
+	// The downgrade deposited the dirty block in the LLC.
+	if v := sys.Engine.LLC().Probe(X); !v.HasData() {
+		t.Fatal("dirty downgrade must fill the LLC")
+	}
+	if err := sys.Engine.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeForwardedExclusiveWipesSocket(t *testing.T) {
+	pre := config.TableI(microScale)
+	sys, sc := microSystem(pre.Baseline(1, llc.NonInclusive))
+	const X = coher.Addr(0xB000)
+
+	sc[0].load(X)
+	sys.Cores[0].Step()
+	sc[1].load(X)
+	sys.Cores[1].Step() // shared between cores 0 and 1
+
+	found, _ := sys.Engine.ServeForwarded(2000, X, true, nil)
+	if !found {
+		t.Fatal("forward not served")
+	}
+	for c := 0; c < 2; c++ {
+		if _, ok := sys.Cores[c].HasBlock(X); ok {
+			t.Fatalf("core %d still holds the block after exclusive forward", c)
+		}
+	}
+	if sys.Engine.HasAnyCopy(X) {
+		t.Fatal("socket still holds a copy after exclusive forward")
+	}
+}
+
+func TestServeForwardedLLCOnly(t *testing.T) {
+	// The socket's cores hold nothing but the LLC has the block: the
+	// forward is served from the LLC (the remote-LLC-hit path).
+	pre := config.TableI(microScale)
+	sys, sc := microSystem(pre.Baseline(1, llc.NonInclusive))
+	const X = coher.Addr(0xC000)
+	l2Sets := pre.CPU.L2Bytes / 64 / pre.CPU.L2Ways
+
+	sc[0].store(X)
+	sys.Cores[0].Step()
+	// Conflict-evict X from core 0: the PutM leaves the dirty block in
+	// the LLC with no directory entry.
+	for i := 1; i <= pre.CPU.L2Ways; i++ {
+		sc[0].load(X + coher.Addr(i*l2Sets))
+		sys.Cores[0].Step()
+	}
+	if _, ok := sys.Cores[0].HasBlock(X); ok {
+		t.Fatal("setup: X still in core 0")
+	}
+	found, _ := sys.Engine.ServeForwarded(5000, X, false, nil)
+	if !found {
+		t.Fatal("LLC-resident block must serve the forward")
+	}
+	// Exclusive variant invalidates the LLC line and reports its dirty
+	// data.
+	found, dirty := sys.Engine.ServeForwarded(6000, X, true, nil)
+	if !found || !dirty {
+		t.Fatalf("exclusive LLC-only serve: found=%v dirty=%v", found, dirty)
+	}
+	if sys.Engine.HasAnyCopy(X) {
+		t.Fatal("LLC line must be gone after the exclusive serve")
+	}
+}
+
+func TestServeForwardedNACKsWhenEmpty(t *testing.T) {
+	pre := config.TableI(microScale)
+	sys, _ := microSystem(pre.Baseline(1, llc.NonInclusive))
+	found, _ := sys.Engine.ServeForwarded(100, 0xD000, false, nil)
+	if found {
+		t.Fatal("empty socket must DENF_NACK")
+	}
+}
+
+func TestServeForwardedWithProvidedEntry(t *testing.T) {
+	// The DENF_NACK retry: the entry arrives from home memory; the
+	// socket concludes the request and re-houses the entry.
+	pre := config.TableI(microScale)
+	spec := pre.ZeroDEV(0, core.FPSS, llc.DataLRU, llc.NonInclusive)
+	sys, sc := microSystem(spec)
+	const X = coher.Addr(0xE000)
+
+	sc[0].store(X)
+	sys.Cores[0].Step()
+	// Strip the on-chip housing, simulating a WB_DE that home later
+	// extracts: drop the fused entry directly.
+	v := sys.Engine.LLC().Probe(X)
+	if !v.Fused {
+		t.Fatal("setup: entry not fused")
+	}
+	sys.Engine.LLC().DropDE(v)
+
+	ent := coher.Entry{State: coher.DirOwned, Owner: 0}
+	found, dirty := sys.Engine.ServeForwarded(3000, X, false, &ent)
+	if !found || !dirty {
+		t.Fatalf("retry with entry: found=%v dirty=%v", found, dirty)
+	}
+	// The updated (now shared) entry was re-housed on chip.
+	if v2 := sys.Engine.LLC().Probe(X); !v2.HasDE() {
+		t.Fatal("entry not re-housed after the retry")
+	}
+	if err := sys.Engine.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

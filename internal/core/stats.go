@@ -1,0 +1,94 @@
+package core
+
+// Stats aggregates the engine's protocol-level counters. Together with
+// the per-core cpu.Stats, the interconnect traffic, and the DRAM
+// counters, they form the metrics every experiment in the paper reports.
+type Stats struct {
+	// Request mix at the home banks.
+	Reads, Writes, Upgrades, Evictions uint64
+
+	// LLC behaviour for demand requests.
+	LLCDataHits, LLCMisses uint64
+
+	// Forwards3Hop counts requests served core-to-core (three-hop
+	// critical path).
+	Forwards3Hop uint64
+
+	// Read-latency breakdown: cumulative cycles and event counts per
+	// serving class, measured from the request's issue at the core to
+	// data arrival. Directly quantifies the critical-path axis of the
+	// paper's Fig. 12 design space.
+	LatReadLLCHit, NReadLLCHit   uint64
+	LatReadForward, NReadForward uint64
+	LatReadMemory, NReadMemory   uint64
+
+	// DemandInvals counts sharer invalidations caused by writes (GetX /
+	// upgrades) — ordinary coherence, present in every design.
+	DemandInvals uint64
+
+	// DEVs counts directory eviction victims: private copies invalidated
+	// because a directory entry was evicted. ZeroDEV's guarantee is that
+	// this counter stays exactly zero.
+	DEVs uint64
+
+	// DEVDirtyRetrievals counts DEV invalidations that retrieved dirty
+	// data from an owner into the LLC.
+	DEVDirtyRetrievals uint64
+
+	// InclusionInvals counts forced invalidations from inclusive-LLC
+	// evictions (the residual 5% the paper reports for ZeroDEVIncl).
+	InclusionInvals uint64
+
+	// ZeroDEV directory-entry caching activity.
+	// DEDisplacedToLLC counts entries moved from a replacement-enabled
+	// sparse directory into the LLC (§III-C4 ablation; zero in the
+	// standard replacement-disabled design).
+	DEDisplacedToLLC       uint64
+	DESpills, DEFuses      uint64
+	DESpillToFuse          uint64 // S→M/E transitions converting a spill into a fuse
+	DEFuseToSpill          uint64 // M/E→S transitions converting a fuse into a spill
+	DEEvictionsToMemory    uint64 // WB_DE flows (LLC evicted a live entry)
+	DEFreedInLLC           uint64 // entries that died while housed in the LLC
+	GetDEFlows             uint64 // core evictions that needed GET_DE
+	CorruptedFetches       uint64 // socket misses that extracted a DE from a corrupted block
+	CorruptedReadMisses    uint64 // LLC read misses that touched corrupted home blocks
+	SocketEvictNotices     uint64
+	LastCopyRetrievals     uint64 // §III-D4: corrupted block restored from the evicting core
+	LastSharerRetrievals   uint64 // FuseAll low-bit retrieval from the last sharer
+	SpillAllExtraDataReads uint64 // SpillAll critical-path penalty events
+}
+
+// Add merges o into s.
+func (s *Stats) Add(o *Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Upgrades += o.Upgrades
+	s.Evictions += o.Evictions
+	s.LLCDataHits += o.LLCDataHits
+	s.LatReadLLCHit += o.LatReadLLCHit
+	s.NReadLLCHit += o.NReadLLCHit
+	s.LatReadForward += o.LatReadForward
+	s.NReadForward += o.NReadForward
+	s.LatReadMemory += o.LatReadMemory
+	s.NReadMemory += o.NReadMemory
+	s.LLCMisses += o.LLCMisses
+	s.Forwards3Hop += o.Forwards3Hop
+	s.DemandInvals += o.DemandInvals
+	s.DEVs += o.DEVs
+	s.DEVDirtyRetrievals += o.DEVDirtyRetrievals
+	s.InclusionInvals += o.InclusionInvals
+	s.DEDisplacedToLLC += o.DEDisplacedToLLC
+	s.DESpills += o.DESpills
+	s.DEFuses += o.DEFuses
+	s.DESpillToFuse += o.DESpillToFuse
+	s.DEFuseToSpill += o.DEFuseToSpill
+	s.DEEvictionsToMemory += o.DEEvictionsToMemory
+	s.DEFreedInLLC += o.DEFreedInLLC
+	s.GetDEFlows += o.GetDEFlows
+	s.CorruptedFetches += o.CorruptedFetches
+	s.CorruptedReadMisses += o.CorruptedReadMisses
+	s.SocketEvictNotices += o.SocketEvictNotices
+	s.LastCopyRetrievals += o.LastCopyRetrievals
+	s.LastSharerRetrievals += o.LastSharerRetrievals
+	s.SpillAllExtraDataReads += o.SpillAllExtraDataReads
+}

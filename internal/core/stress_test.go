@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/llc"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestProtocolStress sweeps a randomized cross product of ZeroDEV
+// configurations, workloads, and seeds at punishing scales (caches far
+// smaller than footprints, so every corner flow fires) and checks the
+// full invariant set plus the zero-DEV guarantee on each.
+func TestProtocolStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rng := sim.NewRNG(0xDEADBEEF)
+	policies := []core.DEPolicy{core.SpillAll, core.FPSS, core.FuseAll}
+	repls := []llc.Repl{llc.LRU, llc.SpLRU, llc.DataLRU}
+	modes := []llc.Mode{llc.NonInclusive, llc.EPD, llc.Inclusive}
+	ratios := []float64{0, 1.0 / 32, 1.0 / 8, 1}
+	apps := []string{"canneal", "freqmine", "streamcluster", "ocean_cp", "mcf", "TPC-C"}
+	scales := []int{32, 64}
+
+	const trials = 36
+	for i := 0; i < trials; i++ {
+		pol := policies[rng.Intn(len(policies))]
+		repl := repls[rng.Intn(len(repls))]
+		mode := modes[rng.Intn(len(modes))]
+		ratio := ratios[rng.Intn(len(ratios))]
+		app := apps[rng.Intn(len(apps))]
+		scale := scales[rng.Intn(len(scales))]
+		seed := rng.Uint64()
+		name := fmt.Sprintf("%s/%s/%s/r=%v/%s/s=%d", pol, repl, mode, ratio, app, scale)
+
+		t.Run(name, func(t *testing.T) {
+			pre := config.TableI(scale)
+			spec := pre.ZeroDEV(ratio, pol, repl, mode)
+			prof := workload.MustGet(app)
+			streams := workload.Threads(prof, spec.Cores, 6000, scale, seed)
+			if prof.Suite == "CPU2017" {
+				streams = workload.Rate(prof, spec.Cores, 6000, scale, seed)
+			}
+			sys := core.NewSystem(spec, streams)
+			sys.Run()
+			if err := sys.Engine.CheckInvariants(); err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+			st := sys.Engine.Stats()
+			if st.DEVs != 0 {
+				t.Fatalf("%d DEVs under ZeroDEV", st.DEVs)
+			}
+			if mode == llc.Inclusive && repl == llc.DataLRU && st.DEEvictionsToMemory != 0 {
+				t.Fatalf("inclusive+dataLRU must never evict entries to memory (Sec III-F), got %d",
+					st.DEEvictionsToMemory)
+			}
+		})
+	}
+}
+
+// TestBaselineStress does the same for the baseline and the comparison
+// directories: no ZeroDEV guarantee, but full coherence invariants.
+func TestBaselineStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rng := sim.NewRNG(0xFEEDFACE)
+	apps := []string{"canneal", "dedup", "radix", "xalancbmk"}
+	for i := 0; i < 12; i++ {
+		app := apps[rng.Intn(len(apps))]
+		ratio := []float64{1.0 / 32, 1.0 / 8, 1}[rng.Intn(3)]
+		kind := rng.Intn(4)
+		seed := rng.Uint64()
+		pre := config.TableI(32)
+		var spec core.SystemSpec
+		var name string
+		switch kind {
+		case 0:
+			spec, name = pre.Baseline(ratio, llc.NonInclusive), "baseline"
+		case 1:
+			spec, name = pre.Baseline(ratio, llc.Inclusive), "baseline-incl"
+		case 2:
+			spec, name = pre.SecDir(ratio, llc.NonInclusive), "secdir"
+		default:
+			spec, name = pre.MgD(ratio, llc.NonInclusive), "mgd"
+		}
+		t.Run(fmt.Sprintf("%s/r=%v/%s", name, ratio, app), func(t *testing.T) {
+			prof := workload.MustGet(app)
+			streams := workload.Threads(prof, spec.Cores, 6000, 32, seed)
+			if prof.Suite == "CPU2017" {
+				streams = workload.Rate(prof, spec.Cores, 6000, 32, seed)
+			}
+			sys := core.NewSystem(spec, streams)
+			sys.Run()
+			if err := sys.Engine.CheckInvariants(); err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"repro/internal/coher"
+	"repro/internal/cpu"
+	"repro/internal/directory"
+	"repro/internal/dram"
+	"repro/internal/llc"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// SystemSpec assembles a complete single-socket CMP.
+type SystemSpec struct {
+	Cores int
+	CPU   cpu.Params
+
+	LLCBytes, LLCWays, LLCBanks int
+	// LLCSets, when non-zero, overrides the capacity-derived per-bank set
+	// count so associativity can be reduced at a fixed set count (the
+	// Fig. 6 study).
+	LLCSets int
+	Mode    llc.Mode
+	Repl    llc.Repl
+
+	// Dir builds the sparse directory; the spec takes a constructor so
+	// sweeps can instantiate a fresh directory per run.
+	Dir func() directory.Directory
+
+	ZeroDEV bool
+	Policy  DEPolicy
+
+	DRAM   dram.Params
+	NoC    noc.Params
+	Uncore Params
+}
+
+// System is a runnable single-socket CMP: cores wired to a protocol
+// engine wired to a local home agent.
+type System struct {
+	Spec   SystemSpec
+	Engine *Engine
+	Cores  []*cpu.Core
+	Home   *LocalHome
+}
+
+// NewSystem wires a system; streams supplies one reference stream per
+// core.
+func NewSystem(spec SystemSpec, streams []cpu.Stream) *System {
+	if len(streams) != spec.Cores {
+		panic("core: stream count must equal core count")
+	}
+	var l *llc.LLC
+	if spec.LLCSets > 0 {
+		var err error
+		l, err = llc.NewGeometry(spec.LLCSets, spec.LLCWays, spec.LLCBanks, spec.Mode, spec.Repl)
+		if err != nil {
+			panic(err)
+		}
+	} else {
+		l = llc.MustNew(spec.LLCBytes, spec.LLCWays, spec.LLCBanks, spec.Mode, spec.Repl)
+	}
+	mesh := noc.MustNew(spec.NoC, spec.Cores, spec.LLCBanks)
+	home := NewLocalHome(mem.MustNew(1, spec.Cores), dram.MustNew(spec.DRAM))
+	up := spec.Uncore
+	up.Cores = spec.Cores
+	up.ZeroDEV = spec.ZeroDEV
+	up.Policy = spec.Policy
+	eng := New(up, spec.Dir(), l, mesh, home)
+
+	sys := &System{Spec: spec, Engine: eng, Home: home}
+	ports := make([]CorePort, spec.Cores)
+	for i := 0; i < spec.Cores; i++ {
+		c := cpu.New(coher.CoreID(i), spec.CPU, streams[i], eng)
+		sys.Cores = append(sys.Cores, c)
+		ports[i] = c
+	}
+	eng.AttachCores(ports)
+	return sys
+}
+
+// Run drives all cores to completion under min-clock interleaving and
+// returns the parallel completion time.
+func (s *System) Run() sim.Cycle {
+	agents := make([]sim.Clocked, len(s.Cores))
+	for i, c := range s.Cores {
+		agents[i] = c
+	}
+	return sim.RunAll(agents)
+}
+
+// CoreStats snapshots every core's counters.
+func (s *System) CoreStats() []cpu.Stats {
+	out := make([]cpu.Stats, len(s.Cores))
+	for i, c := range s.Cores {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
+// TotalL2Misses sums the paper's "core cache misses" across cores.
+func (s *System) TotalL2Misses() uint64 {
+	var n uint64
+	for _, c := range s.Cores {
+		n += c.Stats().L2Misses
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+// Package directory implements the sparse-directory organizations the
+// paper studies: the traditional NRU-managed baseline at arbitrary R×
+// sizing, the replacement-disabled directory ZeroDEV uses, an unbounded
+// directory for the motivation studies, the SecDir partitioned directory
+// (Yan et al., ISCA 2019), and the Multi-grain Directory (Zebchuk et
+// al., MICRO 2013) used as comparison points in Figs. 26 and 27.
+package directory
+
+import "repro/internal/coher"
+
+// Victim is a live entry forcibly evicted from a directory. The protocol
+// engine must invalidate every private copy the entry was tracking;
+// those invalidated copies are the directory eviction victims (DEVs).
+type Victim struct {
+	Addr  coher.Addr
+	Entry coher.Entry
+}
+
+// Directory is the interface the protocol engine programs against.
+// Implementations are not safe for concurrent use.
+type Directory interface {
+	// Lookup returns the entry tracking addr, if present.
+	Lookup(addr coher.Addr) (coher.Entry, bool)
+
+	// Store writes the entry for addr, allocating space when absent and
+	// updating in place when present. Storing a dead entry
+	// (State == DirInvalid) is equivalent to Free.
+	//
+	// victims lists live entries evicted to make room (traditional
+	// directories and SecDir/MgD internal conflicts). housed is false
+	// when the directory refuses the allocation without evicting anyone
+	// (replacement-disabled set full, or the NoDir organization); the
+	// caller must house the entry elsewhere — under ZeroDEV, in the LLC.
+	Store(addr coher.Addr, e coher.Entry) (victims []Victim, housed bool)
+
+	// Free invalidates the entry for addr, if present.
+	Free(addr coher.Addr)
+
+	// Touch updates replacement state on a hit.
+	Touch(addr coher.Addr)
+
+	// Occupancy reports live entries and total capacity; capacity < 0
+	// means unbounded.
+	Occupancy() (live, capacity int)
+
+	// Name identifies the organization in reports.
+	Name() string
+}
+
+// NoDir is the empty directory: every allocation is refused. ZeroDEV
+// "without a sparse directory" runs on top of it.
+type NoDir struct{}
+
+// Lookup never finds an entry.
+func (NoDir) Lookup(coher.Addr) (coher.Entry, bool) { return coher.Entry{}, false }
+
+// Store always refuses to house the entry.
+func (NoDir) Store(coher.Addr, coher.Entry) ([]Victim, bool) { return nil, false }
+
+// Free is a no-op.
+func (NoDir) Free(coher.Addr) {}
+
+// Touch is a no-op.
+func (NoDir) Touch(coher.Addr) {}
+
+// Occupancy reports a zero-capacity structure.
+func (NoDir) Occupancy() (int, int) { return 0, 0 }
+
+// Name implements Directory.
+func (NoDir) Name() string { return "NoDir" }
+
+// Unbounded is an infinite-capacity directory used by the motivation
+// studies (Figs. 2, 3, 5): it never evicts, so it never produces DEVs.
+// An optional shadow geometry measures how many live entries would
+// *overflow* a finite set-associative organization at any instant — the
+// population a ZeroDEV design would have to house in the LLC, which is
+// what Fig. 5 projects.
+type Unbounded struct {
+	m    map[coher.Addr]coher.Entry
+	peak int
+
+	shadowSets, shadowWays int
+	shadowCount            []uint32
+	overflow               int
+	peakOverflow           int
+}
+
+// NewUnbounded constructs an empty unbounded directory.
+func NewUnbounded() *Unbounded {
+	return &Unbounded{m: make(map[coher.Addr]coher.Entry)}
+}
+
+// SetShadow enables overflow tracking against a hypothetical
+// sets×ways organization (the baseline 1× geometry in Fig. 5).
+func (u *Unbounded) SetShadow(sets, ways int) {
+	u.shadowSets, u.shadowWays = sets, ways
+	u.shadowCount = make([]uint32, sets)
+}
+
+func (u *Unbounded) shadowAdd(addr coher.Addr) {
+	if u.shadowSets == 0 {
+		return
+	}
+	s := int(uint64(addr) & uint64(u.shadowSets-1))
+	u.shadowCount[s]++
+	if int(u.shadowCount[s]) > u.shadowWays {
+		u.overflow++
+		if u.overflow > u.peakOverflow {
+			u.peakOverflow = u.overflow
+		}
+	}
+}
+
+func (u *Unbounded) shadowRemove(addr coher.Addr) {
+	if u.shadowSets == 0 {
+		return
+	}
+	s := int(uint64(addr) & uint64(u.shadowSets-1))
+	if int(u.shadowCount[s]) > u.shadowWays {
+		u.overflow--
+	}
+	u.shadowCount[s]--
+}
+
+// PeakOverflow reports the high-water mark of entries that would not
+// fit the shadow organization — Fig. 5's "additional directory entries".
+func (u *Unbounded) PeakOverflow() int { return u.peakOverflow }
+
+// Lookup implements Directory.
+func (u *Unbounded) Lookup(addr coher.Addr) (coher.Entry, bool) {
+	e, ok := u.m[addr]
+	return e, ok
+}
+
+// Store implements Directory; it always succeeds without victims.
+func (u *Unbounded) Store(addr coher.Addr, e coher.Entry) ([]Victim, bool) {
+	if !e.Live() {
+		u.Free(addr)
+		return nil, true
+	}
+	if _, present := u.m[addr]; !present {
+		u.shadowAdd(addr)
+	}
+	u.m[addr] = e
+	if len(u.m) > u.peak {
+		u.peak = len(u.m)
+	}
+	return nil, true
+}
+
+// Free implements Directory.
+func (u *Unbounded) Free(addr coher.Addr) {
+	if _, present := u.m[addr]; present {
+		u.shadowRemove(addr)
+		delete(u.m, addr)
+	}
+}
+
+// Touch implements Directory.
+func (u *Unbounded) Touch(coher.Addr) {}
+
+// Occupancy implements Directory.
+func (u *Unbounded) Occupancy() (int, int) { return len(u.m), -1 }
+
+// Peak returns the high-water mark of live entries, which Fig. 5 uses to
+// project the LLC occupancy of spilled entries.
+func (u *Unbounded) Peak() int { return u.peak }
+
+// Name implements Directory.
+func (u *Unbounded) Name() string { return "Unbounded" }

@@ -1,0 +1,252 @@
+package directory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coher"
+)
+
+func owned(c coher.CoreID) coher.Entry {
+	return coher.Entry{State: coher.DirOwned, Owner: c}
+}
+
+func shared(cs ...coher.CoreID) coher.Entry {
+	e := coher.Entry{State: coher.DirShared}
+	for _, c := range cs {
+		e.Sharers.Add(c)
+	}
+	return e
+}
+
+func TestTraditionalEvicts(t *testing.T) {
+	d := MustTraditional(8, 8) // one set of eight ways
+	for i := 0; i < 8; i++ {
+		victims, housed := d.Store(coher.Addr(i), owned(coher.CoreID(i)))
+		if !housed || len(victims) != 0 {
+			t.Fatalf("insert %d: victims=%v housed=%v", i, victims, housed)
+		}
+	}
+	victims, housed := d.Store(100, owned(0))
+	if !housed || len(victims) != 1 {
+		t.Fatalf("ninth insert: victims=%v housed=%v", victims, housed)
+	}
+	if !victims[0].Entry.Live() {
+		t.Fatal("victim entry must be live")
+	}
+	live, capn := d.Occupancy()
+	if live != 8 || capn != 8 {
+		t.Fatalf("occupancy = %d/%d", live, capn)
+	}
+}
+
+func TestTraditionalUpdateInPlace(t *testing.T) {
+	d := MustTraditional(16, 8)
+	d.Store(5, owned(1))
+	victims, housed := d.Store(5, shared(1, 2))
+	if !housed || len(victims) != 0 {
+		t.Fatal("in-place update must not evict")
+	}
+	e, ok := d.Lookup(5)
+	if !ok || e.State != coher.DirShared || !e.Sharers.Contains(2) {
+		t.Fatalf("lookup after update = %+v", e)
+	}
+	// Storing a dead entry frees.
+	d.Store(5, coher.Entry{})
+	if _, ok := d.Lookup(5); ok {
+		t.Fatal("dead store must free")
+	}
+}
+
+func TestReplacementDisabledRefuses(t *testing.T) {
+	d := MustReplacementDisabled(8, 8)
+	for i := 0; i < 8; i++ {
+		if _, housed := d.Store(coher.Addr(i), owned(0)); !housed {
+			t.Fatalf("insert %d refused with free ways", i)
+		}
+	}
+	victims, housed := d.Store(100, owned(0))
+	if housed || len(victims) != 0 {
+		t.Fatal("full replacement-disabled set must refuse without victims")
+	}
+	// Freeing one way re-enables allocation.
+	d.Free(3)
+	if _, housed := d.Store(100, owned(0)); !housed {
+		t.Fatal("allocation after free refused")
+	}
+}
+
+func TestNoDir(t *testing.T) {
+	var d NoDir
+	if _, housed := d.Store(1, owned(0)); housed {
+		t.Fatal("NoDir must refuse everything")
+	}
+	if _, ok := d.Lookup(1); ok {
+		t.Fatal("NoDir lookup must miss")
+	}
+	live, capn := d.Occupancy()
+	if live != 0 || capn != 0 {
+		t.Fatal("NoDir occupancy must be zero")
+	}
+}
+
+func TestUnboundedPeak(t *testing.T) {
+	u := NewUnbounded()
+	for i := 0; i < 100; i++ {
+		u.Store(coher.Addr(i), owned(0))
+	}
+	for i := 0; i < 50; i++ {
+		u.Free(coher.Addr(i))
+	}
+	live, capn := u.Occupancy()
+	if live != 50 || capn != -1 {
+		t.Fatalf("occupancy = %d/%d", live, capn)
+	}
+	if u.Peak() != 100 {
+		t.Fatalf("peak = %d, want 100", u.Peak())
+	}
+}
+
+func TestSecDirMigrationAndDEVs(t *testing.T) {
+	// Tiny SecDir: shared 1 set x 2 ways, private 1 set x 1 way per core.
+	s := MustSecDir(4, 1, 2, 1, 1)
+	// Two entries fill the shared partition.
+	s.Store(1, shared(0, 1))
+	s.Store(2, owned(2))
+	// Third allocation migrates the NRU victim into private partitions
+	// (not a DEV by itself).
+	victims, housed := s.Store(3, owned(3))
+	if !housed {
+		t.Fatal("allocation refused")
+	}
+	if len(victims) != 0 {
+		t.Fatalf("migration produced victims: %v", victims)
+	}
+	// The migrated entry is still visible, assembled from private
+	// partitions.
+	e1, ok := s.Lookup(1)
+	if !ok || e1.State != coher.DirShared || !e1.Sharers.Contains(0) || !e1.Sharers.Contains(1) {
+		t.Fatalf("migrated entry = %+v ok=%v", e1, ok)
+	}
+	// A second migration targeting the same cores' single-way private
+	// partitions must evict the first private entries: DEVs.
+	s.Store(4, shared(0, 1))
+	s.Store(5, owned(3))
+	victims, _ = s.Store(6, owned(2))
+	total := 0
+	for _, v := range victims {
+		total += v.Entry.Holders().Count()
+	}
+	if total == 0 {
+		t.Fatal("private-partition conflicts must produce DEVs")
+	}
+}
+
+func TestMgDRegionTracking(t *testing.T) {
+	m := MustMgD(64, 8)
+	// Blocks 0..15 in region 0, owned by core 1: one region entry.
+	for i := 0; i < 16; i++ {
+		victims, housed := m.Store(coher.Addr(i), owned(1))
+		if !housed || len(victims) != 0 {
+			t.Fatalf("private store %d: %v/%v", i, victims, housed)
+		}
+	}
+	e, ok := m.Lookup(3)
+	if !ok || e.State != coher.DirOwned || e.Owner != 1 {
+		t.Fatalf("region lookup = %+v ok=%v", e, ok)
+	}
+	// Sharing block 3 demotes it to a block entry.
+	m.Store(3, shared(1, 2))
+	e, ok = m.Lookup(3)
+	if !ok || e.State != coher.DirShared {
+		t.Fatalf("after sharing: %+v", e)
+	}
+	// The rest of the region is still tracked.
+	if _, ok := m.Lookup(7); !ok {
+		t.Fatal("region tracking lost after one block was shared")
+	}
+	// Freeing clears the bit without touching neighbours.
+	m.Free(7)
+	if _, ok := m.Lookup(7); ok {
+		t.Fatal("free failed")
+	}
+	if _, ok := m.Lookup(8); !ok {
+		t.Fatal("free clobbered a neighbour")
+	}
+}
+
+func TestMgDRegionEvictionExpandsVictims(t *testing.T) {
+	m := MustMgD(16, 8) // one region set of 8 ways
+	// Fill 8 region entries with 16 blocks each.
+	for r := 0; r < 8; r++ {
+		for b := 0; b < 16; b++ {
+			m.Store(coher.Addr(r*RegionBlocks+b), owned(coher.CoreID(r%4)))
+		}
+	}
+	victims, housed := m.Store(coher.Addr(100*RegionBlocks), owned(0))
+	if !housed {
+		t.Fatal("refused")
+	}
+	if len(victims) != 16 {
+		t.Fatalf("region eviction produced %d victims, want 16", len(victims))
+	}
+}
+
+// Property: Traditional directory agrees with a reference map as long
+// as no evictions occur (all addresses within one set's capacity).
+func TestTraditionalMatchesReference(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := MustTraditional(64, 8)
+		ref := map[coher.Addr]coher.Entry{}
+		for _, op := range ops {
+			addr := coher.Addr(op % 8 * 8) // 8 addrs in distinct sets
+			switch op % 3 {
+			case 0:
+				e := owned(coher.CoreID(op % 4))
+				d.Store(addr, e)
+				ref[addr] = e
+			case 1:
+				e, ok := d.Lookup(addr)
+				re, rok := ref[addr]
+				if ok != rok {
+					return false
+				}
+				if ok && (e.State != re.State || e.Owner != re.Owner) {
+					return false
+				}
+			case 2:
+				d.Free(addr)
+				delete(ref, addr)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnboundedShadowOverflow(t *testing.T) {
+	u := NewUnbounded()
+	u.SetShadow(2, 2) // 2 sets x 2 ways = 4-entry shadow
+	// Addresses 0,2,4,6 map to shadow set 0; the third and fourth
+	// overflow it.
+	for i := 0; i < 4; i++ {
+		u.Store(coher.Addr(i*2), owned(0))
+	}
+	if got := u.PeakOverflow(); got != 2 {
+		t.Fatalf("peak overflow = %d, want 2", got)
+	}
+	// Freeing shrinks current overflow but not the peak.
+	u.Free(0)
+	u.Free(2)
+	u.Store(coher.Addr(8), owned(0)) // back to 3 entries in set 0: +1 overflow
+	if got := u.PeakOverflow(); got != 2 {
+		t.Fatalf("peak overflow after churn = %d, want 2", got)
+	}
+	// Re-storing an existing address must not double count.
+	u.Store(coher.Addr(8), shared(0, 1))
+	if got := u.PeakOverflow(); got != 2 {
+		t.Fatalf("peak overflow after update = %d, want 2", got)
+	}
+}

@@ -1,0 +1,229 @@
+package directory
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coher"
+)
+
+// SecDir models the Secure Directory of Yan et al. (ISCA 2019), the
+// paper's security-oriented comparison point (Fig. 27). The directory is
+// split into one shared partition and one private partition per core. A
+// new entry starts in the shared partition; when evicted from there it
+// migrates into the private partitions of the cores caching the block
+// (not a DEV). An eviction from a core's private partition, caused by
+// self-conflicts, invalidates that core's copy — which is the residual
+// DEV source the ZeroDEV paper points out.
+type SecDir struct {
+	cores  int
+	shared *cache.Array[coher.Entry]
+	priv   []*cache.Array[privEntry]
+	name   string
+}
+
+// privEntry is a private-partition entry: core C caches this block; the
+// owned bit records whether C is the owner (M/E) rather than a sharer.
+// Private entries need no sharer list, which is where SecDir's storage
+// saving comes from.
+type privEntry struct {
+	owned bool
+}
+
+// NewSecDir constructs a SecDir with the given partition geometries.
+// The paper's iso-storage 1× configuration for an 8-core socket is
+// shared 512×5 and per-core private 32×7 per directory slice.
+func NewSecDir(cores, sharedSets, sharedWays, privSets, privWays int) (*SecDir, error) {
+	if cores <= 0 || sharedSets <= 0 || sharedWays <= 0 || privSets <= 0 || privWays <= 0 {
+		return nil, fmt.Errorf("directory: bad SecDir geometry")
+	}
+	if sharedSets&(sharedSets-1) != 0 || privSets&(privSets-1) != 0 {
+		return nil, fmt.Errorf("directory: SecDir set counts must be powers of two")
+	}
+	s := &SecDir{
+		cores:  cores,
+		shared: cache.New[coher.Entry](cache.Geometry{Sets: sharedSets, Ways: sharedWays}, cache.NRU),
+		name: fmt.Sprintf("SecDir(shared %d×%d, %d×priv %d×%d)",
+			sharedSets, sharedWays, cores, privSets, privWays),
+	}
+	for i := 0; i < cores; i++ {
+		s.priv = append(s.priv, cache.New[privEntry](cache.Geometry{Sets: privSets, Ways: privWays}, cache.NRU))
+	}
+	return s, nil
+}
+
+// MustSecDir panics on construction error.
+func MustSecDir(cores, sharedSets, sharedWays, privSets, privWays int) *SecDir {
+	s, err := NewSecDir(cores, sharedSets, sharedWays, privSets, privWays)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Lookup implements Directory: the shared partition and all private
+// partitions are probed (in hardware, in parallel) and a distributed
+// entry is assembled from the private partitions.
+func (s *SecDir) Lookup(addr coher.Addr) (coher.Entry, bool) {
+	if set, way, ok := s.shared.Lookup(uint64(addr)); ok {
+		return *s.shared.Payload(set, way), true
+	}
+	return s.assemble(addr)
+}
+
+func (s *SecDir) assemble(addr coher.Addr) (coher.Entry, bool) {
+	var e coher.Entry
+	found := false
+	for c := 0; c < s.cores; c++ {
+		set, way, ok := s.priv[c].Lookup(uint64(addr))
+		if !ok {
+			continue
+		}
+		found = true
+		p := *s.priv[c].Payload(set, way)
+		if p.owned {
+			e.State = coher.DirOwned
+			e.Owner = coher.CoreID(c)
+		} else {
+			if e.State != coher.DirOwned {
+				e.State = coher.DirShared
+			}
+			e.Sharers.Add(coher.CoreID(c))
+		}
+	}
+	return e, found
+}
+
+// Store implements Directory.
+func (s *SecDir) Store(addr coher.Addr, e coher.Entry) ([]Victim, bool) {
+	if !e.Live() {
+		s.Free(addr)
+		return nil, true
+	}
+	// In the shared partition already: update in place.
+	if set, way, ok := s.shared.Lookup(uint64(addr)); ok {
+		*s.shared.Payload(set, way) = e
+		s.shared.Touch(set, way)
+		return nil, true
+	}
+	// Distributed across private partitions: reconcile membership.
+	if _, ok := s.assemble(addr); ok {
+		return s.reconcile(addr, e), true
+	}
+	// Absent everywhere: allocate in the shared partition.
+	var victims []Victim
+	set := s.shared.SetIndex(uint64(addr))
+	way, free := s.shared.FreeWay(set)
+	if !free {
+		way = s.shared.Victim(set)
+		migrating := *s.shared.Payload(set, way)
+		migAddr := coher.Addr(s.shared.AddrOf(set, way))
+		s.shared.Invalidate(set, way)
+		// Migration to private partitions; private-partition conflicts
+		// are the DEVs SecDir cannot avoid.
+		victims = append(victims, s.migrate(migAddr, migrating)...)
+	}
+	s.shared.Insert(set, way, uint64(addr), e)
+	return victims, true
+}
+
+// migrate moves a shared-partition entry into the private partitions of
+// its holder cores.
+func (s *SecDir) migrate(addr coher.Addr, e coher.Entry) []Victim {
+	var victims []Victim
+	owner := e.State == coher.DirOwned
+	e.Holders().ForEach(func(c coher.CoreID) {
+		victims = append(victims, s.insertPriv(int(c), addr, privEntry{owned: owner})...)
+	})
+	return victims
+}
+
+// insertPriv installs a private entry for core c, evicting a conflicting
+// private entry (a DEV for that core) when the set is full.
+func (s *SecDir) insertPriv(c int, addr coher.Addr, p privEntry) []Victim {
+	arr := s.priv[c]
+	if set, way, ok := arr.Lookup(uint64(addr)); ok {
+		*arr.Payload(set, way) = p
+		arr.Touch(set, way)
+		return nil
+	}
+	var victims []Victim
+	set := arr.SetIndex(uint64(addr))
+	way, free := arr.FreeWay(set)
+	if !free {
+		way = arr.Victim(set)
+		vp := *arr.Payload(set, way)
+		vAddr := coher.Addr(arr.AddrOf(set, way))
+		ve := coher.Entry{}
+		if vp.owned {
+			ve.State = coher.DirOwned
+			ve.Owner = coher.CoreID(c)
+		} else {
+			ve.State = coher.DirShared
+			ve.Sharers.Add(coher.CoreID(c))
+		}
+		victims = append(victims, Victim{Addr: vAddr, Entry: ve})
+		arr.Invalidate(set, way)
+	}
+	arr.Insert(set, way, uint64(addr), p)
+	return victims
+}
+
+// reconcile updates a distributed entry to match e: holders gain private
+// entries, ex-holders lose them.
+func (s *SecDir) reconcile(addr coher.Addr, e coher.Entry) []Victim {
+	var victims []Victim
+	want := e.Holders()
+	owner := e.State == coher.DirOwned
+	for c := 0; c < s.cores; c++ {
+		has := s.priv[c].Contains(uint64(addr))
+		if want.Contains(coher.CoreID(c)) {
+			victims = append(victims, s.insertPriv(c, addr, privEntry{owned: owner && e.Owner == coher.CoreID(c)})...)
+		} else if has {
+			set, way, _ := s.priv[c].Lookup(uint64(addr))
+			s.priv[c].Invalidate(set, way)
+		}
+	}
+	return victims
+}
+
+// Free implements Directory.
+func (s *SecDir) Free(addr coher.Addr) {
+	if set, way, ok := s.shared.Lookup(uint64(addr)); ok {
+		s.shared.Invalidate(set, way)
+	}
+	for c := 0; c < s.cores; c++ {
+		if set, way, ok := s.priv[c].Lookup(uint64(addr)); ok {
+			s.priv[c].Invalidate(set, way)
+		}
+	}
+}
+
+// Touch implements Directory.
+func (s *SecDir) Touch(addr coher.Addr) {
+	if set, way, ok := s.shared.Lookup(uint64(addr)); ok {
+		s.shared.Touch(set, way)
+		return
+	}
+	for c := 0; c < s.cores; c++ {
+		if set, way, ok := s.priv[c].Lookup(uint64(addr)); ok {
+			s.priv[c].Touch(set, way)
+		}
+	}
+}
+
+// Occupancy implements Directory. Capacity counts shared entries plus
+// all private entries; a distributed entry occupies one private slot per
+// holder.
+func (s *SecDir) Occupancy() (int, int) {
+	live := s.shared.CountValid()
+	capn := s.shared.Geometry().Blocks()
+	for c := 0; c < s.cores; c++ {
+		live += s.priv[c].CountValid()
+		capn += s.priv[c].Geometry().Blocks()
+	}
+	return live, capn
+}
+
+// Name implements Directory.
+func (s *SecDir) Name() string { return s.name }

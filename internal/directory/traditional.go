@@ -1,0 +1,127 @@
+package directory
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coher"
+)
+
+// Traditional is the baseline sparse directory: a tagged set-associative
+// cache of directory entries managed with 1-bit NRU (Table I). With
+// replacement disabled it becomes the simpler structure ZeroDEV uses
+// (§III-C4): a new entry takes an invalid way or is refused, so an entry
+// disturbs at most one location during its lifetime.
+type Traditional struct {
+	arr         *cache.Array[coher.Entry]
+	replDisable bool
+	name        string
+}
+
+// NewTraditional builds a sparse directory with the given entry count
+// and associativity, using NRU replacement as in the paper's baseline.
+func NewTraditional(entries, ways int) (*Traditional, error) {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		return nil, fmt.Errorf("directory: bad geometry entries=%d ways=%d", entries, ways)
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("directory: set count %d not a power of two", sets)
+	}
+	return &Traditional{
+		arr:  cache.New[coher.Entry](cache.Geometry{Sets: sets, Ways: ways}, cache.NRU),
+		name: fmt.Sprintf("Sparse(%d×%d,NRU)", sets, ways),
+	}, nil
+}
+
+// NewReplacementDisabled builds the replacement-disabled sparse
+// directory of the ZeroDEV design.
+func NewReplacementDisabled(entries, ways int) (*Traditional, error) {
+	d, err := NewTraditional(entries, ways)
+	if err != nil {
+		return nil, err
+	}
+	d.replDisable = true
+	d.name = fmt.Sprintf("SparseNoRepl(%d×%d)", entries/ways, ways)
+	return d, nil
+}
+
+// MustTraditional panics on construction error.
+func MustTraditional(entries, ways int) *Traditional {
+	d, err := NewTraditional(entries, ways)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MustReplacementDisabled panics on construction error.
+func MustReplacementDisabled(entries, ways int) *Traditional {
+	d, err := NewReplacementDisabled(entries, ways)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Lookup implements Directory.
+func (d *Traditional) Lookup(addr coher.Addr) (coher.Entry, bool) {
+	_, way, ok := d.arr.Lookup(uint64(addr))
+	if !ok {
+		return coher.Entry{}, false
+	}
+	set := d.arr.SetIndex(uint64(addr))
+	return *d.arr.Payload(set, way), true
+}
+
+// Store implements Directory.
+func (d *Traditional) Store(addr coher.Addr, e coher.Entry) ([]Victim, bool) {
+	set, way, ok := d.arr.Lookup(uint64(addr))
+	if !e.Live() {
+		if ok {
+			d.arr.Invalidate(set, way)
+		}
+		return nil, true
+	}
+	if ok {
+		*d.arr.Payload(set, way) = e
+		d.arr.Touch(set, way)
+		return nil, true
+	}
+	if w, free := d.arr.FreeWay(set); free {
+		d.arr.Insert(set, w, uint64(addr), e)
+		return nil, true
+	}
+	if d.replDisable {
+		return nil, false
+	}
+	w := d.arr.Victim(set)
+	victim := Victim{
+		Addr:  coher.Addr(d.arr.AddrOf(set, w)),
+		Entry: *d.arr.Payload(set, w),
+	}
+	d.arr.Insert(set, w, uint64(addr), e)
+	return []Victim{victim}, true
+}
+
+// Free implements Directory.
+func (d *Traditional) Free(addr coher.Addr) {
+	if set, way, ok := d.arr.Lookup(uint64(addr)); ok {
+		d.arr.Invalidate(set, way)
+	}
+}
+
+// Touch implements Directory.
+func (d *Traditional) Touch(addr coher.Addr) {
+	if set, way, ok := d.arr.Lookup(uint64(addr)); ok {
+		d.arr.Touch(set, way)
+	}
+}
+
+// Occupancy implements Directory.
+func (d *Traditional) Occupancy() (int, int) {
+	return d.arr.CountValid(), d.arr.Geometry().Blocks()
+}
+
+// Name implements Directory.
+func (d *Traditional) Name() string { return d.name }

@@ -1,0 +1,81 @@
+package dram
+
+import "testing"
+
+func small() Params {
+	return Params{
+		Channels: 1, RanksPerChan: 1, BanksPerRank: 2,
+		RowBufBytes: 1024,
+		TRCD:        10, TCAS: 10, TRP: 10, BurstCycles: 4,
+	}
+}
+
+func TestRowHitVsMiss(t *testing.T) {
+	d := MustNew(small())
+	// First access: closed row → TRCD+TCAS+Burst.
+	done := d.Read(0, 0, KindData)
+	if done != 24 {
+		t.Fatalf("first access done=%d, want 24", done)
+	}
+	// Same bank, same row (even blocks map to bank 0; the 1 KB row holds
+	// 16 of them): row hit → TCAS+Burst.
+	done2 := d.Read(done, 2, KindData)
+	if done2 != done+14 {
+		t.Fatalf("row hit done=%d, want %d", done2, done+14)
+	}
+	// Different row, same bank: precharge+activate+cas.
+	far := uint64(32) // bank 0, row 1 (2 banks x 16 blocks per row)
+	done3 := d.Read(done2, far, KindData)
+	if done3 != done2+34 {
+		t.Fatalf("row miss done=%d, want %d", done3, done2+34)
+	}
+	st := d.Stats()
+	if st.Reads != 3 || st.RowHits != 1 || st.RowMiss != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBankBusySerializes(t *testing.T) {
+	d := MustNew(small())
+	first := d.Read(0, 0, KindData)
+	// Issued at t=0 again to the same bank (block 2): waits for the bank.
+	second := d.Read(0, 2, KindData)
+	if second <= first {
+		t.Fatalf("second access (%d) must be delayed past the first (%d)", second, first)
+	}
+	// A different bank is free in parallel.
+	d2 := MustNew(small())
+	d2.Read(0, 0, KindData)
+	par := d2.Read(0, 1, KindData) // block 1 maps to bank 1
+	if par != 24 {
+		t.Fatalf("parallel bank access done=%d, want 24", par)
+	}
+}
+
+func TestKindAccounting(t *testing.T) {
+	d := MustNew(small())
+	d.Write(0, 0, KindDE)
+	d.Write(0, 1, KindData)
+	d.Read(0, 2, KindDE)
+	st := d.Stats()
+	if st.DEWrites != 1 || st.DEReads != 1 || st.Writes != 2 || st.Reads != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	if _, err := New(Params{}); err == nil {
+		t.Fatal("zero geometry accepted")
+	}
+}
+
+func TestDDR3Preset(t *testing.T) {
+	p := DDR3_2133(2)
+	if p.Channels != 2 || p.BanksPerRank != 8 || p.RowBufBytes != 1024 {
+		t.Fatalf("preset = %+v", p)
+	}
+	d := MustNew(p)
+	if d.Read(0, 0, KindData) == 0 {
+		t.Fatal("zero latency")
+	}
+}

@@ -1,0 +1,60 @@
+package energy
+
+import "testing"
+
+func TestLeakageScalesWithCapacityAndTime(t *testing.T) {
+	a := Structure{Bits: 1000, Banks: 1, AssocMult: 1}
+	b := Structure{Bits: 2000, Banks: 1, AssocMult: 1}
+	if b.LeakageEnergy(100) != 2*a.LeakageEnergy(100) {
+		t.Fatal("leakage must scale linearly with bits")
+	}
+	if a.LeakageEnergy(200) != 2*a.LeakageEnergy(100) {
+		t.Fatal("leakage must scale linearly with cycles")
+	}
+}
+
+func TestDynamicScaling(t *testing.T) {
+	small := Structure{Bits: 1 << 10, Banks: 1, AssocMult: 1}
+	big := Structure{Bits: 1 << 20, Banks: 1, AssocMult: 1}
+	if big.DynamicEnergy(10) <= small.DynamicEnergy(10) {
+		t.Fatal("larger arrays must cost more per access")
+	}
+	banked := Structure{Bits: 1 << 20, Banks: 8, AssocMult: 1}
+	if banked.DynamicEnergy(10) >= big.DynamicEnergy(10) {
+		t.Fatal("banking must reduce per-access energy")
+	}
+	assoc := Structure{Bits: 1 << 20, Banks: 8, AssocMult: HighAssocFactor}
+	if assoc.DynamicEnergy(10) <= banked.DynamicEnergy(10) {
+		t.Fatal("associative search must cost more")
+	}
+}
+
+func TestEstimateBreakdown(t *testing.T) {
+	b := Estimate(8, 32768, 8<<20, 1_000_000, 500_000, 400_000)
+	if b.DirLeakage <= 0 || b.DirDynamic <= 0 || b.LLCLeakage <= 0 || b.LLCDynamic <= 0 {
+		t.Fatalf("breakdown has zero components: %+v", b)
+	}
+	if b.Total() != b.DirLeakage+b.DirDynamic+b.LLCLeakage+b.LLCDynamic {
+		t.Fatal("Total mismatch")
+	}
+	// NoDir: the directory components vanish.
+	nb := Estimate(8, 0, 8<<20, 1_000_000, 0, 400_000)
+	if nb.DirLeakage != 0 || nb.DirDynamic != 0 {
+		t.Fatal("NoDir must have zero directory energy")
+	}
+	// The directory is a small but non-trivial share of the baseline —
+	// the ~9% saving claim needs roughly this band.
+	share := (b.DirLeakage + b.DirDynamic) / b.Total()
+	if share < 0.02 || share > 0.4 {
+		t.Fatalf("directory share = %.3f, outside plausible band", share)
+	}
+}
+
+func TestDirBitsPerEntry(t *testing.T) {
+	if DirBitsPerEntry(8) != 37 {
+		t.Fatalf("8-core entry = %d bits", DirBitsPerEntry(8))
+	}
+	if DirBitsPerEntry(128) != 157 {
+		t.Fatalf("128-core entry = %d bits", DirBitsPerEntry(128))
+	}
+}

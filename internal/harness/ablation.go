@@ -1,0 +1,254 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/coher"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/llc"
+	"repro/internal/socket"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Ablations of the design choices DESIGN.md calls out, plus the
+// compressed-format extension study (§III-D) and the derived Fig. 12
+// design-space summary.
+
+func init() {
+	register("fig12", "Fig 12: design space of directory-entry caching (derived)", fig12)
+	register("ablation-repl", "Ablation (Sec III-C4): replacement-disabled vs replacement-enabled sparse directory under ZeroDEV", ablationRepl)
+	register("ablation-llcrepl", "Ablation (Sec III-D1): plain LRU vs spLRU vs dataLRU under ZeroDEV", ablationLLCRepl)
+	register("ablation-backing", "Ablation (Sec III-D5): socket-directory backing schemes on 4 sockets", ablationBacking)
+	register("compress", "Extension (Sec III-D): hybrid limited-pointer/coarse-vector entry compression", compressExp)
+	register("ablation-prefetch", "Ablation: stream prefetching under baseline and ZeroDEV", ablationPrefetch)
+}
+
+// fig12 places the three caching policies on the paper's qualitative
+// design-space chart by measuring both axes: LLC space overhead
+// (fraction of lines holding spilled entries — fused entries are free)
+// and the read-critical-path overhead (extra data-array reads for
+// SpillAll, extra three-hop forwards for FuseAll).
+func fig12(o Options, w io.Writer) error {
+	pre := config.TableI(o.Scale)
+	t := stats.Table{
+		Title:   "Fig 12 (derived): LLC space overhead vs read critical-path overhead per policy",
+		Headers: []string{"policy", "spilled lines %", "fused lines %", "extra reads/1k", "fwd reads/1k", "avg read lat"},
+	}
+	for _, pol := range []core.DEPolicy{core.SpillAll, core.FPSS, core.FuseAll} {
+		var spill, fuse, blocks, extra, fwd, reads float64
+		var latSum, latN uint64
+		for _, suite := range mtSuites {
+			for _, u := range groupUnits(o, suite) {
+				x := runStreams(pre.ZeroDEV(0, pol, llc.DataLRU, llc.NonInclusive), u.make(pre.Cores), pol.String())
+				spill += float64(x.LLCSpilled)
+				fuse += float64(x.LLCFused)
+				blocks += float64(pre.LLCBytes / 64)
+				extra += float64(x.Engine.SpillAllExtraDataReads)
+				fwd += float64(x.Engine.Forwards3Hop)
+				reads += float64(x.Engine.Reads)
+				latSum += x.Engine.LatReadLLCHit + x.Engine.LatReadForward + x.Engine.LatReadMemory
+				latN += x.Engine.NReadLLCHit + x.Engine.NReadForward + x.Engine.NReadMemory
+			}
+		}
+		t.AddRow(pol.String(),
+			fmt.Sprintf("%.1f%%", 100*spill/blocks),
+			fmt.Sprintf("%.1f%%", 100*fuse/blocks),
+			fmt.Sprintf("%.1f", 1000*extra/reads),
+			fmt.Sprintf("%.1f", 1000*fwd/reads),
+			fmt.Sprintf("%.1f cyc", float64(latSum)/float64(latN)))
+	}
+	t.Fprint(w)
+	fmt.Fprintln(w, "Paper Fig 12: SpillAll = max space + lookup-latency overhead;")
+	fmt.Fprintln(w, "FPSS = modest space, no read overhead; FuseAll = minimal space, +1 hop on shared reads.")
+	fmt.Fprintln(w)
+	return nil
+}
+
+func ablationRepl(o Options, w io.Writer) error {
+	pre := config.TableI(o.Scale)
+	cfgs := []namedSpec{
+		{"repl-disabled", zdev(pre, 1.0/8, llc.NonInclusive)},
+		{"repl-enabled", pre.ZeroDEVReplEnabled(1.0/8, core.FPSS, llc.DataLRU, llc.NonInclusive)},
+	}
+	t := stats.Table{
+		Title:   "Ablation III-C4: ZeroDEV with 1/8x directory, replacement disabled vs enabled; speedup vs baseline 1x",
+		Headers: []string{"suite", "disabled", "enabled", "displaced entries (enabled)"},
+	}
+	for _, suite := range allSuites {
+		r := sweepGroup(o, suite, pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+		var displaced, devs uint64
+		for _, run := range r.runs[1] {
+			displaced += run.Engine.DEDisplacedToLLC
+			devs += run.Engine.DEVs
+		}
+		if devs != 0 {
+			return fmt.Errorf("replacement-enabled ZeroDEV produced %d DEVs", devs)
+		}
+		t.AddRow(suite, f3(r.geo(0)), f3(r.geo(1)), fmt.Sprintf("%d", displaced))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func ablationLLCRepl(o Options, w io.Writer) error {
+	pre := config.TableI(o.Scale)
+	cfgs := []namedSpec{
+		{"LRU", pre.ZeroDEV(0, core.FPSS, llc.LRU, llc.NonInclusive)},
+		{"spLRU", pre.ZeroDEV(0, core.FPSS, llc.SpLRU, llc.NonInclusive)},
+		{"dataLRU", pre.ZeroDEV(0, core.FPSS, llc.DataLRU, llc.NonInclusive)},
+	}
+	t := stats.Table{
+		Title:   "Ablation III-D1: LLC replacement under ZeroDEV(NoDir); speedup vs baseline 1x [WB_DE count]",
+		Headers: []string{"suite", "LRU", "spLRU", "dataLRU"},
+	}
+	for _, suite := range allSuites {
+		r := sweepGroup(o, suite, pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+		row := []string{suite}
+		for ci := range cfgs {
+			var wbde uint64
+			for _, run := range r.runs[ci] {
+				wbde += run.Engine.DEEvictionsToMemory
+			}
+			row = append(row, fmt.Sprintf("%.3f [%d]", r.geo(ci), wbde))
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func ablationBacking(o Options, w io.Writer) error {
+	const sockets = 4
+	pre := config.TableI(o.Scale)
+	so := o
+	so.Accesses = o.Accesses / 2
+	t := stats.Table{
+		Title:   "Ablation III-D5: socket-directory backing on 4 sockets (ZeroDEV NoDir); cycles relative to MemoryBackup",
+		Headers: []string{"suite", "MemoryBackup", "DirEvictBit", "dir-cache misses (MB/DEB)", "DirEvict hits"},
+	}
+	for _, suite := range mtSuites {
+		var rel []float64
+		var missMB, missDEB, hits uint64
+		for _, prof := range suiteApps(so, suite) {
+			mb, mbStats := runSocketBacked(so, sockets, pre, prof, socket.MemoryBackup)
+			deb, debStats := runSocketBacked(so, sockets, pre, prof, socket.DirEvictBit)
+			rel = append(rel, float64(mb)/float64(deb))
+			missMB += mbStats.DirCacheMisses
+			missDEB += debStats.DirCacheMisses
+			hits += debStats.DirEvictBitHits
+		}
+		t.AddRow(suite, "1.000", f3(stats.GeoMean(rel)),
+			fmt.Sprintf("%d/%d", missMB, missDEB), fmt.Sprintf("%d", hits))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func runSocketBacked(o Options, sockets int, pre config.Preset, prof workload.Profile, backing socket.Backing) (uint64, socket.Stats) {
+	p := socket.DefaultParams(sockets, 65536/o.Scale*8)
+	p.Backing = backing
+	spec := zdev(pre, 0, llc.NonInclusive)
+	streams := workload.Threads(prof, sockets*spec.Cores, o.Accesses, o.Scale, o.Seed)
+	sys, err := socket.New(p, spec, streams)
+	if err != nil {
+		panic(err)
+	}
+	c := sys.Run()
+	return uint64(c), sys.Stats()
+}
+
+// ablationPrefetch checks that the zero-DEV guarantee and the relative
+// results are robust to a stream prefetcher (degree 2), which inflates
+// directory churn with prefetched E-state blocks.
+func ablationPrefetch(o Options, w io.Writer) error {
+	pre := config.TableI(o.Scale)
+	pfPre := pre
+	pfPre.CPU.PrefetchDegree = 2
+	cfgs := []namedSpec{
+		{"base+pf", pfPre.Baseline(1, llc.NonInclusive)},
+		{"zdev", zdev(pre, 0, llc.NonInclusive)},
+		{"zdev+pf", zdev(pfPre, 0, llc.NonInclusive)},
+	}
+	t := stats.Table{
+		Title:   "Ablation: stream prefetching (degree 2); speedup vs baseline 1x without prefetching",
+		Headers: []string{"suite", "base+pf", "ZDev(NoDir)", "ZDev(NoDir)+pf", "prefetches"},
+	}
+	for _, suite := range allSuites {
+		r := sweepGroup(o, suite, pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+		var pf, devs uint64
+		for _, run := range r.runs[2] {
+			devs += run.Engine.DEVs
+			for _, c := range run.Core {
+				pf += c.Prefetches
+			}
+		}
+		if devs != 0 {
+			return fmt.Errorf("prefetching broke the zero-DEV guarantee: %d", devs)
+		}
+		t.AddRow(suite, f3(r.geo(0)), f3(r.geo(1)), f3(r.geo(2)), fmt.Sprintf("%d", pf))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// compressExp evaluates the hybrid compressed entry formats over the
+// live directory-entry population of a 128-core ZeroDEV run: what
+// fraction of entries stay precise at each bit budget, and how many
+// extra invalidations the coarse entries would cost.
+func compressExp(o Options, w io.Writer) error {
+	pre := config.Server128(o.Scale)
+	so := o
+	so.Accesses = o.Accesses / 4
+	if so.Accesses < 5000 {
+		so.Accesses = 5000
+	}
+	budgets := []int{16, 32, 64}
+	t := stats.Table{
+		Title:   "Compression (Sec III-D): hybrid format over live entries, 128-core ZeroDEV(NoDir)",
+		Headers: []string{"budget bits", "precise %", "avg over-invalidation", "max sockets @64B block"},
+	}
+	type acc struct {
+		total, precise int
+		over           int
+	}
+	sums := make([]acc, len(budgets))
+	for _, prof := range suiteApps(so, "SERVER") {
+		spec := zdev(pre, 0, llc.NonInclusive)
+		sys := core.NewSystem(spec, workload.Threads(prof, spec.Cores, so.Accesses, so.Scale, so.Seed))
+		sys.Run()
+		sys.Engine.LLC().ForEachDE(func(addr coher.Addr, fused bool, e coher.Entry) {
+			for bi, b := range budgets {
+				c, err := coher.Compress(e, pre.Cores, b)
+				if err != nil {
+					continue
+				}
+				sums[bi].total++
+				if c.Precise() {
+					sums[bi].precise++
+				} else {
+					sums[bi].over += coher.OverInvalidation(e, c)
+				}
+			}
+		})
+	}
+	for bi, b := range budgets {
+		s := sums[bi]
+		if s.total == 0 {
+			continue
+		}
+		imprecise := s.total - s.precise
+		avgOver := 0.0
+		if imprecise > 0 {
+			avgOver = float64(s.over) / float64(imprecise)
+		}
+		t.AddRow(fmt.Sprintf("%d", b),
+			fmt.Sprintf("%.1f%%", 100*float64(s.precise)/float64(s.total)),
+			fmt.Sprintf("%.1f cores", avgOver),
+			fmt.Sprintf("%d (full map: %d)", coher.MaxSocketsCompressed(b), coher.MaxSocketsWithSocketPartition(pre.Cores)))
+	}
+	t.Fprint(w)
+	return nil
+}

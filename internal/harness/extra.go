@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/llc"
+	"repro/internal/socket"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Energy estimate (§V "Energy Expense") and the four-socket evaluation
+// (§V "Multi-socket Evaluation").
+
+func init() {
+	register("energy", "Sec V: directory+LLC energy, ZeroDEV(NoDir) vs baseline 1x", energyExp)
+	register("multisocket", "Sec V: four-socket evaluation, ZeroDEV(NoDir) vs baseline 1x", multisocketExp)
+}
+
+func energyExp(o Options, w io.Writer) error {
+	pre := config.TableI(o.Scale)
+	t := stats.Table{
+		Title:   "Energy: dir+LLC energy of ZeroDEV(NoDir) relative to baseline 1x (paper: ~9% saving)",
+		Headers: []string{"suite", "baseline", "zerodev", "saving"},
+	}
+	dirEntries := pre.DirEntries(1)
+	var totB, totZ float64
+	for _, suite := range allSuites {
+		var eb, ez float64
+		for _, u := range groupUnits(o, suite) {
+			base := runStreams(pre.Baseline(1, llc.NonInclusive), u.make(pre.Cores), "base")
+			zd := runStreams(zdev(pre, 0, llc.NonInclusive), u.make(pre.Cores), "zdev")
+			eb += energy.Estimate(pre.Cores, dirEntries, pre.LLCBytes,
+				uint64(base.Cycles), dirAccesses(base), llcAccesses(base)).Total()
+			ez += energy.Estimate(pre.Cores, 0, pre.LLCBytes,
+				uint64(zd.Cycles), 0, llcAccesses(zd)).Total()
+		}
+		t.AddRow(suite, "1.000", f3(ez/eb), fmt.Sprintf("%.1f%%", 100*(1-ez/eb)))
+		totB += eb
+		totZ += ez
+	}
+	t.AddRow("OVERALL", "1.000", f3(totZ/totB), fmt.Sprintf("%.1f%%", 100*(1-totZ/totB)))
+	t.Fprint(w)
+	return nil
+}
+
+// dirAccesses approximates sparse-directory slice activity: every
+// uncore request and eviction notice looks it up; updates ride along.
+func dirAccesses(r stats.Run) uint64 {
+	return r.Engine.Reads + r.Engine.Writes + r.Engine.Upgrades + r.Engine.Evictions
+}
+
+// llcAccesses approximates LLC data-array activity: served hits, fills,
+// and writebacks, plus — for ZeroDEV — reads and updates of housed
+// directory entries, charged as partial accesses (the entry occupies a
+// fraction of the line).
+func llcAccesses(r stats.Run) uint64 {
+	base := r.Engine.LLCDataHits + r.Engine.LLCMisses + r.Engine.Evictions/2
+	if r.Engine.DESpills+r.Engine.DEFuses == 0 {
+		return base
+	}
+	// With entries housed in the LLC, every coherence event reads or
+	// rewrites one of them.
+	deUpdates := r.Engine.Reads + r.Engine.Writes + r.Engine.Upgrades + r.Engine.Evictions
+	return base + uint64(float64(deUpdates)*energy.PartialAccessFactor)
+}
+
+func multisocketExp(o Options, w io.Writer) error {
+	const sockets = 4
+	pre := config.TableI(o.Scale)
+	so := o
+	so.Accesses = o.Accesses / 2
+	t := stats.Table{
+		Title:   "Multi-socket (4 x 8 cores): ZeroDEV speedup vs baseline 1x per suite (paper: within ~1.6%)",
+		Headers: []string{"suite", "ZDev-NoDir", "ZDev-1/8x", "fwd/NACK/merges (NoDir)"},
+	}
+	for _, suite := range mtSuites {
+		var sn, s8 []float64
+		var fwds, nacks, merges uint64
+		for _, prof := range suiteApps(so, suite) {
+			base, _ := runSocketSys(so, sockets, pre.Baseline(1, llc.NonInclusive), prof)
+			zn, st := runSocketSys(so, sockets, zdev(pre, 0, llc.NonInclusive), prof)
+			z8, _ := runSocketSys(so, sockets, zdev(pre, 1.0/8, llc.NonInclusive), prof)
+			sn = append(sn, float64(base)/float64(zn))
+			s8 = append(s8, float64(base)/float64(z8))
+			fwds += st.SocketForwards
+			nacks += st.DENFNacks
+			merges += st.CorruptedMerges
+		}
+		t.AddRow(suite, f3(stats.GeoMean(sn)), f3(stats.GeoMean(s8)),
+			fmt.Sprintf("%d/%d/%d", fwds, nacks, merges))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// runSocketSys runs a multithreaded profile across all sockets' cores
+// and returns the parallel completion time.
+func runSocketSys(o Options, sockets int, spec core.SystemSpec, prof workload.Profile) (cycles uint64, st socket.Stats) {
+	p := socket.DefaultParams(sockets, 65536/o.Scale*8)
+	streams := workload.Threads(prof, sockets*spec.Cores, o.Accesses, o.Scale, o.Seed)
+	sys, err := socket.New(p, spec, streams)
+	if err != nil {
+		panic(err)
+	}
+	c := sys.Run()
+	return uint64(c), sys.Stats()
+}

@@ -1,0 +1,130 @@
+// Package harness defines one runnable experiment per table and figure
+// in the paper's evaluation. Each experiment builds the system
+// configurations it sweeps, runs the workloads, and prints the same
+// rows/series the paper reports, normalized the same way. EXPERIMENTS.md
+// records the measured output against the paper's numbers.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options control experiment scale. The defaults regenerate every
+// figure in minutes on a laptop; Scale=1 with more accesses approaches
+// Table I fidelity at proportional cost.
+type Options struct {
+	// Scale divides all cache capacities and workload footprints
+	// (power of two).
+	Scale int
+	// Accesses is the per-core reference-stream length.
+	Accesses int
+	// Seed drives workload synthesis.
+	Seed uint64
+	// Quick trims application lists to a representative subset per
+	// suite; used by the benchmark targets.
+	Quick bool
+}
+
+// DefaultOptions returns the standard experiment scale.
+func DefaultOptions() Options {
+	return Options{Scale: 8, Accesses: 100_000, Seed: 1}
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(o Options, w io.Writer) error) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// List returns all experiments in paper order.
+func List() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return false }) // keep registration order
+	return out
+}
+
+// Get finds an experiment by ID.
+func Get(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (use list)", id)
+}
+
+// --- run helpers -------------------------------------------------------------
+
+// runStreams executes a spec against prepared streams and collects stats.
+func runStreams(spec core.SystemSpec, streams []cpu.Stream, label string) stats.Run {
+	sys := core.NewSystem(spec, streams)
+	cycles := sys.Run()
+	return stats.Collect(label, sys, cycles)
+}
+
+// runThreads runs a multithreaded workload (threads share the process
+// address space).
+func runThreads(o Options, spec core.SystemSpec, prof workload.Profile, label string) stats.Run {
+	return runStreams(spec, workload.Threads(prof, spec.Cores, o.Accesses, o.Scale, o.Seed), label)
+}
+
+// runRate runs a homogeneous multiprogrammed (rate) workload.
+func runRate(o Options, spec core.SystemSpec, prof workload.Profile, label string) stats.Run {
+	return runStreams(spec, workload.Rate(prof, spec.Cores, o.Accesses, o.Scale, o.Seed), label)
+}
+
+// suiteApps returns the applications evaluated for a suite, trimmed in
+// quick mode.
+func suiteApps(o Options, suite string) []workload.Profile {
+	apps := workload.Suite(suite)
+	if !o.Quick {
+		return apps
+	}
+	quick := map[string][]string{
+		"PARSEC":   {"canneal", "freqmine", "vips"},
+		"SPLASH2X": {"lu_ncb", "ocean_cp"},
+		"SPECOMP":  {"330.art", "312.swim"},
+		"FFTW":     {"FFTW"},
+		"CPU2017":  {"xalancbmk", "gcc.ppO2", "mcf"},
+		"SERVER":   {"SPECjbb", "TPC-C"},
+	}
+	names := quick[suite]
+	var out []workload.Profile
+	for _, n := range names {
+		out = append(out, workload.MustGet(n))
+	}
+	return out
+}
+
+// mtSuites are the multithreaded suites evaluated together in most
+// figures.
+var mtSuites = []string{"PARSEC", "SPLASH2X", "SPECOMP", "FFTW"}
+
+// allSuites adds the rate workloads.
+var allSuites = []string{"PARSEC", "SPLASH2X", "SPECOMP", "FFTW", "CPU2017"}
+
+// isMT reports whether a suite runs in multithreaded mode.
+func isMT(suite string) bool { return suite != "CPU2017" && suite != "CPU2017HET" }
+
+// runSuiteApp dispatches threads vs rate mode by suite.
+func runSuiteApp(o Options, spec core.SystemSpec, prof workload.Profile, label string) stats.Run {
+	if isMT(prof.Suite) {
+		return runThreads(o, spec, prof, label)
+	}
+	return runRate(o, spec, prof, label)
+}

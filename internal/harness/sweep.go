@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// namedSpec pairs a configuration label with its system spec.
+type namedSpec struct {
+	name string
+	spec core.SystemSpec
+}
+
+// sweepResult holds per-config speedup samples over a group's units.
+type sweepResult struct {
+	speedups [][]float64 // [config][unit]
+	runs     [][]stats.Run
+	units    []unit
+}
+
+// sweepGroup runs every unit of a group once against the base spec and
+// once per configuration, computing the unit-appropriate speedup. The
+// base run is shared across configurations, which matters on the
+// single-threaded experiment path.
+func sweepGroup(o Options, group string, baseSpec core.SystemSpec, cores int, cfgs []namedSpec) sweepResult {
+	units := groupUnits(o, group)
+	res := sweepResult{
+		speedups: make([][]float64, len(cfgs)),
+		runs:     make([][]stats.Run, len(cfgs)),
+		units:    units,
+	}
+	for _, u := range units {
+		base := runStreams(baseSpec, u.make(cores), "base")
+		for ci, c := range cfgs {
+			x := runStreams(c.spec, u.make(cores), c.name)
+			res.speedups[ci] = append(res.speedups[ci], unitSpeedup(u, base, x))
+			res.runs[ci] = append(res.runs[ci], x)
+		}
+	}
+	return res
+}
+
+// geo returns the geometric mean of config ci's speedups.
+func (r sweepResult) geo(ci int) float64 { return stats.GeoMean(r.speedups[ci]) }
+
+// min returns the minimum speedup of config ci.
+func (r sweepResult) min(ci int) float64 { return stats.Min(r.speedups[ci]) }

@@ -1,0 +1,219 @@
+// Package mem models home physical memory *metadata* for the ZeroDEV
+// protocol. Block data values never matter to the simulation, so memory
+// stores only what the protocol can observe: whether a block is
+// corrupted (overwritten by evicted directory entries), the per-socket
+// directory-entry segments housed in a corrupted block (paper Fig. 13),
+// and — for the constant-overhead socket-directory scheme — the DirEvict
+// bit and the socket-level entry partition (paper §III-D5).
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/coher"
+)
+
+// Memory is the home-memory metadata store for one home node. Blocks not
+// present in the map are ordinary, uncorrupted data blocks.
+type Memory struct {
+	sockets        int
+	coresPerSocket int
+	blocks         map[coher.Addr]*BlockMeta
+}
+
+// BlockMeta is the protocol-visible state of one home memory block.
+type BlockMeta struct {
+	// Segments holds the evicted intra-socket directory entry per socket.
+	// A segment with State DirInvalid is empty.
+	Segments []coher.Entry
+	// DataLost records that the memory copy of the block has been
+	// overwritten by at least one directory-entry writeback and has not
+	// yet been restored by a full-block writeback. A block can have
+	// DataLost set with all segments empty: the entries were extracted
+	// back on-chip, but the data is still only available from private
+	// caches.
+	DataLost bool
+	// DirEvict records that the block's socket-level partition holds an
+	// evicted socket-level directory entry (scheme 2 of §III-D5).
+	DirEvict bool
+	// SocketEntry is the content of the socket-level partition, valid
+	// only when DirEvict is set.
+	SocketEntry coher.SocketEntry
+}
+
+// New constructs home-memory metadata for a system of the given shape.
+// It validates the paper's capacity bound: an M-socket system with N
+// cores per socket must satisfy M <= ⌊510/(N+2)⌋ when the socket-level
+// partition is reserved, and M <= ⌊512/(N+1)⌋ otherwise; we always
+// reserve the partition so the stricter bound applies.
+func New(sockets, coresPerSocket int) (*Memory, error) {
+	if sockets <= 0 || coresPerSocket <= 0 {
+		return nil, fmt.Errorf("mem: non-positive system shape")
+	}
+	if max := coher.MaxSocketsWithSocketPartition(coresPerSocket); sockets > max {
+		return nil, fmt.Errorf("mem: %d sockets exceeds the %d-socket bound for %d cores/socket",
+			sockets, max, coresPerSocket)
+	}
+	return &Memory{
+		sockets:        sockets,
+		coresPerSocket: coresPerSocket,
+		blocks:         make(map[coher.Addr]*BlockMeta),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(sockets, coresPerSocket int) *Memory {
+	m, err := New(sockets, coresPerSocket)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (m *Memory) meta(addr coher.Addr) *BlockMeta {
+	b := m.blocks[addr]
+	if b == nil {
+		b = &BlockMeta{Segments: make([]coher.Entry, m.sockets)}
+		m.blocks[addr] = b
+	}
+	return b
+}
+
+// Corrupted reports whether the block's memory copy is invalid because
+// it was overwritten by a directory-entry writeback and has not been
+// restored by a full-block writeback since.
+func (m *Memory) Corrupted(addr coher.Addr) bool {
+	b := m.blocks[addr]
+	return b != nil && b.DataLost
+}
+
+// CorruptedSockets returns the set of sockets with a live segment in the
+// block.
+func (m *Memory) CorruptedSockets(addr coher.Addr) coher.SocketSet {
+	var v coher.SocketSet
+	b := m.blocks[addr]
+	if b == nil {
+		return v
+	}
+	for s, e := range b.Segments {
+		if e.Live() {
+			v.Add(s)
+		}
+	}
+	return v
+}
+
+// WriteSegment stores the evicted directory entry of the given socket in
+// the block (the WB_DE flow). The entry must be live and stable.
+func (m *Memory) WriteSegment(addr coher.Addr, socket int, e coher.Entry) error {
+	if !e.Live() {
+		return fmt.Errorf("mem: writing a dead directory entry to %#x", uint64(addr))
+	}
+	if e.Busy {
+		return fmt.Errorf("mem: writing a busy directory entry to %#x", uint64(addr))
+	}
+	if socket < 0 || socket >= m.sockets {
+		return fmt.Errorf("mem: socket %d out of range", socket)
+	}
+	b := m.meta(addr)
+	b.Segments[socket] = e
+	b.DataLost = true
+	return nil
+}
+
+// ReadSegment retrieves (without clearing) the directory entry a socket
+// previously wrote back. ok is false when the segment is empty.
+func (m *Memory) ReadSegment(addr coher.Addr, socket int) (coher.Entry, bool) {
+	b := m.blocks[addr]
+	if b == nil {
+		return coher.Entry{}, false
+	}
+	e := b.Segments[socket]
+	return e, e.Live()
+}
+
+// ClearSegment frees a socket's segment (entry consumed or block holder
+// set went empty).
+func (m *Memory) ClearSegment(addr coher.Addr, socket int) {
+	if b := m.blocks[addr]; b != nil {
+		b.Segments[socket] = coher.Entry{}
+		m.gc(addr, b)
+	}
+}
+
+// Restore overwrites the block with clean data, clearing all segments
+// and the data-lost flag (a full-block writeback reached memory, e.g.
+// the system-wide last copy retrieved per §III-D4 or an ordinary PutM
+// that flowed through to DRAM).
+func (m *Memory) Restore(addr coher.Addr) {
+	if b := m.blocks[addr]; b != nil {
+		for i := range b.Segments {
+			b.Segments[i] = coher.Entry{}
+		}
+		b.DataLost = false
+		m.gc(addr, b)
+	}
+}
+
+// SetDirEvict stores an evicted socket-level directory entry in the
+// block's socket partition and sets the DirEvict bit.
+func (m *Memory) SetDirEvict(addr coher.Addr, e coher.SocketEntry) {
+	b := m.meta(addr)
+	b.DirEvict = true
+	b.SocketEntry = e
+}
+
+// DirEvict reads the DirEvict bit and, when set, the stored socket-level
+// entry.
+func (m *Memory) DirEvict(addr coher.Addr) (coher.SocketEntry, bool) {
+	b := m.blocks[addr]
+	if b == nil || !b.DirEvict {
+		return coher.SocketEntry{}, false
+	}
+	return b.SocketEntry, true
+}
+
+// ClearDirEvict clears the DirEvict bit.
+func (m *Memory) ClearDirEvict(addr coher.Addr) {
+	if b := m.blocks[addr]; b != nil {
+		b.DirEvict = false
+		b.SocketEntry = coher.SocketEntry{}
+		m.gc(addr, b)
+	}
+}
+
+// gc drops metadata for blocks that have returned to the ordinary state,
+// keeping the map proportional to the corrupted population (which the
+// paper measures as tiny).
+func (m *Memory) gc(addr coher.Addr, b *BlockMeta) {
+	if b.DirEvict || b.DataLost {
+		return
+	}
+	for _, s := range b.Segments {
+		if s.Live() {
+			return
+		}
+	}
+	delete(m.blocks, addr)
+}
+
+// CorruptedCount returns the number of blocks currently corrupted, used
+// by instrumentation.
+func (m *Memory) CorruptedCount() int {
+	n := 0
+	for addr := range m.blocks {
+		if m.Corrupted(addr) {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachCorrupted visits every corrupted block, for invariant checks.
+func (m *Memory) ForEachCorrupted(fn func(addr coher.Addr, b *BlockMeta)) {
+	for addr, b := range m.blocks {
+		if b.DataLost {
+			fn(addr, b)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/coher"
+)
+
+func owned(c coher.CoreID) coher.Entry {
+	return coher.Entry{State: coher.DirOwned, Owner: c}
+}
+
+func TestSegmentLifecycle(t *testing.T) {
+	m := MustNew(4, 8)
+	addr := coher.Addr(0x100)
+	if m.Corrupted(addr) {
+		t.Fatal("fresh block corrupted")
+	}
+	if err := m.WriteSegment(addr, 1, owned(3)); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Corrupted(addr) {
+		t.Fatal("block must be corrupted after WB_DE")
+	}
+	e, ok := m.ReadSegment(addr, 1)
+	if !ok || e.Owner != 3 {
+		t.Fatalf("segment = %+v ok=%v", e, ok)
+	}
+	if _, ok := m.ReadSegment(addr, 2); ok {
+		t.Fatal("other sockets' segments must be empty")
+	}
+	// Extracting the entry leaves the data lost.
+	m.ClearSegment(addr, 1)
+	if !m.Corrupted(addr) {
+		t.Fatal("data must remain lost after segment extraction")
+	}
+	if got := m.CorruptedSockets(addr); !got.Empty() {
+		t.Fatalf("corrupted sockets = %v", got)
+	}
+	// Only a full-block writeback restores the memory copy.
+	m.Restore(addr)
+	if m.Corrupted(addr) {
+		t.Fatal("restore failed")
+	}
+	if m.CorruptedCount() != 0 {
+		t.Fatal("metadata not garbage-collected")
+	}
+}
+
+func TestWriteSegmentValidation(t *testing.T) {
+	m := MustNew(2, 8)
+	if err := m.WriteSegment(1, 0, coher.Entry{}); err == nil {
+		t.Fatal("dead entry accepted")
+	}
+	if err := m.WriteSegment(1, 0, coher.Entry{State: coher.DirOwned, Busy: true}); err == nil {
+		t.Fatal("busy entry accepted")
+	}
+	if err := m.WriteSegment(1, 5, owned(0)); err == nil {
+		t.Fatal("out-of-range socket accepted")
+	}
+}
+
+func TestDirEvictBit(t *testing.T) {
+	m := MustNew(4, 8)
+	addr := coher.Addr(0x42)
+	if _, ok := m.DirEvict(addr); ok {
+		t.Fatal("fresh block has DirEvict set")
+	}
+	se := coher.SocketEntry{State: coher.SockShared}
+	se.Sharers.Add(2)
+	m.SetDirEvict(addr, se)
+	got, ok := m.DirEvict(addr)
+	if !ok || !got.Sharers.Contains(2) {
+		t.Fatalf("DirEvict = %+v ok=%v", got, ok)
+	}
+	m.ClearDirEvict(addr)
+	if _, ok := m.DirEvict(addr); ok {
+		t.Fatal("ClearDirEvict failed")
+	}
+}
+
+func TestSocketBoundEnforced(t *testing.T) {
+	// 128 cores/socket: at most 3 sockets fit the full-map partitioning.
+	if _, err := New(4, 128); err == nil {
+		t.Fatal("4 sockets of 128 cores must be rejected")
+	}
+	if _, err := New(3, 128); err != nil {
+		t.Fatalf("3 sockets of 128 cores must fit: %v", err)
+	}
+}
+
+func TestForEachCorrupted(t *testing.T) {
+	m := MustNew(2, 8)
+	_ = m.WriteSegment(1, 0, owned(1))
+	_ = m.WriteSegment(2, 1, owned(2))
+	m.Restore(2)
+	n := 0
+	m.ForEachCorrupted(func(addr coher.Addr, b *BlockMeta) { n++ })
+	if n != 1 {
+		t.Fatalf("corrupted count = %d, want 1", n)
+	}
+}

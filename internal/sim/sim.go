@@ -1,0 +1,56 @@
+// Package sim provides primitive types shared by every component of the
+// ZeroDEV chip-multiprocessor simulator: the cycle clock, a deterministic
+// pseudo-random number generator used by workload synthesis and replacement
+// tie-breaking, and the min-clock core scheduler that interleaves per-core
+// execution.
+package sim
+
+// Cycle is a point on (or a span of) the global clock, measured in core
+// clock cycles of the simulated CMP.
+type Cycle uint64
+
+// MaxCycle is a sentinel larger than any reachable simulation time.
+const MaxCycle = Cycle(^uint64(0))
+
+// Clocked is any agent that owns a local clock and can perform a unit of
+// work when scheduled. The scheduler always runs the agent with the
+// smallest Now; this interleaving approximates concurrent execution while
+// keeping the simulation fully deterministic.
+type Clocked interface {
+	// Now reports the agent's local time; after the agent finishes it
+	// keeps reporting the final time.
+	Now() Cycle
+	// Step performs one unit of work (typically: run until the next memory
+	// access completes) and advances the local clock. Step must not be
+	// called after Now returns MaxCycle.
+	Step()
+	// Done reports whether the agent has retired its whole stream.
+	Done() bool
+}
+
+// RunAll interleaves agents by smallest local clock until every agent is
+// done. It returns the largest local clock observed, i.e. the parallel
+// completion time of the slowest agent.
+func RunAll(agents []Clocked) Cycle {
+	var last Cycle
+	for {
+		min := MaxCycle
+		var pick Clocked
+		for _, a := range agents {
+			if a.Done() {
+				continue
+			}
+			if t := a.Now(); t < min {
+				min = t
+				pick = a
+			}
+		}
+		if pick == nil {
+			return last
+		}
+		pick.Step()
+		if t := pick.Now(); t > last {
+			last = t
+		}
+	}
+}

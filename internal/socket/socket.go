@@ -1,0 +1,212 @@
+// Package socket implements the multi-socket system of the paper's
+// §III-D: per-socket CMPs (each a core.Engine with its own sparse
+// directory, LLC, and mesh) glued by a home-based MESI socket-level
+// directory with the Corrupted state, the WB_DE / GET_DE / DENF_NACK
+// flows of Figs. 14-16, and the two socket-directory backing schemes of
+// §III-D5 (full backup in home memory, or the constant-overhead
+// DirEvict-bit scheme).
+package socket
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/coher"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/llc"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Backing selects how socket-level directory entries survive eviction
+// from the socket directory cache (§III-D5).
+type Backing uint8
+
+const (
+	// MemoryBackup keeps a full copy of every socket-level entry in home
+	// memory (solution 1: simple, 1.2% DRAM overhead at four sockets).
+	MemoryBackup Backing = iota
+	// DirEvictBit stores an evicted socket-level entry in the memory
+	// block's reserved partition and records it with one DirEvict bit
+	// per block (solution 2: 0.2% constant overhead).
+	DirEvictBit
+)
+
+// Params configure the multi-socket system.
+type Params struct {
+	Sockets int
+	// InterSocketCycles is the one-way inter-socket routing delay
+	// (§IV: 20 ns, i.e. 80 cycles at 4 GHz).
+	InterSocketCycles sim.Cycle
+	// DirCacheEntries sizes the socket-level directory cache; ways fixes
+	// its associativity.
+	DirCacheEntries, DirCacheWays int
+	Backing                       Backing
+}
+
+// DefaultParams returns the paper's four-socket evaluation parameters.
+func DefaultParams(sockets, dirEntries int) Params {
+	return Params{
+		Sockets:           sockets,
+		InterSocketCycles: 80,
+		DirCacheEntries:   dirEntries,
+		DirCacheWays:      8,
+		Backing:           MemoryBackup,
+	}
+}
+
+// Socket is one CMP of the system.
+type Socket struct {
+	Engine *core.Engine
+	Cores  []*cpu.Core
+}
+
+// Stats aggregates socket-layer activity.
+type Stats struct {
+	SocketMisses     uint64
+	SocketForwards   uint64 // requests forwarded to a sharer/owner socket
+	DENFNacks        uint64 // Fig. 15 step 7 retries
+	CorruptedMerges  uint64 // WB_DE read-modify-write merges (Fig. 14)
+	DirCacheMisses   uint64
+	DirEvictBitHits  uint64
+	LastCopyRestores uint64
+}
+
+// System is a runnable multi-socket machine.
+type System struct {
+	P       Params
+	Sockets []*Socket
+
+	mem      *mem.Memory
+	dram     *dram.DRAM
+	dirCache *cache.Array[coher.SocketEntry]
+	// backup is the authoritative full-map socket-directory backup used
+	// by the MemoryBackup scheme (the reserved home-memory region of
+	// §III-D5, solution 1).
+	backup map[coher.Addr]coher.SocketEntry
+	stats  Stats
+}
+
+// New assembles the system: spec describes one socket (its Dir
+// constructor is invoked per socket); streams supplies the reference
+// stream for every core, socket-major.
+func New(p Params, spec core.SystemSpec, streams []cpu.Stream) (*System, error) {
+	if len(streams) != p.Sockets*spec.Cores {
+		return nil, fmt.Errorf("socket: need %d streams, got %d", p.Sockets*spec.Cores, len(streams))
+	}
+	sets := p.DirCacheEntries / p.DirCacheWays
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("socket: directory cache sets %d not a power of two", sets)
+	}
+	sys := &System{
+		P:        p,
+		mem:      mem.MustNew(p.Sockets, spec.Cores),
+		dram:     dram.MustNew(spec.DRAM),
+		dirCache: cache.New[coher.SocketEntry](cache.Geometry{Sets: sets, Ways: p.DirCacheWays}, cache.NRU),
+	}
+	for s := 0; s < p.Sockets; s++ {
+		l, err := buildLLC(spec)
+		if err != nil {
+			return nil, err
+		}
+		mesh := noc.MustNew(spec.NoC, spec.Cores, spec.LLCBanks)
+		up := spec.Uncore
+		up.Cores = spec.Cores
+		up.ZeroDEV = spec.ZeroDEV
+		up.Policy = spec.Policy
+		up.Socket = s
+		eng := core.New(up, spec.Dir(), l, mesh, &homeAgent{sys: sys, socket: s})
+		sock := &Socket{Engine: eng}
+		ports := make([]core.CorePort, spec.Cores)
+		for i := 0; i < spec.Cores; i++ {
+			c := cpu.New(coher.CoreID(i), spec.CPU, streams[s*spec.Cores+i], eng)
+			sock.Cores = append(sock.Cores, c)
+			ports[i] = c
+		}
+		eng.AttachCores(ports)
+		sys.Sockets = append(sys.Sockets, sock)
+	}
+	return sys, nil
+}
+
+// Run drives every core of every socket to completion.
+func (sys *System) Run() sim.Cycle {
+	var agents []sim.Clocked
+	for _, s := range sys.Sockets {
+		for _, c := range s.Cores {
+			agents = append(agents, c)
+		}
+	}
+	return sim.RunAll(agents)
+}
+
+// Stats returns the socket-layer counters.
+func (sys *System) Stats() Stats { return sys.stats }
+
+// DRAM exposes the shared memory model.
+func (sys *System) DRAM() *dram.DRAM { return sys.dram }
+
+// Mem exposes home-memory metadata for tests.
+func (sys *System) Mem() *mem.Memory { return sys.mem }
+
+// CheckInvariants validates every socket plus the socket-level
+// directory: every holder the socket directory records must actually
+// hold the block (in cores, LLC, or a home-memory segment), and every
+// socket holding a block must be recorded.
+func (sys *System) CheckInvariants() error {
+	for i, s := range sys.Sockets {
+		if err := s.Engine.CheckInvariants(); err != nil {
+			return fmt.Errorf("socket %d: %w", i, err)
+		}
+	}
+	return sys.CheckSocketDirectory()
+}
+
+// CheckSocketDirectory cross-validates the socket-level directory
+// against per-socket ground truth. It requires the MemoryBackup scheme
+// (whose backup map enumerates all live entries); under DirEvictBit it
+// checks only the cached entries.
+func (sys *System) CheckSocketDirectory() error {
+	check := func(addr coher.Addr, e coher.SocketEntry) error {
+		var err error
+		e.Holders().ForEach(func(g int) {
+			if err != nil {
+				return
+			}
+			if sys.Sockets[g].Engine.HasAnyCopy(addr) {
+				return
+			}
+			if _, live := sys.mem.ReadSegment(addr, g); live {
+				return
+			}
+			err = fmt.Errorf("socket dir records socket %d holding %#x (%+v) but it holds nothing",
+				g, uint64(addr), e)
+		})
+		return err
+	}
+	if sys.P.Backing == MemoryBackup {
+		for addr, e := range sys.backup {
+			if err := check(addr, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var err error
+	sys.dirCache.ForEachValid(func(_, _ int, a uint64, e *coher.SocketEntry) {
+		if err == nil {
+			err = check(coher.Addr(a), *e)
+		}
+	})
+	return err
+}
+
+func buildLLC(spec core.SystemSpec) (*llc.LLC, error) {
+	if spec.LLCSets > 0 {
+		return llc.NewGeometry(spec.LLCSets, spec.LLCWays, spec.LLCBanks, spec.Mode, spec.Repl)
+	}
+	return llc.New(spec.LLCBytes, spec.LLCWays, spec.LLCBanks, spec.Mode, spec.Repl)
+}

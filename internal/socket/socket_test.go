@@ -1,0 +1,79 @@
+package socket_test
+
+import (
+	"testing"
+
+	"repro/internal/coher"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/llc"
+	"repro/internal/mem"
+	"repro/internal/socket"
+	"repro/internal/workload"
+)
+
+func run4Socket(t *testing.T, spec core.SystemSpec, backing socket.Backing, prof workload.Profile) *socket.System {
+	t.Helper()
+	const sockets = 4
+	p := socket.DefaultParams(sockets, 512)
+	p.Backing = backing
+	streams := workload.Threads(prof, sockets*spec.Cores, 8000, 16, 7)
+	sys, err := socket.New(p, spec, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	return sys
+}
+
+func TestFourSocketBaseline(t *testing.T) {
+	pre := config.TableI(16)
+	spec := pre.Baseline(1, llc.NonInclusive)
+	sys := run4Socket(t, spec, socket.MemoryBackup, workload.MustGet("ocean_cp"))
+	if sys.Stats().SocketMisses == 0 {
+		t.Fatal("no socket misses recorded")
+	}
+	if sys.Stats().SocketForwards == 0 {
+		t.Fatal("no inter-socket forwards; cross-socket sharing should occur")
+	}
+}
+
+func TestFourSocketZeroDEV(t *testing.T) {
+	pre := config.TableI(16)
+	for _, backing := range []socket.Backing{socket.MemoryBackup, socket.DirEvictBit} {
+		spec := pre.ZeroDEV(0, core.FPSS, llc.DataLRU, llc.NonInclusive)
+		sys := run4Socket(t, spec, backing, workload.MustGet("freqmine"))
+		for i, s := range sys.Sockets {
+			if devs := s.Engine.Stats().DEVs; devs != 0 {
+				t.Errorf("backing=%d socket %d: %d DEVs under ZeroDEV", backing, i, devs)
+			}
+		}
+	}
+}
+
+func TestFourSocketCorruptedFlows(t *testing.T) {
+	// Small LLC + no directory: DE evictions to memory and cross-socket
+	// corrupted-block traffic must occur and resolve correctly.
+	pre := config.TableI(64)
+	spec := pre.ZeroDEV(0, core.FPSS, llc.DataLRU, llc.NonInclusive)
+	sys := run4Socket(t, spec, socket.MemoryBackup, workload.MustGet("canneal"))
+	var wbde uint64
+	for _, s := range sys.Sockets {
+		wbde += s.Engine.Stats().DEEvictionsToMemory
+	}
+	if wbde == 0 {
+		t.Skip("no DE evictions; workload pressure too low at this scale")
+	}
+	if sys.DRAM().Stats().DEWrites == 0 {
+		t.Fatal("WB_DE flows did not reach DRAM")
+	}
+	// Every corrupted block with a live segment must still have private
+	// holders in that segment's socket (checked per-socket by
+	// CheckInvariants); here we just confirm the metadata is reachable.
+	count := 0
+	sys.Mem().ForEachCorrupted(func(addr coher.Addr, b *mem.BlockMeta) { count++ })
+	t.Logf("corrupted blocks at end of run: %d, WB_DE=%d", count, wbde)
+}

@@ -1,0 +1,93 @@
+package socket_test
+
+import (
+	"fmt"
+
+	"testing"
+
+	"repro/internal/coher"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/llc"
+	"repro/internal/sim"
+	"repro/internal/socket"
+	"repro/internal/workload"
+)
+
+func checkCrossSocketExclusivity(sys *socket.System) error {
+	type info struct {
+		socket int
+		owned  bool
+	}
+	seen := map[coher.Addr][]info{}
+	for si, sk := range sys.Sockets {
+		for _, c := range sk.Cores {
+			c.ForEachBlock(func(addr coher.Addr, st coher.PrivState) {
+				seen[addr] = append(seen[addr], info{si, st == coher.PrivModified || st == coher.PrivExclusive})
+			})
+		}
+	}
+	for addr, infos := range seen {
+		sockets := map[int]bool{}
+		owned := false
+		for _, in := range infos {
+			sockets[in.socket] = true
+			owned = owned || in.owned
+		}
+		if owned && (len(infos) > 1 || len(sockets) > 1) {
+			return fmt.Errorf("block %#x owned M/E while %d copies exist across %d sockets",
+				uint64(addr), len(infos), len(sockets))
+		}
+	}
+	return nil
+}
+
+func TestStepwiseSocketDir(t *testing.T) {
+	pre := config.TableI(32)
+	spec := pre.ZeroDEV(0, core.FPSS, llc.DataLRU, llc.NonInclusive)
+	spec.LLCBytes = 128 << 10
+	spec.CPU.L2Bytes = 64 << 10
+	p := socket.DefaultParams(4, 1024)
+	streams := workload.Threads(workload.MustGet("ocean_cp"), 32, 12000, 32, 11)
+	sys, err := socket.New(p, spec, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agents []sim.Clocked
+	for _, s := range sys.Sockets {
+		for _, c := range s.Cores {
+			agents = append(agents, c)
+		}
+	}
+	steps := 0
+	for {
+		min := sim.MaxCycle
+		var pick sim.Clocked
+		for _, a := range agents {
+			if !a.Done() && a.Now() < min {
+				min, pick = a.Now(), a
+			}
+		}
+		if pick == nil {
+			break
+		}
+		var pickIdx int
+		for i, a := range agents {
+			if a == pick {
+				pickIdx = i
+			}
+		}
+		pick.Step()
+		steps++
+		if steps%5000 == 0 {
+			if err := sys.CheckSocketDirectory(); err != nil {
+				t.Fatalf("after %d steps (agent %d = socket %d core %d): %v",
+					steps, pickIdx, pickIdx/8, pickIdx%8, err)
+			}
+			if err := checkCrossSocketExclusivity(sys); err != nil {
+				t.Fatalf("after %d steps (agent %d = socket %d core %d): %v",
+					steps, pickIdx, pickIdx/8, pickIdx%8, err)
+			}
+		}
+	}
+}

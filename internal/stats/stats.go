@@ -1,0 +1,224 @@
+// Package stats collects per-run metrics and provides the derived
+// quantities the paper reports: weighted speedup for multiprogrammed
+// workloads, parallel speedup for multithreaded ones, normalized
+// interconnect traffic, normalized core-cache misses, and geometric
+// means.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Run is the complete measurement of one simulation.
+type Run struct {
+	Label   string
+	Cycles  sim.Cycle // parallel completion time
+	Core    []cpu.Stats
+	Engine  core.Stats
+	Traffic noc.Traffic
+	DRAM    dram.Stats
+
+	// LLC line population at end of run, for occupancy reporting.
+	LLCData, LLCSpilled, LLCFused int
+	// DirLive/DirCap snapshot directory occupancy; DirCap < 0 means
+	// unbounded, DirPeak is its high-water mark, and DirPeakOverflow is
+	// the peak entry population that would not fit the 1x organization
+	// (the Fig. 5 projection).
+	DirLive, DirCap, DirPeak, DirPeakOverflow int
+}
+
+// Collect snapshots a finished system.
+func Collect(label string, sys *core.System, cycles sim.Cycle) Run {
+	r := Run{
+		Label:   label,
+		Cycles:  cycles,
+		Core:    sys.CoreStats(),
+		Engine:  *sys.Engine.Stats(),
+		Traffic: *sys.Engine.Mesh().Traffic(),
+		DRAM:    sys.Home.DRAM().Stats(),
+	}
+	r.LLCData, r.LLCSpilled, r.LLCFused = sys.Engine.LLC().CountKinds()
+	r.DirLive, r.DirCap = sys.Engine.Directory().Occupancy()
+	if pk, ok := sys.Engine.Directory().(interface{ Peak() int }); ok {
+		r.DirPeak = pk.Peak()
+	}
+	if po, ok := sys.Engine.Directory().(interface{ PeakOverflow() int }); ok {
+		r.DirPeakOverflow = po.PeakOverflow()
+	}
+	return r
+}
+
+// CoreCacheMisses sums L2 misses — the paper's "core cache misses".
+func (r Run) CoreCacheMisses() uint64 {
+	var n uint64
+	for _, c := range r.Core {
+		n += c.L2Misses
+	}
+	return n
+}
+
+// Retired sums retired instructions across cores.
+func (r Run) Retired() uint64 {
+	var n uint64
+	for _, c := range r.Core {
+		n += c.Retired
+	}
+	return n
+}
+
+// MPKI is core cache misses per kilo-instruction.
+func (r Run) MPKI() float64 {
+	ret := r.Retired()
+	if ret == 0 {
+		return 0
+	}
+	return 1000 * float64(r.CoreCacheMisses()) / float64(ret)
+}
+
+// Speedup is the parallel-completion-time speedup of x over base,
+// used for multithreaded workloads.
+func Speedup(base, x Run) float64 {
+	if x.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(x.Cycles)
+}
+
+// WeightedSpeedup is the multiprogrammed metric: the mean over cores of
+// per-core cycle ratios (each program retires a fixed instruction
+// count, so cycle ratio equals IPC ratio).
+func WeightedSpeedup(base, x Run) float64 {
+	if len(base.Core) != len(x.Core) || len(x.Core) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range x.Core {
+		if x.Core[i].Cycles == 0 {
+			return 0
+		}
+		s += float64(base.Core[i].Cycles) / float64(x.Core[i].Cycles)
+	}
+	return s / float64(len(x.Core))
+}
+
+// NormTraffic is x's interconnect bytes relative to base.
+func NormTraffic(base, x Run) float64 {
+	b := base.Traffic.TotalBytes()
+	if b == 0 {
+		return 0
+	}
+	return float64(x.Traffic.TotalBytes()) / float64(b)
+}
+
+// NormMisses is x's core-cache misses relative to base.
+func NormMisses(base, x Run) float64 {
+	b := base.CoreCacheMisses()
+	if b == 0 {
+		return 0
+	}
+	return float64(x.CoreCacheMisses()) / float64(b)
+}
+
+// GeoMean returns the geometric mean of vals (0 for empty input;
+// non-positive values are skipped).
+func GeoMean(vals []float64) float64 {
+	var s float64
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			s += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Min returns the minimum (0 for empty input).
+func Min(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Table renders experiment output as an aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddF appends a row with a label and formatted float cells.
+func (t *Table) AddF(label string, vals ...float64) {
+	cells := []string{label}
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf("%.3f", v))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint writes the table.
+func (t *Table) Fprint(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Headers) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.Headers, "\t"))
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coher"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+func roundTrip(t *testing.T, accs []cpu.Access) []cpu.Access {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range accs {
+		if err := w.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []cpu.Access
+	for {
+		a, ok := r.Next()
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	return out
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []struct {
+		Gap  uint16
+		Kind uint8
+		Addr uint32
+	}) bool {
+		var accs []cpu.Access
+		for _, r := range raw {
+			accs = append(accs, cpu.Access{
+				Gap:  uint32(r.Gap),
+				Kind: cpu.OpKind(r.Kind % 3),
+				Addr: coher.Addr(r.Addr),
+			})
+		}
+		got := roundTrip(t, accs)
+		if len(got) != len(accs) {
+			return false
+		}
+		for i := range accs {
+			if got[i] != accs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordWorkloadAndReplay(t *testing.T) {
+	prof := workload.MustGet("canneal")
+	orig := workload.Threads(prof, 1, 2000, 8, 1)[0]
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	// Migratory read-modify-write pairs make the stream slightly longer
+	// than the nominal access count.
+	n, err := Record(w, orig, -1)
+	if err != nil || n < 2000 {
+		t.Fatalf("recorded %d accesses, err=%v", n, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := workload.Threads(prof, 1, 2000, 8, 1)[0]
+	for i := 0; ; i++ {
+		want, okw := ref.Next()
+		got, okg := r.Next()
+		if okw != okg {
+			t.Fatalf("length mismatch at %d", i)
+		}
+		if !okw {
+			break
+		}
+		if want != got {
+			t.Fatalf("access %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewBufferString("NOTATRACE")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(cpu.Access{Gap: 3, Kind: cpu.Load, Addr: 100})
+	w.Close()
+	raw := buf.Bytes()[:buf.Len()-3] // chop the terminator and tail
+	r, err := NewReader(bytes.NewBuffer(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if r.Err() == nil {
+		t.Fatal("truncated trace must surface an error")
+	}
+}
