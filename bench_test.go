@@ -8,13 +8,14 @@ package repro_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/harness"
 )
 
 func benchOptions() harness.Options {
-	return harness.Options{Scale: 32, Accesses: 5000, Seed: 1, Quick: true}
+	return harness.Options{Scale: 32, Accesses: 5000, Seed: 1, Quick: true, Workers: 1}
 }
 
 func benchExperiment(b *testing.B, id string) {
@@ -27,6 +28,25 @@ func benchExperiment(b *testing.B, id string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := e.Run(o, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchExperimentParallel measures the same experiment on the parallel
+// engine with one worker per CPU; compare against the serial benchmark
+// of the same figure for realized scaling.
+func benchExperimentParallel(b *testing.B, id string) {
+	b.Helper()
+	e, err := harness.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := benchOptions()
+	o.Workers = runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Execute(o, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -51,3 +71,9 @@ func BenchmarkFig27(b *testing.B)       { benchExperiment(b, "fig27") }
 func BenchmarkClaims(b *testing.B)      { benchExperiment(b, "claims") }
 func BenchmarkEnergy(b *testing.B)      { benchExperiment(b, "energy") }
 func BenchmarkMultiSocket(b *testing.B) { benchExperiment(b, "multisocket") }
+
+// Parallel-engine counterparts of three representative figures, spanning
+// the sweep, per-app, and socket-system paths.
+func BenchmarkFig18Parallel(b *testing.B)       { benchExperimentParallel(b, "fig18") }
+func BenchmarkFig19Parallel(b *testing.B)       { benchExperimentParallel(b, "fig19") }
+func BenchmarkMultiSocketParallel(b *testing.B) { benchExperimentParallel(b, "multisocket") }

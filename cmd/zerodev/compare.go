@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/llc"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -26,6 +27,8 @@ func compareCmd(args []string) {
 	configs := fs.String("configs", "baseline:1,zerodev:0",
 		"comma-separated kind:ratio list (kinds: baseline, zerodev, unbounded, secdir, mgd)")
 	mode := fs.String("mode", "noninclusive", "noninclusive | epd | inclusive")
+	workers := fs.Int("workers", harness.DefaultOptions().Workers,
+		"parallel simulation workers (1 = serial; output is identical either way)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -40,8 +43,12 @@ func compareCmd(args []string) {
 	pre := config.TableI(*scale)
 	lm := map[string]llc.Mode{"noninclusive": llc.NonInclusive, "epd": llc.EPD, "inclusive": llc.Inclusive}[strings.ToLower(*mode)]
 
+	// Parse every config before simulating so flag errors surface
+	// immediately, then submit one independent job per configuration and
+	// collect results in flag order — the printed table is identical for
+	// any worker count.
 	var names []string
-	var runs []stats.Run
+	var specs []core.SystemSpec
 	for _, spec := range strings.Split(*configs, ",") {
 		kind, ratioStr, _ := strings.Cut(strings.TrimSpace(spec), ":")
 		var ratio float64
@@ -61,17 +68,37 @@ func compareCmd(args []string) {
 		default:
 			fatal(fmt.Errorf("compare: unknown config kind %q", kind))
 		}
-		streams := workload.Threads(prof, sysSpec.Cores, *accesses, *scale, *seed)
-		if prof.Suite == "CPU2017" {
-			streams = workload.Rate(prof, sysSpec.Cores, *accesses, *scale, *seed)
-		}
-		sys := core.NewSystem(sysSpec, streams)
-		cycles := sys.Run()
-		if err := sys.Engine.CheckInvariants(); err != nil {
-			fatal(err)
-		}
 		names = append(names, spec)
-		runs = append(runs, stats.Collect(spec, sys, cycles))
+		specs = append(specs, sysSpec)
+	}
+	type cfgResult struct {
+		run stats.Run
+		err error
+	}
+	pool := harness.NewPool(*workers, nil, "compare")
+	var futs []*harness.Future[cfgResult]
+	for i := range specs {
+		name, sysSpec := names[i], specs[i]
+		futs = append(futs, harness.Submit(pool, func() cfgResult {
+			streams := workload.Threads(prof, sysSpec.Cores, *accesses, *scale, *seed)
+			if prof.Suite == "CPU2017" {
+				streams = workload.Rate(prof, sysSpec.Cores, *accesses, *scale, *seed)
+			}
+			sys := core.NewSystem(sysSpec, streams)
+			cycles := sys.Run()
+			if err := sys.Engine.CheckInvariants(); err != nil {
+				return cfgResult{err: err}
+			}
+			return cfgResult{run: stats.Collect(name, sys, cycles)}
+		}))
+	}
+	var runs []stats.Run
+	for _, fut := range futs {
+		res := fut.Wait()
+		if res.err != nil {
+			fatal(res.err)
+		}
+		runs = append(runs, res.run)
 	}
 
 	t := stats.Table{

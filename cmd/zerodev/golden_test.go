@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// golden compares got against testdata/<name>.golden, rewriting the file
+// under -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/zerodev -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (run `go test ./cmd/zerodev -update` after intended changes)\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestListGolden pins the `zerodev list` output: the experiment registry
+// and its titles are part of the CLI surface.
+func TestListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	writeList(&buf)
+	golden(t, "list", buf.Bytes())
+}
+
+// TestRunExperimentGolden pins the full table output of one quick
+// experiment at a fixed seed and scale, catching accidental changes to
+// either the simulator's numbers or the report formatting. It runs
+// through Execute with several workers, so it also re-checks that the
+// CLI path's output is scheduling-independent.
+func TestRunExperimentGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	e, err := harness.Get("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := harness.Options{Scale: 32, Accesses: 4000, Seed: 1, Quick: true, Workers: 4}
+	var buf bytes.Buffer
+	if _, err := e.Execute(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig4_quick", buf.Bytes())
+}

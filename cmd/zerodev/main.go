@@ -5,7 +5,7 @@
 // Usage:
 //
 //	zerodev list
-//	zerodev run [-scale N] [-accesses N] [-seed N] [-quick] <experiment>...
+//	zerodev run [-scale N] [-accesses N] [-seed N] [-quick] [-workers N] <experiment>...
 //	zerodev run all            # every experiment, paper order
 //	zerodev single [-config baseline|zerodev] [-ratio R] [-policy P] <app>
 package main
@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -32,9 +33,7 @@ func main() {
 	}
 	switch os.Args[1] {
 	case "list":
-		for _, e := range harness.List() {
-			fmt.Printf("%-12s %s\n", e.ID, e.Title)
-		}
+		writeList(os.Stdout)
 	case "run":
 		runCmd(os.Args[2:])
 	case "single":
@@ -46,6 +45,12 @@ func main() {
 	default:
 		usage()
 		os.Exit(2)
+	}
+}
+
+func writeList(w io.Writer) {
+	for _, e := range harness.List() {
+		fmt.Fprintf(w, "%-12s %s\n", e.ID, e.Title)
 	}
 }
 
@@ -62,10 +67,15 @@ func runCmd(args []string) {
 	var seed uint64
 	fs.Uint64Var(&seed, "seed", 1, "workload synthesis seed")
 	fs.BoolVar(&o.Quick, "quick", false, "trim application lists to a representative subset")
+	fs.IntVar(&o.Workers, "workers", o.Workers, "parallel simulation workers (1 = serial; output is identical either way)")
+	quiet := fs.Bool("quiet", false, "suppress progress and timing lines on stderr")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 	o.Seed = seed
+	if !*quiet {
+		o.Progress = os.Stderr
+	}
 	ids := fs.Args()
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "run: no experiments named; try `zerodev list`")
@@ -84,9 +94,13 @@ func runCmd(args []string) {
 			os.Exit(1)
 		}
 		start := time.Now()
-		if err := e.Run(o, os.Stdout); err != nil {
+		tm, err := e.Execute(o, os.Stdout)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
+		}
+		if !*quiet {
+			tm.Fprint(os.Stderr)
 		}
 		fmt.Printf("[%s finished in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}

@@ -1,0 +1,150 @@
+package coher
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Round-trip fuzzing of the bit-exact line formats in encoding.go: any
+// representable directory entry must survive encode/decode unchanged,
+// and fused encodings must reconstruct the original block exactly from
+// the shipped low bits.
+
+// fuzzCores maps an arbitrary byte onto a legal socket core count.
+func fuzzCores(b uint8) int {
+	return 2 + int(b)%(MaxCores-1) // 2..128
+}
+
+// fuzzSet builds a CoreSet restricted to the first `cores` cores.
+func fuzzSet(lo, hi uint64, cores int) CoreSet {
+	var s CoreSet
+	if cores < 64 {
+		lo &= 1<<cores - 1
+		hi = 0
+	} else {
+		hi &= 1<<(cores-64) - 1
+	}
+	s.SetWords(lo, hi)
+	return s
+}
+
+func FuzzSpilledRoundTrip(f *testing.F) {
+	f.Add(uint8(DirOwned), true, uint8(5), uint64(0), uint64(0))
+	f.Add(uint8(DirShared), false, uint8(0), uint64(0xdeadbeef), uint64(1))
+	f.Add(uint8(DirInvalid), false, uint8(255), ^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, state uint8, busy bool, owner uint8, lo, hi uint64) {
+		e := Entry{
+			State: DirState(state % 3),
+			Busy:  busy,
+			Owner: CoreID(owner),
+		}
+		e.Sharers.SetWords(lo, hi)
+		l := EncodeSpilled(e)
+		got, err := DecodeSpilled(l)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != e {
+			t.Fatalf("round trip: encoded %+v, decoded %+v", e, got)
+		}
+		// A spilled line must never decode as fused.
+		if _, err := DecodeFusedFPSS(l, 8); err == nil {
+			t.Fatal("spilled line accepted by the fused decoder")
+		}
+	})
+}
+
+func FuzzFusedFPSSRoundTrip(f *testing.F) {
+	f.Add([]byte("block"), true, false, uint8(3), uint8(8))
+	f.Add([]byte{0xff, 0xee}, false, true, uint8(127), uint8(255))
+	f.Fuzz(func(t *testing.T, blockBytes []byte, dirty, busy bool, owner, coreByte uint8) {
+		cores := fuzzCores(coreByte)
+		var block Line
+		copy(block[:], blockBytes)
+		fu := FusedFPSS{
+			BlockDirty: dirty,
+			Busy:       busy,
+			Owner:      CoreID(int(owner) % cores),
+		}
+		enc := EncodeFusedFPSS(block, fu, cores)
+		got, err := DecodeFusedFPSS(enc, cores)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		// Owners up to 2^ceil(log2 cores)-1 fit the field; owner < cores
+		// always does.
+		if got != fu {
+			t.Fatalf("round trip: encoded %+v, decoded %+v", fu, got)
+		}
+		// The corrupted low bits must be recoverable from the original.
+		rec := ReconstructFPSS(enc, LowBitsFPSS(block, cores), cores)
+		if !bytes.Equal(rec[:], block[:]) {
+			t.Fatalf("reconstruction lost block bits: cores=%d", cores)
+		}
+	})
+}
+
+func FuzzFusedFuseAllRoundTrip(f *testing.F) {
+	f.Add([]byte("data"), true, false, true, uint8(2), uint64(5), uint64(0), uint8(16))
+	f.Add([]byte{1}, false, true, false, uint8(0), uint64(0), uint64(0), uint8(128))
+	f.Fuzz(func(t *testing.T, blockBytes []byte, dirty, busy, shared bool, owner uint8, lo, hi uint64, coreByte uint8) {
+		cores := fuzzCores(coreByte)
+		var block Line
+		copy(block[:], blockBytes)
+		fu := FusedFuseAll{
+			BlockDirty: dirty,
+			Busy:       busy,
+		}
+		if shared {
+			fu.State = DirShared
+			fu.Sharers = fuzzSet(lo, hi, cores)
+		} else {
+			fu.State = DirOwned
+			fu.Owner = CoreID(int(owner) % cores)
+		}
+		enc, err := EncodeFusedFuseAll(block, fu, cores)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := DecodeFusedFuseAll(enc, cores)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != fu {
+			t.Fatalf("round trip: encoded %+v, decoded %+v", fu, got)
+		}
+	})
+}
+
+func FuzzSegmentRoundTrip(f *testing.F) {
+	f.Add([]byte("mem"), uint8(0), uint8(8), true, uint8(1), uint64(0), uint64(0))
+	f.Add([]byte{}, uint8(3), uint8(128), false, uint8(0), uint64(7), uint64(0))
+	f.Fuzz(func(t *testing.T, blockBytes []byte, socketByte, coreByte uint8, owned bool, owner uint8, lo, hi uint64) {
+		cores := fuzzCores(coreByte)
+		socket := int(socketByte) % MaxSocketsFullMap(cores)
+		var block Line
+		copy(block[:], blockBytes)
+		e := Entry{}
+		if owned {
+			e.State = DirOwned
+			e.Owner = CoreID(int(owner) % cores)
+		} else {
+			e.State = DirShared
+			e.Sharers = fuzzSet(lo, hi, cores)
+			if e.Sharers.Empty() {
+				return // empty sharer set decodes as DirInvalid by design
+			}
+		}
+		enc, err := EncodeSegment(block, socket, cores, e)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := DecodeSegment(enc, socket, cores)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != e {
+			t.Fatalf("round trip: encoded %+v, decoded %+v", e, got)
+		}
+	})
+}

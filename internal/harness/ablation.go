@@ -37,21 +37,33 @@ func fig12(o Options, w io.Writer) error {
 		Title:   "Fig 12 (derived): LLC space overhead vs read critical-path overhead per policy",
 		Headers: []string{"policy", "spilled lines %", "fused lines %", "extra reads/1k", "fwd reads/1k", "avg read lat"},
 	}
-	for _, pol := range []core.DEPolicy{core.SpillAll, core.FPSS, core.FuseAll} {
-		var spill, fuse, blocks, extra, fwd, reads float64
-		var latSum, latN uint64
+	p := o.runner()
+	policies := []core.DEPolicy{core.SpillAll, core.FPSS, core.FuseAll}
+	futs := make([][]*Future[stats.Run], len(policies))
+	for pi, pol := range policies {
+		pol := pol
 		for _, suite := range mtSuites {
 			for _, u := range groupUnits(o, suite) {
-				x := runStreams(pre.ZeroDEV(0, pol, llc.DataLRU, llc.NonInclusive), u.make(pre.Cores), pol.String())
-				spill += float64(x.LLCSpilled)
-				fuse += float64(x.LLCFused)
-				blocks += float64(pre.LLCBytes / 64)
-				extra += float64(x.Engine.SpillAllExtraDataReads)
-				fwd += float64(x.Engine.Forwards3Hop)
-				reads += float64(x.Engine.Reads)
-				latSum += x.Engine.LatReadLLCHit + x.Engine.LatReadForward + x.Engine.LatReadMemory
-				latN += x.Engine.NReadLLCHit + x.Engine.NReadForward + x.Engine.NReadMemory
+				u := u
+				futs[pi] = append(futs[pi], Submit(p, func() stats.Run {
+					return runStreams(pre.ZeroDEV(0, pol, llc.DataLRU, llc.NonInclusive), u.make(pre.Cores), pol.String())
+				}))
 			}
+		}
+	}
+	for pi, pol := range policies {
+		var spill, fuse, blocks, extra, fwd, reads float64
+		var latSum, latN uint64
+		for _, fut := range futs[pi] {
+			x := fut.Wait()
+			spill += float64(x.LLCSpilled)
+			fuse += float64(x.LLCFused)
+			blocks += float64(pre.LLCBytes / 64)
+			extra += float64(x.Engine.SpillAllExtraDataReads)
+			fwd += float64(x.Engine.Forwards3Hop)
+			reads += float64(x.Engine.Reads)
+			latSum += x.Engine.LatReadLLCHit + x.Engine.LatReadForward + x.Engine.LatReadMemory
+			latN += x.Engine.NReadLLCHit + x.Engine.NReadForward + x.Engine.NReadMemory
 		}
 		t.AddRow(pol.String(),
 			fmt.Sprintf("%.1f%%", 100*spill/blocks),
@@ -129,16 +141,36 @@ func ablationBacking(o Options, w io.Writer) error {
 		Title:   "Ablation III-D5: socket-directory backing on 4 sockets (ZeroDEV NoDir); cycles relative to MemoryBackup",
 		Headers: []string{"suite", "MemoryBackup", "DirEvictBit", "dir-cache misses (MB/DEB)", "DirEvict hits"},
 	}
-	for _, suite := range mtSuites {
+	p := so.runner()
+	type backedRun struct {
+		cycles uint64
+		st     socket.Stats
+	}
+	type backedPair struct {
+		mb, deb *Future[backedRun]
+	}
+	futs := make([][]backedPair, len(mtSuites))
+	for si, suite := range mtSuites {
+		for _, prof := range suiteApps(so, suite) {
+			prof := prof
+			submit := func(b socket.Backing) *Future[backedRun] {
+				return Submit(p, func() backedRun {
+					c, st := runSocketBacked(so, sockets, pre, prof, b)
+					return backedRun{c, st}
+				})
+			}
+			futs[si] = append(futs[si], backedPair{submit(socket.MemoryBackup), submit(socket.DirEvictBit)})
+		}
+	}
+	for si, suite := range mtSuites {
 		var rel []float64
 		var missMB, missDEB, hits uint64
-		for _, prof := range suiteApps(so, suite) {
-			mb, mbStats := runSocketBacked(so, sockets, pre, prof, socket.MemoryBackup)
-			deb, debStats := runSocketBacked(so, sockets, pre, prof, socket.DirEvictBit)
-			rel = append(rel, float64(mb)/float64(deb))
-			missMB += mbStats.DirCacheMisses
-			missDEB += debStats.DirCacheMisses
-			hits += debStats.DirEvictBitHits
+		for _, pair := range futs[si] {
+			mb, deb := pair.mb.Wait(), pair.deb.Wait()
+			rel = append(rel, float64(mb.cycles)/float64(deb.cycles))
+			missMB += mb.st.DirCacheMisses
+			missDEB += deb.st.DirCacheMisses
+			hits += deb.st.DirEvictBitHits
 		}
 		t.AddRow(suite, "1.000", f3(stats.GeoMean(rel)),
 			fmt.Sprintf("%d/%d", missMB, missDEB), fmt.Sprintf("%d", hits))
@@ -214,25 +246,39 @@ func compressExp(o Options, w io.Writer) error {
 		total, precise int
 		over           int
 	}
-	sums := make([]acc, len(budgets))
+	p := so.runner()
+	var futs []*Future[[]acc]
 	for _, prof := range suiteApps(so, "SERVER") {
-		spec := zdev(pre, 0, llc.NonInclusive)
-		sys := core.NewSystem(spec, workload.Threads(prof, spec.Cores, so.Accesses, so.Scale, so.Seed))
-		sys.Run()
-		sys.Engine.LLC().ForEachDE(func(addr coher.Addr, fused bool, e coher.Entry) {
-			for bi, b := range budgets {
-				c, err := coher.Compress(e, pre.Cores, b)
-				if err != nil {
-					continue
+		prof := prof
+		futs = append(futs, Submit(p, func() []acc {
+			part := make([]acc, len(budgets))
+			spec := zdev(pre, 0, llc.NonInclusive)
+			sys := core.NewSystem(spec, workload.Threads(prof, spec.Cores, so.Accesses, so.Scale, so.Seed))
+			sys.Run()
+			sys.Engine.LLC().ForEachDE(func(addr coher.Addr, fused bool, e coher.Entry) {
+				for bi, b := range budgets {
+					c, err := coher.Compress(e, pre.Cores, b)
+					if err != nil {
+						continue
+					}
+					part[bi].total++
+					if c.Precise() {
+						part[bi].precise++
+					} else {
+						part[bi].over += coher.OverInvalidation(e, c)
+					}
 				}
-				sums[bi].total++
-				if c.Precise() {
-					sums[bi].precise++
-				} else {
-					sums[bi].over += coher.OverInvalidation(e, c)
-				}
-			}
-		})
+			})
+			return part
+		}))
+	}
+	sums := make([]acc, len(budgets))
+	for _, fut := range futs {
+		for bi, part := range fut.Wait() {
+			sums[bi].total += part.total
+			sums[bi].precise += part.precise
+			sums[bi].over += part.over
+		}
 	}
 	for bi, b := range budgets {
 		s := sums[bi]

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestParallelOutputByteIdentical is the determinism regression test for
+// the parallel engine: for representative experiments spanning the
+// single-socket sweep path (fig2), the multi-config sweep path (fig18),
+// and the socket-system path (multisocket), the output of a run with 8
+// workers must equal the serial run byte for byte. Equality is checked
+// between live runs (golden-equality), not against checked-in files, so
+// the test stays valid as the simulator's numbers evolve.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow; the short race tier covers the pool on a smaller sweep")
+	}
+	o := tinyOptions()
+	for _, id := range []string{"fig2", "fig18", "multisocket"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, parallel := o, o
+			serial.Workers = 1
+			parallel.Workers = 8
+			var bufS, bufP bytes.Buffer
+			if _, err := e.Execute(serial, &bufS); err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			tm, err := e.Execute(parallel, &bufP)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if tm.Workers != 8 {
+				t.Fatalf("timing reports %d workers, want 8", tm.Workers)
+			}
+			if tm.Jobs == 0 {
+				t.Fatal("timing reports zero jobs")
+			}
+			if !bytes.Equal(bufS.Bytes(), bufP.Bytes()) {
+				t.Errorf("parallel output differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+					bufS.String(), bufP.String())
+			}
+		})
+	}
+}
+
+// TestSeedChangesOutput guards the other side of determinism: the output
+// is a function of the options, so a different seed must actually change
+// it (otherwise byte-equality above would be vacuous).
+func TestSeedChangesOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	e, err := Get("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := tinyOptions()
+	o2 := tinyOptions()
+	o2.Seed = 7
+	var b1, b2 bytes.Buffer
+	if err := e.Run(o1, &b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(o2, &b2); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("fig2 output identical across different seeds")
+	}
+}

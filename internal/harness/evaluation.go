@@ -171,12 +171,32 @@ func fig24(o Options, w io.Writer) error {
 		Title:   "Fig 24: server workloads, 128-core socket, 32 MB LLC; speedup vs baseline 1x",
 		Headers: []string{"app", "1x", "1/8x", "NoDir"},
 	}
+	p := so.runner()
+	profs := suiteApps(so, "SERVER")
+	futs := make([][4]*Future[stats.Run], len(profs))
+	for i, prof := range profs {
+		prof := prof
+		for j, cfg := range []struct {
+			spec  core.SystemSpec
+			label string
+		}{
+			{pre.Baseline(1, llc.NonInclusive), "base"},
+			{zdev(pre, 1, llc.NonInclusive), "1x"},
+			{zdev(pre, 1.0/8, llc.NonInclusive), "1/8x"},
+			{zdev(pre, 0, llc.NonInclusive), "nodir"},
+		} {
+			cfg := cfg
+			futs[i][j] = Submit(p, func() stats.Run {
+				return runThreads(so, cfg.spec, prof, cfg.label)
+			})
+		}
+	}
 	var g1, g8, gn []float64
-	for _, prof := range suiteApps(so, "SERVER") {
-		base := runThreads(so, pre.Baseline(1, llc.NonInclusive), prof, "base")
-		s1 := stats.Speedup(base, runThreads(so, zdev(pre, 1, llc.NonInclusive), prof, "1x"))
-		s8 := stats.Speedup(base, runThreads(so, zdev(pre, 1.0/8, llc.NonInclusive), prof, "1/8x"))
-		sn := stats.Speedup(base, runThreads(so, zdev(pre, 0, llc.NonInclusive), prof, "nodir"))
+	for i, prof := range profs {
+		base := futs[i][0].Wait()
+		s1 := stats.Speedup(base, futs[i][1].Wait())
+		s8 := stats.Speedup(base, futs[i][2].Wait())
+		sn := stats.Speedup(base, futs[i][3].Wait())
 		t.AddF(prof.Name, s1, s8, sn)
 		g1, g8, gn = append(g1, s1), append(g8, s8), append(gn, sn)
 	}
@@ -289,10 +309,20 @@ func claims(o Options, w io.Writer) error {
 		Title:   "Sec III-D3 claims under ZeroDEV(NoDir): DE share of DRAM writes (<0.5%), corrupted LLC read misses (<0.05%)",
 		Headers: []string{"suite", "DE writes %", "corrupted read misses %", "WB_DE", "GET_DE"},
 	}
-	for _, suite := range allSuites {
-		var wbde, getde, dw, crm, reads uint64
+	p := o.runner()
+	futs := make([][]*Future[stats.Run], len(allSuites))
+	for si, suite := range allSuites {
 		for _, u := range groupUnits(o, suite) {
-			x := runStreams(zdev(pre, 0, llc.NonInclusive), u.make(pre.Cores), "nodir")
+			u := u
+			futs[si] = append(futs[si], Submit(p, func() stats.Run {
+				return runStreams(zdev(pre, 0, llc.NonInclusive), u.make(pre.Cores), "nodir")
+			}))
+		}
+	}
+	for si, suite := range allSuites {
+		var wbde, getde, dw, crm, reads uint64
+		for _, fut := range futs[si] {
+			x := fut.Wait()
 			wbde += x.Engine.DEEvictionsToMemory
 			getde += x.Engine.GetDEFlows
 			dw += x.DRAM.Writes

@@ -28,12 +28,29 @@ func energyExp(o Options, w io.Writer) error {
 		Headers: []string{"suite", "baseline", "zerodev", "saving"},
 	}
 	dirEntries := pre.DirEntries(1)
-	var totB, totZ float64
-	for _, suite := range allSuites {
-		var eb, ez float64
+	p := o.runner()
+	type runPair struct {
+		base, zd *Future[stats.Run]
+	}
+	futs := make([][]runPair, len(allSuites))
+	for si, suite := range allSuites {
 		for _, u := range groupUnits(o, suite) {
-			base := runStreams(pre.Baseline(1, llc.NonInclusive), u.make(pre.Cores), "base")
-			zd := runStreams(zdev(pre, 0, llc.NonInclusive), u.make(pre.Cores), "zdev")
+			u := u
+			futs[si] = append(futs[si], runPair{
+				Submit(p, func() stats.Run {
+					return runStreams(pre.Baseline(1, llc.NonInclusive), u.make(pre.Cores), "base")
+				}),
+				Submit(p, func() stats.Run {
+					return runStreams(zdev(pre, 0, llc.NonInclusive), u.make(pre.Cores), "zdev")
+				}),
+			})
+		}
+	}
+	var totB, totZ float64
+	for si, suite := range allSuites {
+		var eb, ez float64
+		for _, pair := range futs[si] {
+			base, zd := pair.base.Wait(), pair.zd.Wait()
 			eb += energy.Estimate(pre.Cores, dirEntries, pre.LLCBytes,
 				uint64(base.Cycles), dirAccesses(base), llcAccesses(base)).Total()
 			ez += energy.Estimate(pre.Cores, 0, pre.LLCBytes,
@@ -78,18 +95,38 @@ func multisocketExp(o Options, w io.Writer) error {
 		Title:   "Multi-socket (4 x 8 cores): ZeroDEV speedup vs baseline 1x per suite (paper: within ~1.6%)",
 		Headers: []string{"suite", "ZDev-NoDir", "ZDev-1/8x", "fwd/NACK/merges (NoDir)"},
 	}
-	for _, suite := range mtSuites {
+	p := so.runner()
+	type socketRun struct {
+		cycles uint64
+		st     socket.Stats
+	}
+	futs := make([][][3]*Future[socketRun], len(mtSuites))
+	for si, suite := range mtSuites {
+		for _, prof := range suiteApps(so, suite) {
+			prof := prof
+			submit := func(spec core.SystemSpec) *Future[socketRun] {
+				return Submit(p, func() socketRun {
+					c, st := runSocketSys(so, sockets, spec, prof)
+					return socketRun{c, st}
+				})
+			}
+			futs[si] = append(futs[si], [3]*Future[socketRun]{
+				submit(pre.Baseline(1, llc.NonInclusive)),
+				submit(zdev(pre, 0, llc.NonInclusive)),
+				submit(zdev(pre, 1.0/8, llc.NonInclusive)),
+			})
+		}
+	}
+	for si, suite := range mtSuites {
 		var sn, s8 []float64
 		var fwds, nacks, merges uint64
-		for _, prof := range suiteApps(so, suite) {
-			base, _ := runSocketSys(so, sockets, pre.Baseline(1, llc.NonInclusive), prof)
-			zn, st := runSocketSys(so, sockets, zdev(pre, 0, llc.NonInclusive), prof)
-			z8, _ := runSocketSys(so, sockets, zdev(pre, 1.0/8, llc.NonInclusive), prof)
-			sn = append(sn, float64(base)/float64(zn))
-			s8 = append(s8, float64(base)/float64(z8))
-			fwds += st.SocketForwards
-			nacks += st.DENFNacks
-			merges += st.CorruptedMerges
+		for _, trio := range futs[si] {
+			base, zn, z8 := trio[0].Wait(), trio[1].Wait(), trio[2].Wait()
+			sn = append(sn, float64(base.cycles)/float64(zn.cycles))
+			s8 = append(s8, float64(base.cycles)/float64(z8.cycles))
+			fwds += zn.st.SocketForwards
+			nacks += zn.st.DENFNacks
+			merges += zn.st.CorruptedMerges
 		}
 		t.AddRow(suite, f3(stats.GeoMean(sn)), f3(stats.GeoMean(s8)),
 			fmt.Sprintf("%d/%d/%d", fwds, nacks, merges))

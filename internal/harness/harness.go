@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 
 	"repro/internal/core"
@@ -30,11 +31,24 @@ type Options struct {
 	// Quick trims application lists to a representative subset per
 	// suite; used by the benchmark targets.
 	Quick bool
+	// Workers bounds how many simulations run concurrently. Values <= 1
+	// run every simulation inline on the calling goroutine (the exact
+	// serial path); any value produces byte-identical experiment output
+	// because results are assembled in submission order.
+	Workers int
+	// Progress, when non-nil, receives rate-limited "done/total jobs"
+	// lines while an experiment runs (the CLI points it at stderr).
+	Progress io.Writer
+
+	// pool is the experiment-wide worker pool installed by Execute;
+	// experiments reach it through runner().
+	pool *Pool
 }
 
-// DefaultOptions returns the standard experiment scale.
+// DefaultOptions returns the standard experiment scale, with one
+// simulation worker per available CPU.
 func DefaultOptions() Options {
-	return Options{Scale: 8, Accesses: 100_000, Seed: 1}
+	return Options{Scale: 8, Accesses: 100_000, Seed: 1, Workers: runtime.GOMAXPROCS(0)}
 }
 
 // Experiment is one reproducible table/figure.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/llc"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // Figures 2-6: the motivation studies quantifying DEV cost and the
@@ -20,6 +21,26 @@ func init() {
 	register("fig6", "Fig 6: performance with reduced LLC associativity", fig6)
 }
 
+// baseUnbPair submits the 1x-baseline and unbounded-directory runs of
+// one profile as two pool jobs.
+type baseUnbPair struct {
+	base, unb *Future[stats.Run]
+}
+
+func submitBaseUnb(o Options, p *Pool, pre config.Preset, profs []workload.Profile) []baseUnbPair {
+	pairs := make([]baseUnbPair, len(profs))
+	for i, prof := range profs {
+		prof := prof
+		pairs[i].base = Submit(p, func() stats.Run {
+			return runSuiteApp(o, pre.Baseline(1, llc.NonInclusive), prof, "base1x")
+		})
+		pairs[i].unb = Submit(p, func() stats.Run {
+			return runSuiteApp(o, pre.Unbounded(llc.NonInclusive), prof, "unbounded")
+		})
+	}
+	return pairs
+}
+
 func fig2(o Options, w io.Writer) error {
 	pre := config.TableI(o.Scale)
 	t := stats.Table{
@@ -27,9 +48,10 @@ func fig2(o Options, w io.Writer) error {
 		Headers: []string{"app", "traffic", "misses", "speedup", "savedMPKI"},
 	}
 	var traf, miss, spd []float64
-	for _, prof := range suiteApps(o, "CPU2017") {
-		base := runRate(o, pre.Baseline(1, llc.NonInclusive), prof, "base1x")
-		unb := runRate(o, pre.Unbounded(llc.NonInclusive), prof, "unbounded")
+	profs := suiteApps(o, "CPU2017")
+	pairs := submitBaseUnb(o, o.runner(), pre, profs)
+	for i, prof := range profs {
+		base, unb := pairs[i].base.Wait(), pairs[i].unb.Wait()
 		tr, ms := stats.NormTraffic(base, unb), stats.NormMisses(base, unb)
 		sp := stats.WeightedSpeedup(base, unb)
 		t.AddRow(prof.Name, f3(tr), f3(ms), f3(sp), fmt.Sprintf("%.1f", base.MPKI()-unb.MPKI()))
@@ -44,21 +66,27 @@ func fig2(o Options, w io.Writer) error {
 
 func fig3(o Options, w io.Writer) error {
 	pre := config.TableI(o.Scale)
+	p := o.runner()
 	t := stats.Table{
 		Title:   "Fig 3: normalized traffic / core cache misses / speedup (unbounded vs 1x), multithreaded",
 		Headers: []string{"app/suite", "traffic", "misses", "speedup", "savedMPKI"},
 	}
-	for _, prof := range suiteApps(o, "PARSEC") {
-		base := runThreads(o, pre.Baseline(1, llc.NonInclusive), prof, "base1x")
-		unb := runThreads(o, pre.Unbounded(llc.NonInclusive), prof, "unbounded")
+	appProfs := suiteApps(o, "PARSEC")
+	appPairs := submitBaseUnb(o, p, pre, appProfs)
+	avgSuites := []string{"PARSEC", "SPLASH2X", "SPECOMP", "FFTW"}
+	avgPairs := make([][]baseUnbPair, len(avgSuites))
+	for si, suite := range avgSuites {
+		avgPairs[si] = submitBaseUnb(o, p, pre, suiteApps(o, suite))
+	}
+	for i, prof := range appProfs {
+		base, unb := appPairs[i].base.Wait(), appPairs[i].unb.Wait()
 		t.AddRow(prof.Name, f3(stats.NormTraffic(base, unb)), f3(stats.NormMisses(base, unb)),
 			f3(stats.Speedup(base, unb)), fmt.Sprintf("%.1f", base.MPKI()-unb.MPKI()))
 	}
-	for _, suite := range []string{"PARSEC", "SPLASH2X", "SPECOMP", "FFTW"} {
+	for si, suite := range avgSuites {
 		var traf, miss, spd []float64
-		for _, prof := range suiteApps(o, suite) {
-			base := runThreads(o, pre.Baseline(1, llc.NonInclusive), prof, "base1x")
-			unb := runThreads(o, pre.Unbounded(llc.NonInclusive), prof, "unbounded")
+		for _, pair := range avgPairs[si] {
+			base, unb := pair.base.Wait(), pair.unb.Wait()
 			traf = append(traf, stats.NormTraffic(base, unb))
 			miss = append(miss, stats.NormMisses(base, unb))
 			spd = append(spd, stats.Speedup(base, unb))
@@ -99,11 +127,26 @@ func fig5(o Options, w io.Writer) error {
 		Title:   "Fig 5: peak directory entries overflowing the 1x organization, as % of LLC blocks (one spilled entry = one LLC block)",
 		Headers: []string{"suite", "max-of-max", "avg-of-max", "max app"},
 	}
-	for _, suite := range allSuites {
+	p := o.runner()
+	type suiteJobs struct {
+		profs []workload.Profile
+		futs  []*Future[stats.Run]
+	}
+	jobs := make([]suiteJobs, len(allSuites))
+	for si, suite := range allSuites {
+		jobs[si].profs = suiteApps(o, suite)
+		for _, prof := range jobs[si].profs {
+			prof := prof
+			jobs[si].futs = append(jobs[si].futs, Submit(p, func() stats.Run {
+				return runSuiteApp(o, pre.Unbounded(llc.NonInclusive), prof, "unbounded")
+			}))
+		}
+	}
+	for si, suite := range allSuites {
 		var occ []float64
 		maxApp, maxV := "", 0.0
-		for _, prof := range suiteApps(o, suite) {
-			unb := runSuiteApp(o, pre.Unbounded(llc.NonInclusive), prof, "unbounded")
+		for pi, prof := range jobs[si].profs {
+			unb := jobs[si].futs[pi].Wait()
 			pct := 100 * float64(unb.DirPeakOverflow) / float64(llcBlocks)
 			occ = append(occ, pct)
 			if pct >= maxV {

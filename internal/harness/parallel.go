@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// This file implements the parallel experiment engine. Every simulation
+// an experiment performs is an independent job: it builds its own
+// core.System from freshly synthesized, seed-derived streams, so jobs
+// share no mutable state and may run concurrently in any order. The
+// engine preserves the serial output bit for bit by separating
+// scheduling from assembly: jobs are submitted in the same order the
+// serial loops ran them, each Submit returns a Future, and callers Wait
+// on the futures in submission order before formatting any output.
+// DESIGN.md ("Parallel sweeps") records the determinism argument;
+// determinism_test.go enforces it.
+
+// Pool schedules independent simulation jobs across a bounded number of
+// worker goroutines. With Workers <= 1 jobs run inline on the caller's
+// goroutine at Submit time, which is exactly the serial execution path.
+// A Pool also accounts jobs and summed simulation time for the
+// RunTiming summary, and optionally emits progress lines.
+type Pool struct {
+	workers  int
+	sem      chan struct{}
+	label    string
+	progress io.Writer
+
+	mu        sync.Mutex
+	submitted int
+	done      int
+	sim       time.Duration
+	lastLine  time.Time
+}
+
+// NewPool returns a pool running at most workers jobs concurrently
+// (values below 1 are treated as 1, the serial path). When progress is
+// non-nil, rate-limited "done/submitted" lines prefixed with label are
+// written to it as jobs finish.
+func NewPool(workers int, progress io.Writer, label string) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, label: label, progress: progress}
+	if workers > 1 {
+		p.sem = make(chan struct{}, workers)
+	}
+	return p
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Future is the pending result of a submitted job.
+type Future[T any] struct {
+	done chan struct{}
+	val  T
+}
+
+// Wait blocks until the job finishes and returns its result.
+func (f *Future[T]) Wait() T {
+	<-f.done
+	return f.val
+}
+
+// Submit schedules fn on the pool and returns its future. On a serial
+// pool (workers <= 1, or p == nil) fn runs before Submit returns, so a
+// sequence of Submit calls executes jobs in exactly the serial order.
+func Submit[T any](p *Pool, fn func() T) *Future[T] {
+	f := &Future[T]{done: make(chan struct{})}
+	if p == nil {
+		f.val = fn()
+		close(f.done)
+		return f
+	}
+	p.mu.Lock()
+	p.submitted++
+	p.mu.Unlock()
+	if p.workers <= 1 {
+		start := time.Now()
+		f.val = fn()
+		close(f.done)
+		p.finish(start)
+		return f
+	}
+	go func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		start := time.Now()
+		f.val = fn()
+		close(f.done)
+		p.finish(start)
+	}()
+	return f
+}
+
+// finish records a completed job and emits a progress line at most once
+// per second. The write happens under the pool mutex so a shared
+// progress writer needs no synchronization of its own.
+func (p *Pool) finish(start time.Time) {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	p.sim += now.Sub(start)
+	if p.progress != nil && now.Sub(p.lastLine) >= time.Second {
+		p.lastLine = now
+		fmt.Fprintf(p.progress, "%s: %d/%d jobs\n", p.label, p.done, p.submitted)
+	}
+}
+
+// timing snapshots the pool's accounting into a RunTiming (Wall is
+// filled in by the caller, which owns the experiment's clock).
+func (p *Pool) timing() stats.RunTiming {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return stats.RunTiming{
+		Experiment: p.label,
+		Workers:    p.workers,
+		Jobs:       p.done,
+		Sim:        p.sim,
+	}
+}
+
+// runner returns the experiment-wide pool when Execute installed one,
+// and otherwise a fresh silent pool sized by o.Workers. Experiments call
+// it once per sweep so direct e.Run calls still parallelize.
+func (o Options) runner() *Pool {
+	if o.pool != nil {
+		return o.pool
+	}
+	return NewPool(o.Workers, nil, "")
+}
+
+// Execute runs the experiment with a shared worker pool sized by
+// o.Workers and returns the timing summary alongside the experiment's
+// error. Output written to w is byte-identical for any worker count.
+func (e Experiment) Execute(o Options, w io.Writer) (stats.RunTiming, error) {
+	p := NewPool(o.Workers, o.Progress, e.ID)
+	o.pool = p
+	start := time.Now()
+	err := e.Run(o, w)
+	t := p.timing()
+	t.Wall = time.Since(start)
+	return t, err
+}

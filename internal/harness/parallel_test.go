@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/llc"
+)
+
+// TestPoolOrdering checks the engine's core contract: futures resolve to
+// their own job's result regardless of scheduling, so waiting in
+// submission order reassembles the serial sequence.
+func TestPoolOrdering(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers, nil, "order")
+		var futs []*Future[int]
+		for i := 0; i < 100; i++ {
+			i := i
+			futs = append(futs, Submit(p, func() int { return i * i }))
+		}
+		for i, f := range futs {
+			if got := f.Wait(); got != i*i {
+				t.Fatalf("workers=%d: job %d returned %d, want %d", workers, i, got, i*i)
+			}
+		}
+		if tm := p.timing(); tm.Jobs != 100 {
+			t.Fatalf("workers=%d: timing counted %d jobs, want 100", workers, tm.Jobs)
+		}
+	}
+}
+
+// TestPoolConcurrencyBound verifies the semaphore actually bounds how
+// many jobs run at once.
+func TestPoolConcurrencyBound(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers, nil, "bound")
+	var inFlight, peak atomic.Int32
+	gate := make(chan struct{})
+	var futs []*Future[struct{}]
+	for i := 0; i < 32; i++ {
+		futs = append(futs, Submit(p, func() struct{} {
+			n := inFlight.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			<-gate
+			inFlight.Add(-1)
+			return struct{}{}
+		}))
+	}
+	close(gate)
+	for _, f := range futs {
+		f.Wait()
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent jobs, bound is %d", got, workers)
+	}
+}
+
+// TestSerialSubmitRunsInline pins the Workers<=1 guarantee: the job has
+// already executed, on the calling goroutine, when Submit returns.
+func TestSerialSubmitRunsInline(t *testing.T) {
+	p := NewPool(1, nil, "serial")
+	ran := false
+	f := Submit(p, func() bool { ran = true; return true })
+	if !ran {
+		t.Fatal("serial Submit returned before running the job")
+	}
+	f.Wait()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+}
+
+// TestParallelSweepMatchesSerial is the short race-detector tier: it
+// drives the real sweep path (workload synthesis, full simulations,
+// stats collection) through a parallel pool and cross-checks every
+// speedup and collected run against the serial sweep. Run it with
+// `go test -race -short ./internal/harness` to shake out shared-state
+// races; heavier determinism checks live in determinism_test.go.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	o := tinyOptions()
+	o.Accesses = 1500
+	pre := config.TableI(o.Scale)
+	cfgs := []namedSpec{
+		{"1/8x", pre.Baseline(1.0/8, llc.NonInclusive)},
+		{"1/32x", pre.Baseline(1.0/32, llc.NonInclusive)},
+	}
+	serial, parallel := o, o
+	serial.Workers = 1
+	parallel.Workers = 4
+	rs := sweepGroup(serial, "FFTW", pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+	rp := sweepGroup(parallel, "FFTW", pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+	if !reflect.DeepEqual(rs.speedups, rp.speedups) {
+		t.Fatalf("parallel speedups %v differ from serial %v", rp.speedups, rs.speedups)
+	}
+	if !reflect.DeepEqual(rs.runs, rp.runs) {
+		t.Fatal("parallel collected runs differ from serial")
+	}
+}
+
+// TestExecuteProgressAndTiming checks the observability surface: Execute
+// reports the experiment ID and job counts, and progress lines go to the
+// configured writer, never to the experiment output.
+func TestExecuteProgressAndTiming(t *testing.T) {
+	e, err := Get("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := tinyOptions()
+	o.Accesses = 1000
+	o.Workers = 4
+	var progress, out bytes.Buffer
+	o.Progress = &progress
+	tm, err := e.Execute(o, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Experiment != "fig4" || tm.Workers != 4 || tm.Jobs == 0 || tm.Wall <= 0 {
+		t.Fatalf("bad timing summary: %+v", tm)
+	}
+	var line strings.Builder
+	tm.Fprint(&line)
+	if !strings.Contains(line.String(), "fig4") || !strings.Contains(line.String(), fmt.Sprintf("%d jobs", tm.Jobs)) {
+		t.Fatalf("timing line %q missing fields", line.String())
+	}
+	if strings.Contains(out.String(), "jobs") {
+		t.Fatal("progress leaked into experiment output")
+	}
+}

@@ -19,20 +19,41 @@ type sweepResult struct {
 }
 
 // sweepGroup runs every unit of a group once against the base spec and
-// once per configuration, computing the unit-appropriate speedup. The
-// base run is shared across configurations, which matters on the
-// single-threaded experiment path.
+// once per configuration, computing the unit-appropriate speedup. Each
+// (unit, config) simulation is an independent job on the options'
+// worker pool; results are collected in submission order, so the
+// returned slices — and any output formatted from them — are identical
+// for every worker count.
 func sweepGroup(o Options, group string, baseSpec core.SystemSpec, cores int, cfgs []namedSpec) sweepResult {
 	units := groupUnits(o, group)
+	p := o.runner()
+	type unitFutures struct {
+		base *Future[stats.Run]
+		cfg  []*Future[stats.Run]
+	}
+	futs := make([]unitFutures, len(units))
+	for ui, u := range units {
+		u := u
+		futs[ui].base = Submit(p, func() stats.Run {
+			return runStreams(baseSpec, u.make(cores), "base")
+		})
+		futs[ui].cfg = make([]*Future[stats.Run], len(cfgs))
+		for ci, c := range cfgs {
+			c := c
+			futs[ui].cfg[ci] = Submit(p, func() stats.Run {
+				return runStreams(c.spec, u.make(cores), c.name)
+			})
+		}
+	}
 	res := sweepResult{
 		speedups: make([][]float64, len(cfgs)),
 		runs:     make([][]stats.Run, len(cfgs)),
 		units:    units,
 	}
-	for _, u := range units {
-		base := runStreams(baseSpec, u.make(cores), "base")
-		for ci, c := range cfgs {
-			x := runStreams(c.spec, u.make(cores), c.name)
+	for ui, u := range units {
+		base := futs[ui].base.Wait()
+		for ci := range cfgs {
+			x := futs[ui].cfg[ci].Wait()
 			res.speedups[ci] = append(res.speedups[ci], unitSpeedup(u, base, x))
 			res.runs[ci] = append(res.runs[ci], x)
 		}

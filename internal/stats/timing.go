@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RunTiming summarizes the wall-clock cost of one experiment run under
+// the parallel engine: how many simulation jobs ran, on how many
+// workers, the elapsed wall time, and the summed per-job simulation
+// time. Sim/Wall is the realized parallelism.
+type RunTiming struct {
+	Experiment string
+	Workers    int
+	Jobs       int
+	Wall       time.Duration
+	Sim        time.Duration
+}
+
+// Parallelism is the realized speedup over the jobs' summed simulation
+// time (1.0 on the serial path, approaching Workers under full load).
+func (t RunTiming) Parallelism() float64 {
+	if t.Wall <= 0 {
+		return 0
+	}
+	return float64(t.Sim) / float64(t.Wall)
+}
+
+// Fprint writes a one-line summary.
+func (t RunTiming) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "[%s: %d jobs on %d workers, wall %v, sim %v, %.1fx]\n",
+		t.Experiment, t.Jobs, t.Workers,
+		t.Wall.Round(time.Millisecond), t.Sim.Round(time.Millisecond),
+		t.Parallelism())
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/coher"
+	"repro/internal/cpu"
+)
+
+// decodeAccesses interprets fuzz bytes as a reference stream: 13-byte
+// records of gap (4), kind (1), and address (8). The tail is dropped.
+func decodeAccesses(data []byte) []cpu.Access {
+	var accs []cpu.Access
+	for i := 0; i+13 <= len(data); i += 13 {
+		accs = append(accs, cpu.Access{
+			Gap:  binary.LittleEndian.Uint32(data[i:]),
+			Kind: cpu.OpKind(data[i+4] % 3),
+			Addr: coher.Addr(binary.LittleEndian.Uint64(data[i+5:])),
+		})
+	}
+	return accs
+}
+
+// sliceStream replays a fixed access slice as a cpu.Stream.
+type sliceStream struct {
+	accs []cpu.Access
+	i    int
+}
+
+func (s *sliceStream) Next() (cpu.Access, bool) {
+	if s.i >= len(s.accs) {
+		return cpu.Access{}, false
+	}
+	a := s.accs[s.i]
+	s.i++
+	return a, true
+}
+
+// FuzzTraceRoundTrip checks that any access sequence — including
+// address deltas that wrap the int64 zig-zag encoding — replays from its
+// recorded trace exactly.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 13))
+	f.Add([]byte("\x01\x00\x00\x00\x02\x40\x00\x00\x00\x00\x00\x00\x00" +
+		"\x00\x00\x00\x00\x00\x80\x00\x00\x00\x00\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accs := decodeAccesses(data)
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, err := Record(w, &sliceStream{accs: accs}, -1); err != nil || n != uint64(len(accs)) {
+			t.Fatalf("record: n=%d err=%v, want %d accesses", n, err, len(accs))
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range accs {
+			got, ok := r.Next()
+			if !ok {
+				t.Fatalf("stream ended at access %d of %d: %v", i, len(accs), r.Err())
+			}
+			if got != want {
+				t.Fatalf("access %d: replayed %+v, recorded %+v", i, got, want)
+			}
+		}
+		if _, ok := r.Next(); ok {
+			t.Fatal("replay produced extra accesses")
+		}
+		if err := r.Err(); err != nil {
+			t.Fatalf("clean trace left error %v", err)
+		}
+	})
+}
+
+// FuzzReaderArbitrary feeds arbitrary bytes to the varint record decoder:
+// it must never panic, must terminate, and must flag truncated or corrupt
+// input through Err rather than fabricating an unbounded stream.
+func FuzzReaderArbitrary(f *testing.F) {
+	f.Add([]byte(Magic))
+	f.Add([]byte(Magic + "\x00\x00"))
+	f.Add([]byte(Magic + "\x05\x01\x02"))
+	f.Add([]byte("not a trace"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // bad magic is a valid rejection
+		}
+		// Each record consumes at least one byte, so the stream must end
+		// within len(data) accesses.
+		n := 0
+		for {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+			n++
+			if n > len(data) {
+				t.Fatalf("decoded %d accesses from %d bytes", n, len(data))
+			}
+		}
+		if _, ok := r.Next(); ok {
+			t.Fatal("Next returned an access after end of stream")
+		}
+	})
+}
