@@ -1,0 +1,75 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/harness"
+)
+
+// auditCmd runs the fault-injection campaigns of internal/faults: every
+// selected injector firing against every selected campaign cell, with
+// the invariant auditor running every -audit-every scheduler steps.
+func auditCmd(args []string) {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	o := harness.DefaultOptions()
+	o.Accesses = 20000
+	fs.IntVar(&o.Scale, "scale", o.Scale, "capacity scale divisor (power of two; 1 = Table I)")
+	fs.IntVar(&o.Accesses, "accesses", o.Accesses, "memory accesses per core")
+	var seed uint64
+	fs.Uint64Var(&seed, "seed", 1, "campaign seed (workloads and fault sequence)")
+	fs.IntVar(&o.Workers, "workers", o.Workers, "parallel campaign cells (output is identical at any value)")
+	fs.IntVar(&o.Retries, "retries", o.Retries, "extra attempts for a panicking cell before it is recorded as failed")
+	fs.StringVar(&o.CrashDir, "crash", o.CrashDir, "directory for panic replay bundles (\"\" disables)")
+	quiet := fs.Bool("quiet", false, "suppress progress and timing lines on stderr")
+	kinds := fs.String("faults", "all", "comma-separated injector kinds (see -list)")
+	auditEvery := fs.Int("audit-every", 1000, "run the invariant auditor every N scheduler steps (0 = only at completion)")
+	failFast := fs.Bool("fail-fast", false, "stop the campaign at the first failing cell")
+	campaigns := fs.String("campaigns", "all", "comma-separated campaign cells (see -list)")
+	rateScale := fs.Float64("rate-scale", 1, "multiply every injector's default rate")
+	list := fs.Bool("list", false, "describe injectors and campaign cells, then exit")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *list {
+		faults.WriteList(os.Stdout)
+		return
+	}
+	o.Seed = seed
+	if !*quiet {
+		o.Progress = os.Stderr
+	}
+	if err := o.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "audit:", err)
+		os.Exit(2)
+	}
+	if *auditEvery < 0 {
+		fmt.Fprintf(os.Stderr, "audit: -audit-every must be non-negative, got %d\n", *auditEvery)
+		os.Exit(2)
+	}
+	cfg := faults.DefaultConfig()
+	cfg.AuditEvery = *auditEvery
+	cfg.RateScale = *rateScale
+	cfg.FailFast = *failFast
+	var err error
+	if cfg.Enabled, err = faults.ParseKinds(*kinds); err != nil {
+		fmt.Fprintln(os.Stderr, "audit:", err)
+		os.Exit(2)
+	}
+	cells, err := faults.SelectCampaigns(*campaigns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "audit:", err)
+		os.Exit(2)
+	}
+	start := time.Now()
+	if err := faults.RunCampaigns(cfg, cells, o, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "audit: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "[audit finished in %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/harness"
 )
 
@@ -42,6 +43,15 @@ func TestListGolden(t *testing.T) {
 	var buf bytes.Buffer
 	writeList(&buf)
 	golden(t, "list", buf.Bytes())
+}
+
+// TestAuditListGolden pins the `zerodev audit -list` output: the
+// injector kinds, their default rates, and the campaign cells are part
+// of the CLI surface (and of the fault model documented in DESIGN.md).
+func TestAuditListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	faults.WriteList(&buf)
+	golden(t, "audit_list", buf.Bytes())
 }
 
 // TestRunExperimentGolden pins the full table output of one quick

@@ -8,6 +8,7 @@
 //	zerodev run [-scale N] [-accesses N] [-seed N] [-quick] [-workers N] <experiment>...
 //	zerodev run all            # every experiment, paper order
 //	zerodev single [-config baseline|zerodev] [-ratio R] [-policy P] <app>
+//	zerodev audit [-faults K,..] [-campaigns C,..] [-audit-every N] [-fail-fast]
 package main
 
 import (
@@ -38,6 +39,8 @@ func main() {
 		runCmd(os.Args[2:])
 	case "single":
 		singleCmd(os.Args[2:])
+	case "audit":
+		auditCmd(os.Args[2:])
 	case "trace":
 		traceCmd(os.Args[2:])
 	case "compare":
@@ -56,7 +59,7 @@ func writeList(w io.Writer) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: zerodev list | run [flags] <experiment>...|all | single [flags] <app> | compare [flags] <app> | trace [flags]")
+		"usage: zerodev list | run [flags] <experiment>...|all | single [flags] <app> | compare [flags] <app> | trace [flags] | audit [flags]")
 }
 
 func runCmd(args []string) {
@@ -76,6 +79,10 @@ func runCmd(args []string) {
 	if !*quiet {
 		o.Progress = os.Stderr
 	}
+	if err := o.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		os.Exit(2)
+	}
 	ids := fs.Args()
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "run: no experiments named; try `zerodev list`")
@@ -87,6 +94,7 @@ func runCmd(args []string) {
 			ids = append(ids, e.ID)
 		}
 	}
+	var failed []string
 	for _, id := range ids {
 		e, err := harness.Get(id)
 		if err != nil {
@@ -96,13 +104,20 @@ func runCmd(args []string) {
 		start := time.Now()
 		tm, err := e.Execute(o, os.Stdout)
 		if err != nil {
+			// Keep going: later experiments are independent, and the
+			// failure (including any ERR cells) is already rendered.
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+			failed = append(failed, id)
 		}
 		if !*quiet {
 			tm.Fprint(os.Stderr)
 		}
 		fmt.Printf("[%s finished in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "run: %d of %d experiments failed: %s\n",
+			len(failed), len(ids), strings.Join(failed, ", "))
+		os.Exit(1)
 	}
 }
 
@@ -119,6 +134,10 @@ func singleCmd(args []string) {
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "single: exactly one application name required")
+		os.Exit(2)
+	}
+	if err := (harness.Options{Scale: *scale, Accesses: *accesses, Workers: 1}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "single:", err)
 		os.Exit(2)
 	}
 	prof, err := workload.Get(fs.Arg(0))

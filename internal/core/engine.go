@@ -102,13 +102,14 @@ type CorePort interface {
 // Engine is the per-socket uncore: sparse directory, LLC, interconnect
 // and the coherence state machine gluing them to the home agent.
 type Engine struct {
-	p     Params
-	cores []CorePort
-	dir   directory.Directory
-	llc   *llc.LLC
-	mesh  *noc.Mesh
-	home  Home
-	stats Stats
+	p      Params
+	cores  []CorePort
+	dir    directory.Directory
+	llc    *llc.LLC
+	mesh   *noc.Mesh
+	home   Home
+	stats  Stats
+	faults FaultPort
 }
 
 // New wires an engine. cores may be attached later with AttachCores when

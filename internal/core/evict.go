@@ -29,6 +29,7 @@ func (e *Engine) Evict(t sim.Cycle, c coher.CoreID, addr coher.Addr, state coher
 	}
 
 	v := e.llc.Probe(addr)
+	v = e.maybeCorruptDE(t, addr, v)
 	ent, loc := e.findDE(addr, v)
 	if loc == locNone {
 		e.evictNoDE(t, c, addr, state)

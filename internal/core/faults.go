@@ -1,0 +1,119 @@
+package core
+
+import (
+	"repro/internal/coher"
+	"repro/internal/llc"
+	"repro/internal/sim"
+)
+
+// This file is the engine side of the fault-injection seams used by
+// internal/faults. Faults never teleport state: every perturbation is
+// expressed through an existing protocol flow (WB_DE quarantine of a
+// suspect entry, a forced DE eviction, a socket-style invalidation), so
+// a correct engine must survive all of them by exercising the paper's
+// recovery machinery — corrupted-block fetch, GET_DE, DENF_NACK retry
+// and last-copy retrieval. DESIGN.md ("Fault model") gives the full
+// fault → recovery-flow map.
+
+// FaultPort is consulted by the engine at LLC read time, once per
+// top-level request that observes a housed directory entry. A true
+// return means the stored encoding suffered an uncorrectable bit flip:
+// the engine retires the entry to home memory (quarantine via the WB_DE
+// flow) and re-reads the LLC, after which the usual no-DE recovery
+// paths serve the request. internal/faults implements it.
+type FaultPort interface {
+	CorruptHousedDE(addr coher.Addr, ent coher.Entry, fused bool) bool
+}
+
+// SetFaultPort installs (or, with nil, removes) the fault injector.
+func (e *Engine) SetFaultPort(f FaultPort) { e.faults = f }
+
+// maybeCorruptDE gives the fault port a chance to corrupt the housed
+// directory entry the current request is about to consume. It runs only
+// at top-level request entry — never inside a recovery redispatch — so
+// the engine observes the corruption exactly as it would observe a
+// flipped line read from the LLC array: the entry is gone from the
+// socket and its last-known value lives in the block's home segment.
+// Returns the view to use (re-probed when the line changed).
+func (e *Engine) maybeCorruptDE(t sim.Cycle, addr coher.Addr, v llc.View) llc.View {
+	if e.faults == nil || !e.p.ZeroDEV || !v.HasDE() {
+		return v
+	}
+	ent := e.llc.Payload(v, v.DEWay).Entry
+	if !e.faults.CorruptHousedDE(addr, ent, v.Fused) {
+		return v
+	}
+	e.stats.FaultQuarantinedDEs++
+	e.retireDE(t, addr, v)
+	return e.llc.Probe(addr)
+}
+
+// retireDE quarantines an LLC-housed directory entry into the block's
+// home-memory segment via the ordinary WB_DE flow (Fig. 14), then drops
+// the LLC housing. For a fused line the block's low bits are
+// unreconstructible without a busy-clear retrieval, so the data part is
+// dropped too; a live entry always tracks at least one private copy, so
+// no data is lost and the §III-D4 last-copy retrieval restores memory
+// when that copy eventually leaves.
+func (e *Engine) retireDE(t sim.Cycle, addr coher.Addr, v llc.View) {
+	ent := e.llc.Payload(v, v.DEWay).Entry
+	e.record(coher.MsgWBDE)
+	e.home.WBDE(t, e.p.Socket, addr, ent)
+	fused := v.Fused
+	e.llc.DropDE(v)
+	if fused {
+		if v2 := e.llc.Probe(addr); v2.HasData() {
+			e.llc.InvalidateData(v2)
+		}
+	}
+}
+
+// ForceDEWriteback evicts the LLC-housed directory entry for addr into
+// home memory as if the replacement policy had victimized its line (a
+// DE-eviction storm forces many of these in a burst). Reports whether
+// an entry was actually housed in the LLC.
+func (e *Engine) ForceDEWriteback(t sim.Cycle, addr coher.Addr) bool {
+	if !e.p.ZeroDEV {
+		return false
+	}
+	v := e.llc.Probe(addr)
+	if !v.HasDE() {
+		return false
+	}
+	e.stats.FaultForcedWBDEs++
+	e.retireDE(t, addr, v)
+	return true
+}
+
+// InjectInvalidation spuriously invalidates every copy of addr on this
+// socket, mirroring what the home agent does when another socket
+// acquires the block exclusively. The invalidation is consistent — the
+// directory entry (on-chip or in a home segment) is freed along with
+// the copies and dirty data is written back when the home block can
+// accept it — so the protocol state
+// stays legal; the fault pressure is the lost locality and the
+// recovery flows later requests must take. Reports whether the socket
+// held anything to invalidate.
+func (e *Engine) InjectInvalidation(t sim.Cycle, addr coher.Addr) bool {
+	e.llc.Protect(addr)
+	defer e.llc.Unprotect()
+	var dirty bool
+	if _, loc := e.findDE(addr, e.llc.Probe(addr)); loc != locNone {
+		dirty = e.InvalidateSocketCopies(t, addr)
+	} else if seg, live := e.home.Segment(e.p.Socket, addr); live {
+		dirty = e.InvalidateSocketCopiesWithDE(t, addr, seg)
+		e.home.PutDE(t, e.p.Socket, addr, coher.Entry{})
+	} else {
+		return false
+	}
+	e.stats.FaultInvalidations++
+	if dirty && !e.home.Corrupted(addr) {
+		// Same rule as ordinary dirty evictions: while the home block is
+		// corrupted a full-block writeback would destroy other sockets'
+		// segments (mem.Restore clears them all), so the dirty data
+		// perishes with the injected invalidation instead.
+		e.home.WriteBack(t, e.p.Socket, addr)
+	}
+	e.maybeSocketEvict(t, addr)
+	return true
+}

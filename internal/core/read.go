@@ -20,6 +20,7 @@ func (e *Engine) Read(t sim.Cycle, c coher.CoreID, addr coher.Addr, code bool) (
 	bank := e.bankOf(addr)
 	t1 := t + e.mesh.CoreToBank(c, bank) + e.p.QueueCycles + e.p.TagCycles
 	v := e.llc.Probe(addr)
+	v = e.maybeCorruptDE(t1, addr, v)
 	ent, loc := e.findDE(addr, v)
 
 	fwdBefore, memBefore := e.stats.Forwards3Hop, e.stats.LLCMisses

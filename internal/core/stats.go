@@ -56,6 +56,12 @@ type Stats struct {
 	LastCopyRetrievals     uint64 // §III-D4: corrupted block restored from the evicting core
 	LastSharerRetrievals   uint64 // FuseAll low-bit retrieval from the last sharer
 	SpillAllExtraDataReads uint64 // SpillAll critical-path penalty events
+
+	// Fault-injection activity (internal/faults campaigns; zero in
+	// ordinary experiments).
+	FaultQuarantinedDEs uint64 // housed entries retired to home memory after a flip
+	FaultForcedWBDEs    uint64 // DE-eviction-storm writebacks
+	FaultInvalidations  uint64 // spurious whole-block invalidations
 }
 
 // Add merges o into s.
@@ -91,4 +97,7 @@ func (s *Stats) Add(o *Stats) {
 	s.LastCopyRetrievals += o.LastCopyRetrievals
 	s.LastSharerRetrievals += o.LastSharerRetrievals
 	s.SpillAllExtraDataReads += o.SpillAllExtraDataReads
+	s.FaultQuarantinedDEs += o.FaultQuarantinedDEs
+	s.FaultForcedWBDEs += o.FaultForcedWBDEs
+	s.FaultInvalidations += o.FaultInvalidations
 }

@@ -34,6 +34,11 @@ type SystemSpec struct {
 	DRAM   dram.Params
 	NoC    noc.Params
 	Uncore Params
+
+	// WrapHome, when non-nil, decorates the home agent the engine talks
+	// to (fault campaigns interpose message drop/duplication here).
+	// System.Home always exposes the undecorated LocalHome.
+	WrapHome func(Home) Home
 }
 
 // System is a runnable single-socket CMP: cores wired to a protocol
@@ -67,7 +72,11 @@ func NewSystem(spec SystemSpec, streams []cpu.Stream) *System {
 	up.Cores = spec.Cores
 	up.ZeroDEV = spec.ZeroDEV
 	up.Policy = spec.Policy
-	eng := New(up, spec.Dir(), l, mesh, home)
+	var h Home = home
+	if spec.WrapHome != nil {
+		h = spec.WrapHome(home)
+	}
+	eng := New(up, spec.Dir(), l, mesh, h)
 
 	sys := &System{Spec: spec, Engine: eng, Home: home}
 	ports := make([]CorePort, spec.Cores)

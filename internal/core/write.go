@@ -19,6 +19,7 @@ func (e *Engine) Write(t sim.Cycle, c coher.CoreID, addr coher.Addr) sim.Cycle {
 	bank := e.bankOf(addr)
 	t1 := t + e.mesh.CoreToBank(c, bank) + e.p.QueueCycles + e.p.TagCycles
 	v := e.llc.Probe(addr)
+	v = e.maybeCorruptDE(t1, addr, v)
 	ent, loc := e.findDE(addr, v)
 
 	switch {
@@ -176,6 +177,7 @@ func (e *Engine) Upgrade(t sim.Cycle, c coher.CoreID, addr coher.Addr) sim.Cycle
 	bank := e.bankOf(addr)
 	t1 := t + e.mesh.CoreToBank(c, bank) + e.p.QueueCycles + e.p.TagCycles
 	v := e.llc.Probe(addr)
+	v = e.maybeCorruptDE(t1, addr, v)
 	ent, loc := e.findDE(addr, v)
 
 	if loc == locNone {

@@ -1,0 +1,344 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/harness"
+	"repro/internal/llc"
+	"repro/internal/sim"
+	"repro/internal/socket"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Campaign is one cell of the audit sweep: a DE-caching policy crossed
+// with a socket count, run against one multithreaded application.
+type Campaign struct {
+	Name    string
+	Policy  core.DEPolicy
+	Sockets int
+	App     string
+}
+
+// Campaigns lists the default sweep: every DE-caching policy in both
+// single- and four-socket organizations, each against a different
+// sharing-heavy application.
+func Campaigns() []Campaign {
+	return []Campaign{
+		{"spillall-1s", core.SpillAll, 1, "canneal"},
+		{"fpss-1s", core.FPSS, 1, "freqmine"},
+		{"fuseall-1s", core.FuseAll, 1, "vips"},
+		{"spillall-4s", core.SpillAll, 4, "lu_ncb"},
+		{"fpss-4s", core.FPSS, 4, "canneal"},
+		{"fuseall-4s", core.FuseAll, 4, "ocean_cp"},
+	}
+}
+
+// SelectCampaigns filters the default list by a comma-separated name
+// list ("all" keeps everything).
+func SelectCampaigns(s string) ([]Campaign, error) {
+	all := Campaigns()
+	if strings.TrimSpace(s) == "all" {
+		return all, nil
+	}
+	var out []Campaign
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		found := false
+		for _, c := range all {
+			if c.Name == f {
+				out = append(out, c)
+				found = true
+				break
+			}
+		}
+		if !found {
+			var names []string
+			for _, c := range all {
+				names = append(names, c.Name)
+			}
+			return nil, fmt.Errorf("faults: unknown campaign %q (known: %s, or \"all\")",
+				f, strings.Join(names, ", "))
+		}
+	}
+	return out, nil
+}
+
+// Violation captures the first invariant failure of a cell with enough
+// context to replay and localize it.
+type Violation struct {
+	Cell string
+	Step uint64
+	Now  sim.Cycle
+	Err  string
+	Seed uint64
+
+	LogTail []Event
+	Summary string
+}
+
+// Diagnostic renders the violation as a multi-line report.
+func (v *Violation) Diagnostic() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INVARIANT VIOLATION in cell %q\n", v.Cell)
+	fmt.Fprintf(&b, "  at step %d (cycle %d), replay seed %d\n", v.Step, uint64(v.Now), v.Seed)
+	fmt.Fprintf(&b, "  %s\n", v.Err)
+	fmt.Fprintf(&b, "  engine state: %s\n", v.Summary)
+	fmt.Fprintf(&b, "  fault log tail (%d most recent):\n", len(v.LogTail))
+	for _, e := range v.LogTail {
+		fmt.Fprintf(&b, "    %s\n", e)
+	}
+	return b.String()
+}
+
+// CellResult is one campaign cell's outcome.
+type CellResult struct {
+	Campaign Campaign
+	Steps    uint64
+	Cycles   uint64
+	Audits   uint64
+
+	Counts                                  [NumKinds]uint64
+	FlipsDetected, FlipsMasked, FlipsSilent uint64
+	BrokenPutDEs                            uint64
+	FirstBreakStep                          uint64
+
+	Engine core.Stats
+	Socket socket.Stats
+
+	Violation *Violation
+}
+
+// engineSummary compresses the recovery-relevant engine counters for
+// the violation diagnostic.
+func engineSummary(st core.Stats) string {
+	return fmt.Sprintf(
+		"quarantines=%d forcedWBDE=%d spuriousInval=%d getDE=%d corruptedFetch=%d lastCopy=%d wbDE=%d",
+		st.FaultQuarantinedDEs, st.FaultForcedWBDEs, st.FaultInvalidations,
+		st.GetDEFlows, st.CorruptedFetches, st.LastCopyRetrievals, st.DEEvictionsToMemory)
+}
+
+// RunCell executes one campaign cell: it builds the system with the
+// injector wired into every seam, drives it with perturbation and
+// auditing between scheduler steps, and runs one final audit at
+// completion. idx distinguishes the cell's RNG stream within the
+// campaign seed. The returned error reflects construction failures
+// only; an invariant violation is reported in CellResult.Violation.
+func RunCell(cfg Config, c Campaign, o harness.Options, idx uint64) (CellResult, error) {
+	in := NewInjector(cfg, sim.NewRNG(o.Seed).Fork(0xFA+idx))
+	pre := config.TableI(o.Scale)
+	spec := pre.ZeroDEV(1.0/8, c.Policy, llc.DataLRU, llc.NonInclusive)
+	prof := workload.MustGet(c.App)
+
+	var (
+		tg     targets
+		agents []sim.Clocked
+		check  func() error
+		stSock func() socket.Stats
+	)
+	if c.Sockets <= 1 {
+		spec.WrapHome = func(h core.Home) core.Home { return &chaosHome{Home: h, in: in} }
+		sys := core.NewSystem(spec, workload.Threads(prof, spec.Cores, o.Accesses, o.Scale, o.Seed))
+		sys.Engine.SetFaultPort(in)
+		tg.engines = []*core.Engine{sys.Engine}
+		tg.cores = [][]*cpu.Core{sys.Cores}
+		for _, cc := range sys.Cores {
+			agents = append(agents, cc)
+		}
+		check = sys.Engine.CheckInvariants
+		stSock = func() socket.Stats { return socket.Stats{} }
+	} else {
+		p := socket.DefaultParams(c.Sockets, 65536/o.Scale*8)
+		p.WrapHome = func(_ int, h core.Home) core.Home { return &chaosHome{Home: h, in: in} }
+		p.Faults = in
+		streams := workload.Threads(prof, c.Sockets*spec.Cores, o.Accesses, o.Scale, o.Seed)
+		sys, err := socket.New(p, spec, streams)
+		if err != nil {
+			return CellResult{Campaign: c}, err
+		}
+		for _, s := range sys.Sockets {
+			s.Engine.SetFaultPort(in)
+			tg.engines = append(tg.engines, s.Engine)
+			tg.cores = append(tg.cores, s.Cores)
+			for _, cc := range s.Cores {
+				agents = append(agents, cc)
+			}
+		}
+		check = sys.CheckInvariants
+		stSock = sys.Stats
+	}
+
+	res := CellResult{Campaign: c}
+	crashAt := uint64(0)
+	if cfg.CrashCell == c.Name {
+		crashAt = uint64(o.Accesses) // roughly 1/len(agents) through the run
+	}
+	audit := func(now sim.Cycle) error {
+		res.Audits++
+		err := check()
+		if err != nil && res.Violation == nil {
+			res.Violation = &Violation{
+				Cell:    c.Name,
+				Step:    in.step,
+				Now:     now,
+				Err:     err.Error(),
+				Seed:    o.Seed,
+				LogTail: in.LogTail(),
+			}
+		}
+		return err
+	}
+	hook := func(step uint64, now sim.Cycle) error {
+		in.perturb(now, &tg)
+		if crashAt != 0 && step == crashAt {
+			panic(fmt.Sprintf("faults: deliberate crash injected in cell %q at step %d", c.Name, step))
+		}
+		if cfg.AuditEvery > 0 && step%uint64(cfg.AuditEvery) == 0 {
+			return audit(now)
+		}
+		return nil
+	}
+	last, err := sim.Drive(agents, hook)
+	if err == nil {
+		audit(last)
+	}
+
+	res.Steps = in.step
+	res.Cycles = uint64(last)
+	res.Counts = in.Counts()
+	res.FlipsDetected, res.FlipsMasked, res.FlipsSilent = in.FlipsDetected, in.FlipsMasked, in.FlipsSilent
+	res.BrokenPutDEs, res.FirstBreakStep = in.BrokenPutDEs, in.FirstBreakStep
+	for _, eng := range tg.engines {
+		res.Engine.Add(eng.Stats())
+	}
+	res.Socket = stSock()
+	if res.Violation != nil {
+		res.Violation.Summary = engineSummary(res.Engine)
+	}
+	return res, nil
+}
+
+// RunCampaigns sweeps the cells on the options' worker pool, renders the
+// result table to w, prints the first violation's diagnostic, and
+// returns the joined failures (nil when every cell completed with zero
+// violations). Output is assembled in submission order, so it is
+// byte-identical for every worker count.
+func RunCampaigns(cfg Config, cells []Campaign, o harness.Options, w io.Writer) error {
+	t := stats.Table{
+		Title: "Fault-injection audit: invariant checks under injected protocol faults",
+		Headers: []string{"cell", "policy", "skts", "app", "steps", "audits",
+			"flips d/m/s", "wbde -/+", "nack-", "storm", "spur", "getde/corr/last", "verdict"},
+	}
+	p := harness.NewPool(o.Workers, o.Progress, "audit")
+	p.EnableRecovery(harness.ReplayMeta{
+		Experiment: "audit",
+		Scale:      o.Scale,
+		Accesses:   o.Accesses,
+		Seed:       o.Seed,
+		Workers:    o.Workers,
+	}, o.CrashDir, o.Retries)
+
+	run := func(c Campaign, idx int) *harness.Future[CellResult] {
+		return harness.SubmitJob(p, c.Name, func() (CellResult, error) {
+			return RunCell(cfg, c, o, uint64(idx))
+		})
+	}
+	var futs []*harness.Future[CellResult]
+	if !cfg.FailFast {
+		for i, c := range cells {
+			futs = append(futs, run(c, i))
+		}
+	}
+
+	var errs []error
+	violations, crashed := 0, 0
+	var first *Violation
+	for i, c := range cells {
+		var (
+			r   CellResult
+			err error
+		)
+		if cfg.FailFast {
+			// Submit-and-wait serializes the cells so no later cell
+			// starts once one has failed.
+			r, err = run(c, i).Result()
+		} else {
+			r, err = futs[i].Result()
+		}
+		if err != nil {
+			crashed++
+			errs = append(errs, err)
+			t.AddRow(c.Name, c.Policy.String(), fmt.Sprint(c.Sockets), c.App,
+				"ERR", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR")
+			if cfg.FailFast {
+				break
+			}
+			continue
+		}
+		verdict := "OK"
+		if r.Violation != nil {
+			violations++
+			verdict = "VIOLATION"
+			if first == nil {
+				first = r.Violation
+			}
+			errs = append(errs, fmt.Errorf("faults: cell %s: invariant violation at step %d: %s",
+				c.Name, r.Violation.Step, r.Violation.Err))
+		}
+		cnt := r.Counts
+		t.AddRow(c.Name, c.Policy.String(), fmt.Sprint(c.Sockets), c.App,
+			fmt.Sprint(r.Steps), fmt.Sprint(r.Audits),
+			fmt.Sprintf("%d/%d/%d", r.FlipsDetected, r.FlipsMasked, r.FlipsSilent),
+			fmt.Sprintf("%d/%d", cnt[WBDEDrop], cnt[WBDEDup]),
+			fmt.Sprint(cnt[DENFDrop]),
+			fmt.Sprint(cnt[EvictStorm]),
+			fmt.Sprint(cnt[SpuriousInval]),
+			fmt.Sprintf("%d/%d/%d", r.Engine.GetDEFlows, r.Engine.CorruptedFetches, r.Engine.LastCopyRetrievals),
+			verdict)
+		if r.Violation != nil && cfg.FailFast {
+			break
+		}
+	}
+	t.Fprint(w)
+	if first != nil {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, first.Diagnostic())
+	}
+	fmt.Fprintf(w, "\n[audit: %d cells, %d violations, %d crashed]\n", len(cells), violations, crashed)
+	if ferr := p.FailureSummary(); ferr != nil {
+		errs = append(errs, ferr)
+	}
+	return errors.Join(errs...)
+}
+
+// WriteList describes the injectors and campaign cells (the `zerodev
+// audit -list` output, pinned by a golden test).
+func WriteList(w io.Writer) {
+	fmt.Fprintln(w, "Fault injectors (-faults, comma-separated or \"all\"):")
+	for _, k := range AllKinds() {
+		fmt.Fprintf(w, "  %-10s rate %-5.2g %s\n", k, k.Rate(), kindDescs[k])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Campaign cells (-campaigns, comma-separated or \"all\"):")
+	for _, c := range Campaigns() {
+		fmt.Fprintf(w, "  %-12s %-9s x%d socket(s), %s\n", c.Name, c.Policy, c.Sockets, c.App)
+	}
+}
+
+var kindDescs = [NumKinds]string{
+	DEFlip:        "flip one bit of a housed DE encoding at LLC read time",
+	WBDEDrop:      "lose a WB_DE message (delivered late by retransmission)",
+	WBDEDup:       "deliver a WB_DE message twice (idempotent merge)",
+	DENFDrop:      "lose a DENF_NACK (forward retransmitted)",
+	EvictStorm:    "force a burst of DE evictions to home memory",
+	SpuriousInval: "invalidate every copy of a random private block",
+}

@@ -1,0 +1,356 @@
+// Package faults implements deterministic, seed-driven fault-injection
+// campaigns against the ZeroDEV protocol seams, paired with an online
+// invariant auditor.
+//
+// Injection sites are chosen so the paper's recovery machinery must fire
+// for the simulation to survive:
+//
+//   - bit-flips in spilled/fused DE encodings at LLC read time, which
+//     force quarantine (WB_DE of the pre-flip entry to home memory) and
+//     later re-fetch through the corrupted-block / GET_DE flows
+//     (Figs. 15-16);
+//   - dropped or duplicated WB_DE messages, absorbed by retransmission
+//     and the home agent's idempotent corrupted-merge;
+//   - dropped DENF_NACK responses, absorbed by forward retransmission;
+//   - forced DE-eviction storms, stressing the segment-fallback path;
+//   - spurious whole-block invalidations, stressing last-copy retrieval
+//     (§III-D4).
+//
+// Every stochastic decision draws from one sim.RNG per campaign cell, so
+// a fixed seed replays the identical fault sequence at any worker count.
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/coher"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// Kind enumerates the fault injectors.
+type Kind int
+
+const (
+	// DEFlip flips one random bit of a housed directory entry's 64-byte
+	// encoding when a request touches it, at LLC read time.
+	DEFlip Kind = iota
+	// WBDEDrop loses a WB_DE message; the sender retransmits after a
+	// timeout, so home memory sees the entry late.
+	WBDEDrop
+	// WBDEDup delivers a WB_DE message twice; the home-memory segment
+	// write must be idempotent.
+	WBDEDup
+	// DENFDrop loses a DENF_NACK response to a cross-socket forward; the
+	// requester's home agent retransmits the forward.
+	DENFDrop
+	// EvictStorm force-evicts a burst of housed directory entries to home
+	// memory, so later requests must take the segment-fallback and GET_DE
+	// paths.
+	EvictStorm
+	// SpuriousInval invalidates every copy of a random privately-held
+	// block, exercising the socket-eviction notice and last-copy flows.
+	SpuriousInval
+
+	NumKinds int = iota
+)
+
+var kindNames = [NumKinds]string{
+	"deflip", "wbde-drop", "wbde-dup", "denf-drop", "storm", "spurious",
+}
+
+// defaultRates are per-opportunity injection probabilities: deflip per
+// housed-DE touch, wbde-* per WB_DE message, denf-drop per NACK, storm
+// and spurious per scheduler step.
+var defaultRates = [NumKinds]float64{0.02, 0.25, 0.25, 0.5, 0.01, 0.02}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= NumKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Rate returns the kind's default per-opportunity probability.
+func (k Kind) Rate() float64 { return defaultRates[k] }
+
+// AllKinds lists every injector kind.
+func AllKinds() []Kind {
+	ks := make([]Kind, NumKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}
+
+// ParseKinds parses a comma-separated injector list ("all" enables
+// every kind) into an enable mask.
+func ParseKinds(s string) ([NumKinds]bool, error) {
+	var mask [NumKinds]bool
+	if strings.TrimSpace(s) == "all" {
+		for i := range mask {
+			mask[i] = true
+		}
+		return mask, nil
+	}
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		found := false
+		for i, n := range kindNames {
+			if f == n {
+				mask[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return mask, fmt.Errorf("faults: unknown injector %q (known: %s, or \"all\")",
+				f, strings.Join(kindNames[:], ", "))
+		}
+	}
+	return mask, nil
+}
+
+// Config controls one campaign's fault mix and auditing cadence.
+type Config struct {
+	// Enabled masks the injector kinds.
+	Enabled [NumKinds]bool
+	// AuditEvery runs core.CheckInvariants every N scheduler steps
+	// (plus once at completion). Zero audits only at completion.
+	AuditEvery int
+	// StormSize is how many housed entries one EvictStorm retires.
+	StormSize int
+	// RateScale multiplies every injector's default rate.
+	RateScale float64
+	// FailFast stops the campaign at the first failing cell.
+	FailFast bool
+	// CrashCell, when it names a campaign cell, panics that cell
+	// mid-run — the harness's crash-resilience test hook.
+	CrashCell string
+	// BreakRecovery deliberately breaks one recovery path (live PutDE
+	// messages are silently dropped) so tests can prove the auditor
+	// catches a buggy protocol within one audit interval.
+	BreakRecovery bool
+}
+
+// DefaultConfig enables every injector at default rates.
+func DefaultConfig() Config {
+	cfg := Config{AuditEvery: 1000, StormSize: 8, RateScale: 1}
+	for i := range cfg.Enabled {
+		cfg.Enabled[i] = true
+	}
+	return cfg
+}
+
+// Event is one log entry in the injector's bounded fault log.
+type Event struct {
+	Step uint64
+	Kind Kind
+	Addr coher.Addr
+	Note string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("step %6d  %-9s  %#010x  %s", e.Step, e.Kind, uint64(e.Addr), e.Note)
+}
+
+// logCap bounds the fault log; only the tail is kept for diagnostics.
+const logCap = 12
+
+// targets names the engines and cores an injector may perturb between
+// scheduler steps.
+type targets struct {
+	engines []*core.Engine
+	cores   [][]*cpu.Core // per engine
+}
+
+// Injector drives every fault kind for one campaign cell. It implements
+// core.FaultPort (DE bit-flips) and socket.ForwardFaults (NACK drops);
+// chaosHome routes WB_DE/PutDE messages through it; perturb injects the
+// step-granular kinds. All methods run on the cell's single simulation
+// goroutine, so no locking is needed.
+type Injector struct {
+	rng *sim.RNG
+	cfg Config
+
+	step   uint64
+	counts [NumKinds]uint64
+
+	// Bit-flip outcome classification.
+	FlipsDetected uint64 // decode failed: format violation caught on read
+	FlipsMasked   uint64 // flip hit an unused bit: entry unchanged
+	FlipsSilent   uint64 // entry silently changed; caught by ECC, quarantined
+
+	// BreakRecovery bookkeeping.
+	BrokenPutDEs   uint64
+	FirstBreakStep uint64
+
+	log   []Event
+	addrs []coher.Addr // scratch for perturb target collection
+}
+
+// NewInjector builds an injector drawing from rng.
+func NewInjector(cfg Config, rng *sim.RNG) *Injector {
+	return &Injector{rng: rng, cfg: cfg}
+}
+
+// Counts returns per-kind injection counts (flips count only when they
+// altered state; masked flips are excluded).
+func (in *Injector) Counts() [NumKinds]uint64 { return in.counts }
+
+// LogTail returns the retained tail of the fault log.
+func (in *Injector) LogTail() []Event { return append([]Event(nil), in.log...) }
+
+// Step returns the number of scheduler steps observed so far.
+func (in *Injector) Step() uint64 { return in.step }
+
+func (in *Injector) roll(k Kind) bool {
+	if !in.cfg.Enabled[k] {
+		return false
+	}
+	return in.rng.Bool(defaultRates[k] * in.cfg.RateScale)
+}
+
+func (in *Injector) note(k Kind, addr coher.Addr, note string) {
+	if len(in.log) == logCap {
+		copy(in.log, in.log[1:])
+		in.log = in.log[:logCap-1]
+	}
+	in.log = append(in.log, Event{Step: in.step, Kind: k, Addr: addr, Note: note})
+}
+
+// CorruptHousedDE implements core.FaultPort: it flips one random bit of
+// the entry's spilled encoding (the shared entry serialization of
+// Figs. 9a/11a) and classifies the outcome. Returning true tells the
+// engine ECC caught a changed entry, which quarantines it to home
+// memory; detected format violations take the same path, since the
+// reader cannot trust the line.
+func (in *Injector) CorruptHousedDE(addr coher.Addr, ent coher.Entry, fused bool) bool {
+	if !in.roll(DEFlip) {
+		return false
+	}
+	line := coher.EncodeSpilled(ent)
+	bit := in.rng.Intn(len(line) * 8)
+	line[bit/8] ^= 1 << (bit % 8)
+	form := "spilled"
+	if fused {
+		form = "fused"
+	}
+	dec, err := coher.DecodeSpilled(line)
+	switch {
+	case err != nil:
+		in.FlipsDetected++
+		in.note(DEFlip, addr, fmt.Sprintf("%s DE bit %d: format violation detected, quarantined", form, bit))
+	case dec == ent:
+		in.FlipsMasked++
+		in.note(DEFlip, addr, fmt.Sprintf("%s DE bit %d: masked (unused bit)", form, bit))
+		return false
+	default:
+		in.FlipsSilent++
+		in.note(DEFlip, addr, fmt.Sprintf("%s DE bit %d: silent change caught by ECC, quarantined", form, bit))
+	}
+	in.counts[DEFlip]++
+	return true
+}
+
+// DropDENFNack implements socket.ForwardFaults: it decides whether the
+// NACK from socket f for addr is lost in the interconnect.
+func (in *Injector) DropDENFNack(f int, addr coher.Addr) bool {
+	if !in.roll(DENFDrop) {
+		return false
+	}
+	in.counts[DENFDrop]++
+	in.note(DENFDrop, addr, fmt.Sprintf("DENF_NACK from socket %d lost; forward retransmitted", f))
+	return true
+}
+
+// perturb runs once per scheduler step, between transactions, and fires
+// the step-granular injectors against tg.
+func (in *Injector) perturb(now sim.Cycle, tg *targets) {
+	in.step++
+	if in.roll(EvictStorm) {
+		eng := tg.engines[in.rng.Intn(len(tg.engines))]
+		in.addrs = in.addrs[:0]
+		eng.LLC().ForEachDE(func(a coher.Addr, _ bool, _ coher.Entry) {
+			in.addrs = append(in.addrs, a)
+		})
+		if len(in.addrs) > 0 {
+			forced := 0
+			for i := 0; i < in.cfg.StormSize; i++ {
+				a := in.addrs[in.rng.Intn(len(in.addrs))]
+				if eng.ForceDEWriteback(now, a) {
+					forced++
+				}
+			}
+			in.counts[EvictStorm]++
+			in.note(EvictStorm, in.addrs[0], fmt.Sprintf("eviction storm forced %d WB_DE", forced))
+		}
+	}
+	if in.roll(SpuriousInval) {
+		ei := in.rng.Intn(len(tg.engines))
+		cores := tg.cores[ei]
+		c := cores[in.rng.Intn(len(cores))]
+		in.addrs = in.addrs[:0]
+		c.ForEachBlock(func(a coher.Addr, _ coher.PrivState) {
+			in.addrs = append(in.addrs, a)
+		})
+		if len(in.addrs) > 0 {
+			a := in.addrs[in.rng.Intn(len(in.addrs))]
+			if tg.engines[ei].InjectInvalidation(now, a) {
+				in.counts[SpuriousInval]++
+				in.note(SpuriousInval, a, "spurious invalidation of all copies")
+			}
+		}
+	}
+}
+
+// retryCycles models the retransmission timeout for lost or duplicated
+// home-memory messages.
+const retryCycles = 200
+
+// chaosHome decorates a core.Home, interposing the injector on the
+// WB_DE and PutDE message flows. The synchronous engine model lets a
+// dropped message be expressed as its retransmitted (delayed) delivery
+// and a duplicated one as two deliveries — the home's segment write is
+// idempotent, which is exactly the property under test.
+type chaosHome struct {
+	core.Home
+	in *Injector
+}
+
+func (h *chaosHome) WBDE(t sim.Cycle, socket int, addr coher.Addr, e coher.Entry) {
+	switch {
+	case h.in.roll(WBDEDrop):
+		h.in.counts[WBDEDrop]++
+		h.in.note(WBDEDrop, addr, "WB_DE lost; retransmitted after timeout")
+		h.Home.WBDE(t+retryCycles, socket, addr, e)
+	case h.in.roll(WBDEDup):
+		h.in.counts[WBDEDup]++
+		h.in.note(WBDEDup, addr, "WB_DE duplicated; second delivery merged idempotently")
+		h.Home.WBDE(t, socket, addr, e)
+		h.Home.WBDE(t+retryCycles, socket, addr, e)
+	default:
+		h.Home.WBDE(t, socket, addr, e)
+	}
+}
+
+// PutDE is where BreakRecovery bites: live recovered entries are
+// silently discarded instead of written to their segment, leaving home
+// memory claiming holders that no longer exist. The online auditor must
+// flag this within one audit interval.
+func (h *chaosHome) PutDE(t sim.Cycle, socket int, addr coher.Addr, e coher.Entry) {
+	if h.in.cfg.BreakRecovery && e.Live() {
+		h.in.BrokenPutDEs++
+		if h.in.FirstBreakStep == 0 {
+			h.in.FirstBreakStep = h.in.step + 1 // the step currently executing
+		}
+		h.in.note(SpuriousInval, addr, "BROKEN RECOVERY: live PutDE dropped")
+		return
+	}
+	h.Home.PutDE(t, socket, addr, e)
+}

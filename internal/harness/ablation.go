@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -89,8 +90,10 @@ func ablationRepl(o Options, w io.Writer) error {
 		Title:   "Ablation III-C4: ZeroDEV with 1/8x directory, replacement disabled vs enabled; speedup vs baseline 1x",
 		Headers: []string{"suite", "disabled", "enabled", "displaced entries (enabled)"},
 	}
+	var errs []error
 	for _, suite := range allSuites {
 		r := sweepGroup(o, suite, pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+		errs = append(errs, r.failed())
 		var displaced, devs uint64
 		for _, run := range r.runs[1] {
 			displaced += run.Engine.DEDisplacedToLLC
@@ -99,10 +102,10 @@ func ablationRepl(o Options, w io.Writer) error {
 		if devs != 0 {
 			return fmt.Errorf("replacement-enabled ZeroDEV produced %d DEVs", devs)
 		}
-		t.AddRow(suite, f3(r.geo(0)), f3(r.geo(1)), fmt.Sprintf("%d", displaced))
+		t.AddRow(suite, r.geoCell(0), r.geoCell(1), fmt.Sprintf("%d", displaced))
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 func ablationLLCRepl(o Options, w io.Writer) error {
@@ -116,10 +119,16 @@ func ablationLLCRepl(o Options, w io.Writer) error {
 		Title:   "Ablation III-D1: LLC replacement under ZeroDEV(NoDir); speedup vs baseline 1x [WB_DE count]",
 		Headers: []string{"suite", "LRU", "spLRU", "dataLRU"},
 	}
+	var errs []error
 	for _, suite := range allSuites {
 		r := sweepGroup(o, suite, pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+		errs = append(errs, r.failed())
 		row := []string{suite}
 		for ci := range cfgs {
+			if r.err(ci) != nil {
+				row = append(row, "ERR")
+				continue
+			}
 			var wbde uint64
 			for _, run := range r.runs[ci] {
 				wbde += run.Engine.DEEvictionsToMemory
@@ -129,7 +138,7 @@ func ablationLLCRepl(o Options, w io.Writer) error {
 		t.AddRow(row...)
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 func ablationBacking(o Options, w io.Writer) error {
@@ -153,43 +162,59 @@ func ablationBacking(o Options, w io.Writer) error {
 	for si, suite := range mtSuites {
 		for _, prof := range suiteApps(so, suite) {
 			prof := prof
-			submit := func(b socket.Backing) *Future[backedRun] {
-				return Submit(p, func() backedRun {
-					c, st := runSocketBacked(so, sockets, pre, prof, b)
-					return backedRun{c, st}
+			submit := func(name string, b socket.Backing) *Future[backedRun] {
+				return SubmitJob(p, prof.Name+"/"+name, func() (backedRun, error) {
+					c, st, err := runSocketBacked(so, sockets, pre, prof, b)
+					return backedRun{c, st}, err
 				})
 			}
-			futs[si] = append(futs[si], backedPair{submit(socket.MemoryBackup), submit(socket.DirEvictBit)})
+			futs[si] = append(futs[si], backedPair{submit("mb", socket.MemoryBackup), submit("deb", socket.DirEvictBit)})
 		}
 	}
+	var errs []error
 	for si, suite := range mtSuites {
 		var rel []float64
 		var missMB, missDEB, hits uint64
+		rowErr := false
 		for _, pair := range futs[si] {
-			mb, deb := pair.mb.Wait(), pair.deb.Wait()
+			mb, e1 := pair.mb.Result()
+			deb, e2 := pair.deb.Result()
+			for _, e := range []error{e1, e2} {
+				if e != nil {
+					errs = append(errs, e)
+					rowErr = true
+				}
+			}
+			if rowErr {
+				continue
+			}
 			rel = append(rel, float64(mb.cycles)/float64(deb.cycles))
 			missMB += mb.st.DirCacheMisses
 			missDEB += deb.st.DirCacheMisses
 			hits += deb.st.DirEvictBitHits
 		}
+		if rowErr {
+			t.AddRow(suite, "ERR", "ERR", "ERR", "ERR")
+			continue
+		}
 		t.AddRow(suite, "1.000", f3(stats.GeoMean(rel)),
 			fmt.Sprintf("%d/%d", missMB, missDEB), fmt.Sprintf("%d", hits))
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
-func runSocketBacked(o Options, sockets int, pre config.Preset, prof workload.Profile, backing socket.Backing) (uint64, socket.Stats) {
+func runSocketBacked(o Options, sockets int, pre config.Preset, prof workload.Profile, backing socket.Backing) (uint64, socket.Stats, error) {
 	p := socket.DefaultParams(sockets, 65536/o.Scale*8)
 	p.Backing = backing
 	spec := zdev(pre, 0, llc.NonInclusive)
 	streams := workload.Threads(prof, sockets*spec.Cores, o.Accesses, o.Scale, o.Seed)
 	sys, err := socket.New(p, spec, streams)
 	if err != nil {
-		panic(err)
+		return 0, socket.Stats{}, err
 	}
 	c := sys.Run()
-	return uint64(c), sys.Stats()
+	return uint64(c), sys.Stats(), nil
 }
 
 // ablationPrefetch checks that the zero-DEV guarantee and the relative
@@ -208,8 +233,10 @@ func ablationPrefetch(o Options, w io.Writer) error {
 		Title:   "Ablation: stream prefetching (degree 2); speedup vs baseline 1x without prefetching",
 		Headers: []string{"suite", "base+pf", "ZDev(NoDir)", "ZDev(NoDir)+pf", "prefetches"},
 	}
+	var errs []error
 	for _, suite := range allSuites {
 		r := sweepGroup(o, suite, pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+		errs = append(errs, r.failed())
 		var pf, devs uint64
 		for _, run := range r.runs[2] {
 			devs += run.Engine.DEVs
@@ -220,10 +247,10 @@ func ablationPrefetch(o Options, w io.Writer) error {
 		if devs != 0 {
 			return fmt.Errorf("prefetching broke the zero-DEV guarantee: %d", devs)
 		}
-		t.AddRow(suite, f3(r.geo(0)), f3(r.geo(1)), f3(r.geo(2)), fmt.Sprintf("%d", pf))
+		t.AddRow(suite, r.geoCell(0), r.geoCell(1), r.geoCell(2), fmt.Sprintf("%d", pf))
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 // compressExp evaluates the hybrid compressed entry formats over the

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -44,16 +45,22 @@ func fig17(o Options, w io.Writer) error {
 		Title:   "Fig 17: ZeroDEV policy comparison (no sparse directory, dataLRU); speedup vs baseline 1x [min in brackets]",
 		Headers: []string{"suite", "SpillAll", "FPSS", "FuseAll"},
 	}
+	var errs []error
 	for _, suite := range allSuites {
 		r := sweepGroup(o, suite, pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+		errs = append(errs, r.failed())
 		row := []string{suite}
 		for ci := range cfgs {
-			row = append(row, fmt.Sprintf("%.3f [%.2f]", r.geo(ci), r.min(ci)))
+			if r.err(ci) != nil {
+				row = append(row, "ERR")
+			} else {
+				row = append(row, fmt.Sprintf("%.3f [%.2f]", r.geo(ci), r.min(ci)))
+			}
 		}
 		t.AddRow(row...)
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 func fig18(o Options, w io.Writer) error {
@@ -71,16 +78,18 @@ func fig18(o Options, w io.Writer) error {
 		Title:   "Fig 18: spLRU vs dataLRU (ZeroDEV, no directory); speedup vs baseline 8 MB 1x",
 		Headers: []string{"suite", "sp8MB", "data8MB", "Base4MB", "sp4MB", "data4MB"},
 	}
+	var errs []error
 	for _, suite := range allSuites {
 		r := sweepGroup(o, suite, pre8.Baseline(1, llc.NonInclusive), pre8.Cores, cfgs)
+		errs = append(errs, r.failed())
 		row := []string{suite}
 		for ci := range cfgs {
-			row = append(row, f3(r.geo(ci)))
+			row = append(row, r.geoCell(ci))
 		}
 		t.AddRow(row...)
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 // figPerApp builds Figs. 19-21: per-application ZeroDEV speedups for
@@ -98,18 +107,38 @@ func figPerApp(id string, suites []string) func(Options, io.Writer) error {
 			Headers: []string{"app", "1x", "1/8x", "NoDir"},
 		}
 		var all [3][]float64
+		var cfgErr [3]bool
+		var errs []error
 		for _, suite := range suites {
 			r := sweepGroup(o, suite, pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+			errs = append(errs, r.failed())
 			for ui, u := range r.units {
-				t.AddF(u.name, r.speedups[0][ui], r.speedups[1][ui], r.speedups[2][ui])
+				row := []string{u.name}
+				for ci := range cfgs {
+					if r.errs[ci][ui] != nil {
+						row = append(row, "ERR")
+						cfgErr[ci] = true
+					} else {
+						row = append(row, f3(r.speedups[ci][ui]))
+					}
+				}
+				t.AddRow(row...)
 			}
 			for ci := range cfgs {
 				all[ci] = append(all[ci], r.speedups[ci]...)
 			}
 		}
-		t.AddF("GEOMEAN", stats.GeoMean(all[0]), stats.GeoMean(all[1]), stats.GeoMean(all[2]))
+		gm := []string{"GEOMEAN"}
+		for ci := range cfgs {
+			if cfgErr[ci] {
+				gm = append(gm, "ERR")
+			} else {
+				gm = append(gm, f3(stats.GeoMean(all[ci])))
+			}
+		}
+		t.AddRow(gm...)
 		t.Fprint(w)
-		return nil
+		return errors.Join(errs...)
 	}
 }
 
@@ -128,16 +157,18 @@ func fig22(o Options, w io.Writer) error {
 		Title:   "Fig 22: LLC capacity sensitivity; speedup vs baseline 8 MB 1x",
 		Headers: []string{"suite", "Base4MB", "ZeroDEV4MB(1/4x)", "Base16MB", "ZeroDEV16MB(NoDir)"},
 	}
+	var errs []error
 	for _, suite := range allSuites {
 		r := sweepGroup(o, suite, pre8.Baseline(1, llc.NonInclusive), pre8.Cores, cfgs)
+		errs = append(errs, r.failed())
 		row := []string{suite}
 		for ci := range cfgs {
-			row = append(row, f3(r.geo(ci)))
+			row = append(row, r.geoCell(ci))
 		}
 		t.AddRow(row...)
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 func fig23(o Options, w io.Writer) error {
@@ -153,11 +184,19 @@ func fig23(o Options, w io.Writer) error {
 	}
 	r := sweepGroup(o, "CPU-HET", pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
 	for ui, u := range r.units {
-		t.AddF(u.name, r.speedups[0][ui], r.speedups[1][ui], r.speedups[2][ui])
+		row := []string{u.name}
+		for ci := range cfgs {
+			if r.errs[ci][ui] != nil {
+				row = append(row, "ERR")
+			} else {
+				row = append(row, f3(r.speedups[ci][ui]))
+			}
+		}
+		t.AddRow(row...)
 	}
-	t.AddF("GEOMEAN", r.geo(0), r.geo(1), r.geo(2))
+	t.AddRow("GEOMEAN", r.geoCell(0), r.geoCell(1), r.geoCell(2))
 	t.Fprint(w)
-	return nil
+	return r.failed()
 }
 
 func fig24(o Options, w io.Writer) error {
@@ -225,11 +264,13 @@ func fig25(o Options, w io.Writer) error {
 		Headers: append([]string{"suite"}, specNames(cfgs)...),
 	}
 	var forcedBase, forcedZdev float64
+	var errs []error
 	for _, g := range fig25Groups {
 		r := sweepGroup(o, g, pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+		errs = append(errs, r.failed())
 		row := []string{g}
 		for ci := range cfgs {
-			row = append(row, f3(r.geo(ci)))
+			row = append(row, r.geoCell(ci))
 			for _, run := range r.runs[ci] {
 				switch cfgs[ci].name {
 				case "BaseIncl-1x":
@@ -246,7 +287,7 @@ func fig25(o Options, w io.Writer) error {
 		fmt.Fprintf(w, "Forced invalidations eliminated by ZeroDEVIncl vs BaseIncl: %.1f%% (paper: 95%%)\n\n",
 			100*(1-forcedZdev/forcedBase))
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 func fig26(o Options, w io.Writer) error {
@@ -263,16 +304,18 @@ func fig26(o Options, w io.Writer) error {
 		Title:   "Fig 26: Multi-grain Directory vs ZeroDEV; speedup vs baseline 1x",
 		Headers: append([]string{"suite"}, specNames(cfgs)...),
 	}
+	var errs []error
 	for _, g := range fig25Groups {
 		r := sweepGroup(o, g, pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+		errs = append(errs, r.failed())
 		row := []string{g}
 		for ci := range cfgs {
-			row = append(row, f3(r.geo(ci)))
+			row = append(row, r.geoCell(ci))
 		}
 		t.AddRow(row...)
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 func fig27(o Options, w io.Writer) error {
@@ -289,16 +332,22 @@ func fig27(o Options, w io.Writer) error {
 		Title:   "Fig 27: SecDir vs ZeroDEV; speedup vs baseline 1x [min in brackets]",
 		Headers: append([]string{"suite"}, specNames(cfgs)...),
 	}
+	var errs []error
 	for _, g := range fig25Groups {
 		r := sweepGroup(o, g, pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+		errs = append(errs, r.failed())
 		row := []string{g}
 		for ci := range cfgs {
-			row = append(row, fmt.Sprintf("%.3f [%.2f]", r.geo(ci), r.min(ci)))
+			if r.err(ci) != nil {
+				row = append(row, "ERR")
+			} else {
+				row = append(row, fmt.Sprintf("%.3f [%.2f]", r.geo(ci), r.min(ci)))
+			}
 		}
 		t.AddRow(row...)
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 // claims checks the §III-D3 instrumentation claims for ZeroDEV without

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -104,46 +105,64 @@ func multisocketExp(o Options, w io.Writer) error {
 	for si, suite := range mtSuites {
 		for _, prof := range suiteApps(so, suite) {
 			prof := prof
-			submit := func(spec core.SystemSpec) *Future[socketRun] {
-				return Submit(p, func() socketRun {
-					c, st := runSocketSys(so, sockets, spec, prof)
-					return socketRun{c, st}
+			submit := func(name string, spec core.SystemSpec) *Future[socketRun] {
+				return SubmitJob(p, prof.Name+"/"+name, func() (socketRun, error) {
+					c, st, err := runSocketSys(so, sockets, spec, prof)
+					return socketRun{c, st}, err
 				})
 			}
 			futs[si] = append(futs[si], [3]*Future[socketRun]{
-				submit(pre.Baseline(1, llc.NonInclusive)),
-				submit(zdev(pre, 0, llc.NonInclusive)),
-				submit(zdev(pre, 1.0/8, llc.NonInclusive)),
+				submit("base", pre.Baseline(1, llc.NonInclusive)),
+				submit("nodir", zdev(pre, 0, llc.NonInclusive)),
+				submit("1-8x", zdev(pre, 1.0/8, llc.NonInclusive)),
 			})
 		}
 	}
+	var errs []error
 	for si, suite := range mtSuites {
 		var sn, s8 []float64
 		var fwds, nacks, merges uint64
+		rowErr := false
 		for _, trio := range futs[si] {
-			base, zn, z8 := trio[0].Wait(), trio[1].Wait(), trio[2].Wait()
+			base, e0 := trio[0].Result()
+			zn, e1 := trio[1].Result()
+			z8, e2 := trio[2].Result()
+			for _, e := range []error{e0, e1, e2} {
+				if e != nil {
+					errs = append(errs, e)
+					rowErr = true
+				}
+			}
+			if rowErr {
+				continue
+			}
 			sn = append(sn, float64(base.cycles)/float64(zn.cycles))
 			s8 = append(s8, float64(base.cycles)/float64(z8.cycles))
 			fwds += zn.st.SocketForwards
 			nacks += zn.st.DENFNacks
 			merges += zn.st.CorruptedMerges
 		}
+		if rowErr {
+			t.AddRow(suite, "ERR", "ERR", "ERR")
+			continue
+		}
 		t.AddRow(suite, f3(stats.GeoMean(sn)), f3(stats.GeoMean(s8)),
 			fmt.Sprintf("%d/%d/%d", fwds, nacks, merges))
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 // runSocketSys runs a multithreaded profile across all sockets' cores
-// and returns the parallel completion time.
-func runSocketSys(o Options, sockets int, spec core.SystemSpec, prof workload.Profile) (cycles uint64, st socket.Stats) {
+// and returns the parallel completion time. Construction errors are
+// propagated so one bad unit cannot abort its siblings.
+func runSocketSys(o Options, sockets int, spec core.SystemSpec, prof workload.Profile) (cycles uint64, st socket.Stats, err error) {
 	p := socket.DefaultParams(sockets, 65536/o.Scale*8)
 	streams := workload.Threads(prof, sockets*spec.Cores, o.Accesses, o.Scale, o.Seed)
 	sys, err := socket.New(p, spec, streams)
 	if err != nil {
-		panic(err)
+		return 0, socket.Stats{}, err
 	}
 	c := sys.Run()
-	return uint64(c), sys.Stats()
+	return uint64(c), sys.Stats(), nil
 }

@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
 	"sort"
 
@@ -40,15 +41,48 @@ type Options struct {
 	// lines while an experiment runs (the CLI points it at stderr).
 	Progress io.Writer
 
+	// CrashDir is where replay bundles for panicking jobs are written
+	// ("" disables bundles; panics are still recovered into errors).
+	CrashDir string
+	// Retries is how many extra times a panicking job is re-run before
+	// its failure is recorded. Returned errors are never retried.
+	Retries int
+
 	// pool is the experiment-wide worker pool installed by Execute;
 	// experiments reach it through runner().
 	pool *Pool
 }
 
+// Validate rejects option values that would otherwise surface as deep
+// panics inside config or workload synthesis, with messages phrased for
+// the CLI flags that set them.
+func (o Options) Validate() error {
+	if o.Scale < 1 || o.Scale&(o.Scale-1) != 0 {
+		return fmt.Errorf("-scale must be a positive power of two, got %d", o.Scale)
+	}
+	if o.Accesses <= 0 {
+		return fmt.Errorf("-accesses must be positive, got %d", o.Accesses)
+	}
+	if o.Workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", o.Workers)
+	}
+	if o.Retries < 0 {
+		return fmt.Errorf("-retries must be non-negative, got %d", o.Retries)
+	}
+	return nil
+}
+
 // DefaultOptions returns the standard experiment scale, with one
-// simulation worker per available CPU.
+// simulation worker per available CPU and crash bundles under
+// results/crash.
 func DefaultOptions() Options {
-	return Options{Scale: 8, Accesses: 100_000, Seed: 1, Workers: runtime.GOMAXPROCS(0)}
+	return Options{
+		Scale:    8,
+		Accesses: 100_000,
+		Seed:     1,
+		Workers:  runtime.GOMAXPROCS(0),
+		CrashDir: filepath.Join("results", "crash"),
+	}
 }
 
 // Experiment is one reproducible table/figure.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -108,16 +109,18 @@ func fig4(o Options, w io.Writer) error {
 		Title:   "Fig 4: speedup vs 1x baseline as the sparse directory shrinks",
 		Headers: []string{"suite", "1/2x", "1/8x", "1/32x"},
 	}
+	var errs []error
 	for _, suite := range allSuites {
 		r := sweepGroup(o, suite, pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+		errs = append(errs, r.failed())
 		row := []string{suite}
 		for ci := range cfgs {
-			row = append(row, f3(r.geo(ci)))
+			row = append(row, r.geoCell(ci))
 		}
 		t.AddRow(row...)
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 func fig5(o Options, w io.Writer) error {
@@ -173,23 +176,29 @@ func fig6(o Options, w io.Writer) error {
 		Title:   "Fig 6: speedup vs 16-way LLC as ways are removed (min-speedup app in parentheses)",
 		Headers: []string{"suite", "15 ways", "14 ways", "13 ways", "12 ways", "worst@12"},
 	}
+	var errs []error
 	for _, suite := range allSuites {
 		r := sweepGroup(o, suite, pre.Baseline(1, llc.NonInclusive), pre.Cores, cfgs)
+		errs = append(errs, r.failed())
 		row := []string{suite}
 		for ci := range cfgs {
-			row = append(row, f3(r.geo(ci)))
+			row = append(row, r.geoCell(ci))
 		}
-		worst, worstApp := 10.0, ""
-		for ui, u := range r.units {
-			if s12 := r.speedups[3][ui]; s12 < worst {
-				worst, worstApp = s12, u.name
+		if r.err(3) != nil {
+			row = append(row, "ERR")
+		} else {
+			worst, worstApp := 10.0, ""
+			for ui, u := range r.units {
+				if s12 := r.speedups[3][ui]; s12 < worst {
+					worst, worstApp = s12, u.name
+				}
 			}
+			row = append(row, fmt.Sprintf("%s %.2f", worstApp, worst))
 		}
-		row = append(row, fmt.Sprintf("%s %.2f", worstApp, worst))
 		t.AddRow(row...)
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

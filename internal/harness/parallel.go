@@ -1,8 +1,13 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -19,6 +24,14 @@ import (
 // on the futures in submission order before formatting any output.
 // DESIGN.md ("Parallel sweeps") records the determinism argument;
 // determinism_test.go enforces it.
+//
+// The engine is also crash-resilient: a job that panics (the protocol
+// stack panics on corruption) is recovered into a typed *JobError
+// carrying a replay bundle written under the crash directory, retried
+// up to the pool's retry budget, and finally surfaced through
+// Future.Result so the experiment renders the cell as ERR instead of
+// taking down every sibling job. Returned (non-panic) errors are
+// deterministic and are never retried.
 
 // Pool schedules independent simulation jobs across a bounded number of
 // worker goroutines. With Workers <= 1 jobs run inline on the caller's
@@ -31,11 +44,16 @@ type Pool struct {
 	label    string
 	progress io.Writer
 
+	retries  int
+	crashDir string
+	meta     ReplayMeta
+
 	mu        sync.Mutex
 	submitted int
 	done      int
 	sim       time.Duration
 	lastLine  time.Time
+	errs      []*JobError
 }
 
 // NewPool returns a pool running at most workers jobs concurrently
@@ -56,47 +74,267 @@ func NewPool(workers int, progress io.Writer, label string) *Pool {
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return p.workers }
 
+// EnableRecovery arms panic recovery: recovered jobs write a replay
+// bundle into crashDir (when non-empty) stamped with meta, and each
+// panicking job is re-run up to retries extra times before its error is
+// recorded. Without EnableRecovery panics are still converted to
+// *JobError, but no bundle is written and nothing is retried.
+func (p *Pool) EnableRecovery(meta ReplayMeta, crashDir string, retries int) {
+	if retries < 0 {
+		retries = 0
+	}
+	p.meta = meta
+	p.crashDir = crashDir
+	p.retries = retries
+}
+
+// ReplayMeta identifies the run a crashed job belonged to, precisely
+// enough to replay it: the experiment and the Options that shape every
+// stream and system it builds.
+type ReplayMeta struct {
+	Experiment string `json:"experiment"`
+	Scale      int    `json:"scale"`
+	Accesses   int    `json:"accesses"`
+	Seed       uint64 `json:"seed"`
+	Quick      bool   `json:"quick,omitempty"`
+	Workers    int    `json:"workers"`
+}
+
+// JobError is the typed failure of one submitted job: either a
+// recovered panic (Panic non-empty, replay bundle at ReplayPath) or an
+// error the job returned (wrapped in Err).
+type JobError struct {
+	Meta       ReplayMeta
+	Unit       string // submission label, e.g. "canneal/ZeroDEV-1/8"
+	Seq        int    // submission order within the pool
+	Panic      string // recovered panic value, "" for returned errors
+	Err        error  // the returned error, nil for panics
+	Attempts   int    // executions performed (1 + retries used)
+	ReplayPath string // bundle path, "" when no bundle was written
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	what := e.Panic
+	if e.Err != nil {
+		what = e.Err.Error()
+	}
+	name := e.Unit
+	if name == "" {
+		name = fmt.Sprintf("job %d", e.Seq)
+	}
+	msg := fmt.Sprintf("job %q failed after %d attempt(s): %s", name, e.Attempts, what)
+	if e.ReplayPath != "" {
+		msg += " (replay bundle: " + e.ReplayPath + ")"
+	}
+	return msg
+}
+
+// Unwrap exposes a returned error to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
 // Future is the pending result of a submitted job.
 type Future[T any] struct {
 	done chan struct{}
 	val  T
+	err  error
 }
 
-// Wait blocks until the job finishes and returns its result.
+// Wait blocks until the job finishes and returns its result. A failed
+// job yields the zero value; use Result to observe the failure.
 func (f *Future[T]) Wait() T {
 	<-f.done
 	return f.val
 }
 
+// Result blocks until the job finishes and returns its result and
+// error (a *JobError for recovered panics).
+func (f *Future[T]) Result() (T, error) {
+	<-f.done
+	return f.val, f.err
+}
+
 // Submit schedules fn on the pool and returns its future. On a serial
 // pool (workers <= 1, or p == nil) fn runs before Submit returns, so a
 // sequence of Submit calls executes jobs in exactly the serial order.
+// A panic in fn is recovered into the future's error.
 func Submit[T any](p *Pool, fn func() T) *Future[T] {
+	return SubmitJob(p, "", func() (T, error) { return fn(), nil })
+}
+
+// SubmitJob is Submit for jobs that can fail: label names the job in
+// failure reports (unit/config), and fn's error is propagated through
+// Future.Result without aborting sibling jobs.
+func SubmitJob[T any](p *Pool, label string, fn func() (T, error)) *Future[T] {
 	f := &Future[T]{done: make(chan struct{})}
 	if p == nil {
-		f.val = fn()
+		f.val, f.err = runRecovered(nil, label, 0, fn)
 		close(f.done)
 		return f
 	}
 	p.mu.Lock()
 	p.submitted++
+	seq := p.submitted
 	p.mu.Unlock()
-	if p.workers <= 1 {
+	run := func() {
 		start := time.Now()
-		f.val = fn()
+		f.val, f.err = runRecovered(p, label, seq, fn)
 		close(f.done)
 		p.finish(start)
+	}
+	if p.workers <= 1 {
+		run()
 		return f
 	}
 	go func() {
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
-		start := time.Now()
-		f.val = fn()
-		close(f.done)
-		p.finish(start)
+		run()
 	}()
 	return f
+}
+
+// runRecovered executes fn with panic recovery and the pool's retry
+// budget. Only panics are retried: a returned error is deterministic
+// (the same inputs fail the same way), so re-running it wastes time.
+// The final failure, if any, is recorded on the pool.
+func runRecovered[T any](p *Pool, label string, seq int, fn func() (T, error)) (T, error) {
+	retries := 0
+	if p != nil {
+		retries = p.retries
+	}
+	var val T
+	var err error
+	for attempt := 0; ; attempt++ {
+		var je *JobError
+		val, err, je = runOnce(p, label, seq, attempt, fn)
+		if je == nil {
+			if err != nil {
+				we := &JobError{Unit: label, Seq: seq, Err: err, Attempts: attempt + 1}
+				if p != nil {
+					we.Meta = p.meta
+				}
+				err = we
+			}
+			break
+		}
+		err = je
+		if attempt >= retries {
+			break
+		}
+	}
+	if err != nil && p != nil {
+		p.mu.Lock()
+		p.errs = append(p.errs, err.(*JobError))
+		p.mu.Unlock()
+	}
+	return val, err
+}
+
+// runOnce runs fn once; a panic is recovered into je with its replay
+// bundle written immediately (so even the attempts that will be
+// retried leave an artifact while the state is fresh).
+func runOnce[T any](p *Pool, label string, seq, attempt int, fn func() (T, error)) (val T, err error, je *JobError) {
+	defer func() {
+		if r := recover(); r != nil {
+			je = &JobError{Unit: label, Seq: seq, Panic: fmt.Sprint(r), Attempts: attempt + 1}
+			if p != nil {
+				je.Meta = p.meta
+				je.ReplayPath = p.writeBundle(je, debug.Stack())
+			}
+		}
+	}()
+	val, err = fn()
+	return
+}
+
+// replayBundle is the on-disk crash artifact: everything needed to
+// re-run the failed job (the workload and system are pure functions of
+// experiment + options + unit label) plus the panic and stack for
+// diagnosis.
+type replayBundle struct {
+	ReplayMeta
+	Unit    string `json:"unit,omitempty"`
+	Seq     int    `json:"seq"`
+	Attempt int    `json:"attempt"`
+	Panic   string `json:"panic"`
+	Stack   string `json:"stack"`
+}
+
+// writeBundle persists the crash artifact and returns its path. The
+// filename is a pure function of the job identity — no timestamps — so
+// reruns overwrite rather than accumulate and output stays
+// deterministic.
+func (p *Pool) writeBundle(je *JobError, stack []byte) string {
+	if p.crashDir == "" {
+		return ""
+	}
+	if err := os.MkdirAll(p.crashDir, 0o755); err != nil {
+		return ""
+	}
+	unit := sanitizeName(je.Unit)
+	if unit == "" {
+		unit = "job"
+	}
+	name := fmt.Sprintf("%s_%s_j%03d_a%d.json", sanitizeName(p.meta.Experiment), unit, je.Seq, je.Attempts)
+	path := filepath.Join(p.crashDir, name)
+	b, err := json.MarshalIndent(replayBundle{
+		ReplayMeta: p.meta,
+		Unit:       je.Unit,
+		Seq:        je.Seq,
+		Attempt:    je.Attempts,
+		Panic:      je.Panic,
+		Stack:      string(stack),
+	}, "", "  ")
+	if err != nil {
+		return ""
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return ""
+	}
+	return path
+}
+
+// sanitizeName maps a job label to a filesystem-safe token.
+func sanitizeName(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-', c == '_':
+		default:
+			out[i] = '-'
+		}
+	}
+	return string(out)
+}
+
+// Failures returns the recorded job failures in submission order
+// (deterministic regardless of worker scheduling).
+func (p *Pool) Failures() []*JobError {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*JobError, len(p.errs))
+	copy(out, p.errs)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// FailureSummary returns nil when every job succeeded, and otherwise an
+// error summarizing the failures (wrapping the first in submission
+// order).
+func (p *Pool) FailureSummary() error {
+	fails := p.Failures()
+	if len(fails) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	total := p.done
+	p.mu.Unlock()
+	err := fmt.Errorf("%d of %d jobs failed; first: %w", len(fails), total, fails[0])
+	if p.crashDir != "" {
+		err = fmt.Errorf("%w (replay bundles under %s)", err, p.crashDir)
+	}
+	return err
 }
 
 // finish records a completed job and emits a progress line at most once
@@ -123,6 +361,7 @@ func (p *Pool) timing() stats.RunTiming {
 		Experiment: p.label,
 		Workers:    p.workers,
 		Jobs:       p.done,
+		Failed:     len(p.errs),
 		Sim:        p.sim,
 	}
 }
@@ -134,17 +373,33 @@ func (o Options) runner() *Pool {
 	if o.pool != nil {
 		return o.pool
 	}
-	return NewPool(o.Workers, nil, "")
+	p := NewPool(o.Workers, nil, "")
+	p.EnableRecovery(ReplayMeta{Scale: o.Scale, Accesses: o.Accesses, Seed: o.Seed, Quick: o.Quick, Workers: o.Workers}, o.CrashDir, o.Retries)
+	return p
 }
 
 // Execute runs the experiment with a shared worker pool sized by
 // o.Workers and returns the timing summary alongside the experiment's
 // error. Output written to w is byte-identical for any worker count.
+// Job failures that the experiment did not itself propagate are folded
+// into the returned error, so a run with crashed cells always reports
+// non-nil.
 func (e Experiment) Execute(o Options, w io.Writer) (stats.RunTiming, error) {
 	p := NewPool(o.Workers, o.Progress, e.ID)
+	p.EnableRecovery(ReplayMeta{
+		Experiment: e.ID,
+		Scale:      o.Scale,
+		Accesses:   o.Accesses,
+		Seed:       o.Seed,
+		Quick:      o.Quick,
+		Workers:    o.Workers,
+	}, o.CrashDir, o.Retries)
 	o.pool = p
 	start := time.Now()
 	err := e.Run(o, w)
+	if err == nil {
+		err = p.FailureSummary()
+	}
 	t := p.timing()
 	t.Wall = time.Since(start)
 	return t, err

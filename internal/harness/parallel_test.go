@@ -2,7 +2,10 @@ package harness
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync/atomic"
@@ -104,6 +107,119 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 	}
 	if !reflect.DeepEqual(rs.runs, rp.runs) {
 		t.Fatal("parallel collected runs differ from serial")
+	}
+}
+
+// TestPoolRecoversPanics pins the crash-resilience core: a panicking
+// job resolves its own future to a typed *JobError, siblings are
+// untouched, failures come back in submission order, and the pool's
+// summary reports the run as failed.
+func TestPoolRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers, nil, "crash")
+		ok1 := SubmitJob(p, "healthy-a", func() (int, error) { return 7, nil })
+		bad := SubmitJob(p, "doomed", func() (int, error) { panic("injected panic") })
+		ok2 := SubmitJob(p, "healthy-b", func() (int, error) { return 9, nil })
+		if v, err := ok1.Result(); v != 7 || err != nil {
+			t.Fatalf("workers=%d: sibling a got (%d, %v)", workers, v, err)
+		}
+		if v, err := ok2.Result(); v != 9 || err != nil {
+			t.Fatalf("workers=%d: sibling b got (%d, %v)", workers, v, err)
+		}
+		_, err := bad.Result()
+		var je *JobError
+		if !errors.As(err, &je) {
+			t.Fatalf("workers=%d: panic surfaced as %T (%v), want *JobError", workers, err, err)
+		}
+		if je.Unit != "doomed" || !strings.Contains(je.Panic, "injected panic") || je.Attempts != 1 {
+			t.Fatalf("workers=%d: bad JobError: %+v", workers, je)
+		}
+		fails := p.Failures()
+		if len(fails) != 1 || fails[0].Unit != "doomed" {
+			t.Fatalf("workers=%d: Failures() = %+v", workers, fails)
+		}
+		sum := p.FailureSummary()
+		if sum == nil || !strings.Contains(sum.Error(), "1 of 3 jobs failed") {
+			t.Fatalf("workers=%d: FailureSummary() = %v", workers, sum)
+		}
+		if tm := p.timing(); tm.Failed != 1 {
+			t.Fatalf("workers=%d: timing.Failed = %d", workers, tm.Failed)
+		}
+	}
+}
+
+// TestPoolRetriesPanicsOnly checks the retry budget's asymmetry: a
+// transiently panicking job is re-run until it succeeds, while a job
+// returning an error — deterministic by construction — runs exactly
+// once.
+func TestPoolRetriesPanicsOnly(t *testing.T) {
+	p := NewPool(1, nil, "retry")
+	p.EnableRecovery(ReplayMeta{Experiment: "retry"}, "", 2)
+	attempts := 0
+	f := SubmitJob(p, "flaky", func() (int, error) {
+		attempts++
+		if attempts < 3 {
+			panic("transient")
+		}
+		return 42, nil
+	})
+	if v, err := f.Result(); v != 42 || err != nil {
+		t.Fatalf("flaky job got (%d, %v) after %d attempts", v, err, attempts)
+	}
+	if attempts != 3 {
+		t.Fatalf("flaky job ran %d times, want 3", attempts)
+	}
+	calls := 0
+	boom := errors.New("deterministic failure")
+	g := SubmitJob(p, "failing", func() (int, error) { calls++; return 0, boom })
+	if _, err := g.Result(); !errors.Is(err, boom) {
+		t.Fatalf("returned error not propagated: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("erroring job retried %d times; returned errors must not be retried", calls)
+	}
+	if fails := p.Failures(); len(fails) != 1 || fails[0].Unit != "failing" {
+		t.Fatalf("Failures() = %+v (recovered flaky job must not be recorded)", fails)
+	}
+}
+
+// TestPoolReplayBundles checks the crash artifact: armed with a crash
+// directory the pool writes a deterministic-named JSON bundle carrying
+// the replay metadata and stack; without a directory it writes nothing
+// but still types the failure.
+func TestPoolReplayBundles(t *testing.T) {
+	dir := t.TempDir()
+	p := NewPool(1, nil, "bundle")
+	meta := ReplayMeta{Experiment: "fig9/x", Scale: 8, Accesses: 100, Seed: 3, Workers: 2}
+	p.EnableRecovery(meta, dir, 0)
+	f := SubmitJob(p, "unit/cfg", func() (int, error) { panic("kaboom") })
+	_, err := f.Result()
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("got %T: %v", err, err)
+	}
+	want := filepath.Join(dir, "fig9-x_unit-cfg_j001_a1.json")
+	if je.ReplayPath != want {
+		t.Fatalf("ReplayPath = %q, want %q", je.ReplayPath, want)
+	}
+	raw, rerr := os.ReadFile(want)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	for _, field := range []string{`"experiment": "fig9/x"`, `"seed": 3`, `"panic": "kaboom"`, "goroutine"} {
+		if !strings.Contains(string(raw), field) {
+			t.Fatalf("bundle missing %q:\n%s", field, raw)
+		}
+	}
+	if je.Meta != meta {
+		t.Fatalf("JobError.Meta = %+v, want %+v", je.Meta, meta)
+	}
+
+	q := NewPool(1, nil, "nobundle")
+	g := SubmitJob(q, "u", func() (int, error) { panic("dry") })
+	_, err = g.Result()
+	if !errors.As(err, &je) || je.ReplayPath != "" {
+		t.Fatalf("unarmed pool wrote a bundle: %v", err)
 	}
 }
 

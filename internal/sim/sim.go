@@ -32,7 +32,20 @@ type Clocked interface {
 // done. It returns the largest local clock observed, i.e. the parallel
 // completion time of the slowest agent.
 func RunAll(agents []Clocked) Cycle {
+	last, _ := Drive(agents, nil)
+	return last
+}
+
+// Drive is RunAll with an observation hook: after every scheduler step it
+// invokes hook with the count of steps executed so far and the stepped
+// agent's local time. The hook runs between transactions, when no request
+// is in flight, so it may mutate or audit global state (fault-injection
+// campaigns perturb the protocol and run the invariant checker here). A
+// non-nil hook error aborts the run; Drive returns the largest local
+// clock observed either way.
+func Drive(agents []Clocked, hook func(step uint64, now Cycle) error) (Cycle, error) {
 	var last Cycle
+	var steps uint64
 	for {
 		min := MaxCycle
 		var pick Clocked
@@ -46,11 +59,17 @@ func RunAll(agents []Clocked) Cycle {
 			}
 		}
 		if pick == nil {
-			return last
+			return last, nil
 		}
 		pick.Step()
 		if t := pick.Now(); t > last {
 			last = t
+		}
+		if hook != nil {
+			steps++
+			if err := hook(steps, pick.Now()); err != nil {
+				return last, err
+			}
 		}
 	}
 }

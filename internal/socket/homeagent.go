@@ -213,6 +213,16 @@ func (h *homeAgent) forward(t1 sim.Cycle, s, f int, addr coher.Addr, exclusive b
 		// DENF_NACK: extract F's entry from the corrupted home block and
 		// resend the request with it (steps 8-11).
 		sys.stats.DENFNacks++
+		if sys.P.Faults != nil && sys.P.Faults.DropDENFNack(f, addr) {
+			// The NACK is lost in transit: home times out and retransmits
+			// the forward. The model is synchronous, so F's state cannot
+			// have changed; it must NACK again, and only the timing moves.
+			tf += 2 * sys.P.InterSocketCycles
+			if again, _ := eng.ServeForwarded(tf, addr, exclusive, nil); again {
+				panic("socket: socket state changed between a dropped NACK and its retransmission")
+			}
+			sys.stats.DENFNacks++
+		}
 		seg, ok := sys.mem.ReadSegment(addr, f)
 		if !ok {
 			var views string

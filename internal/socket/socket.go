@@ -45,6 +45,23 @@ type Params struct {
 	// its associativity.
 	DirCacheEntries, DirCacheWays int
 	Backing                       Backing
+
+	// WrapHome, when non-nil, decorates the per-socket home agent each
+	// engine talks to (fault campaigns interpose WB_DE drop/duplication
+	// here). Socket-level state remains authoritative underneath.
+	WrapHome func(socket int, h core.Home) core.Home
+	// Faults, when non-nil, is consulted at the inter-socket message
+	// seams (currently: dropping a DENF_NACK so home must retransmit the
+	// forwarded request after a timeout).
+	Faults ForwardFaults
+}
+
+// ForwardFaults is the socket-layer fault seam, implemented by
+// internal/faults.
+type ForwardFaults interface {
+	// DropDENFNack reports whether the DENF_NACK socket f just sent for
+	// addr should be lost in transit, forcing a timeout-and-retransmit.
+	DropDENFNack(f int, addr coher.Addr) bool
 }
 
 // DefaultParams returns the paper's four-socket evaluation parameters.
@@ -118,7 +135,11 @@ func New(p Params, spec core.SystemSpec, streams []cpu.Stream) (*System, error) 
 		up.ZeroDEV = spec.ZeroDEV
 		up.Policy = spec.Policy
 		up.Socket = s
-		eng := core.New(up, spec.Dir(), l, mesh, &homeAgent{sys: sys, socket: s})
+		var h core.Home = &homeAgent{sys: sys, socket: s}
+		if p.WrapHome != nil {
+			h = p.WrapHome(s, h)
+		}
+		eng := core.New(up, spec.Dir(), l, mesh, h)
 		sock := &Socket{Engine: eng}
 		ports := make([]core.CorePort, spec.Cores)
 		for i := 0; i < spec.Cores; i++ {

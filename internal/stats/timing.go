@@ -14,6 +14,7 @@ type RunTiming struct {
 	Experiment string
 	Workers    int
 	Jobs       int
+	Failed     int
 	Wall       time.Duration
 	Sim        time.Duration
 }
@@ -29,8 +30,12 @@ func (t RunTiming) Parallelism() float64 {
 
 // Fprint writes a one-line summary.
 func (t RunTiming) Fprint(w io.Writer) {
-	fmt.Fprintf(w, "[%s: %d jobs on %d workers, wall %v, sim %v, %.1fx]\n",
-		t.Experiment, t.Jobs, t.Workers,
+	failed := ""
+	if t.Failed > 0 {
+		failed = fmt.Sprintf(" (%d FAILED)", t.Failed)
+	}
+	fmt.Fprintf(w, "[%s: %d jobs%s on %d workers, wall %v, sim %v, %.1fx]\n",
+		t.Experiment, t.Jobs, failed, t.Workers,
 		t.Wall.Round(time.Millisecond), t.Sim.Round(time.Millisecond),
 		t.Parallelism())
 }
