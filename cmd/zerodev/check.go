@@ -1,0 +1,188 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mcheck"
+)
+
+// checkCmd runs the internal/mcheck exhaustive protocol model checker:
+// every interleaving of the bounded op alphabet up to -depth, on a tiny
+// instance of the real engine, with invariants checked at every newly
+// reached state. A violation is minimized and written as a replayable
+// counterexample trace; -replay re-runs such a file.
+func checkCmd(args []string) {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	cores := fs.Int("cores", 2, fmt.Sprintf("core count (2..%d)", mcheck.MaxCores))
+	addrs := fs.Int("addrs", 2, fmt.Sprintf("distinct block addresses in the op alphabet (1..%d)", mcheck.MaxAddrs))
+	depth := fs.Int("depth", 6, "explore every op sequence up to this length")
+	policies := fs.String("policies", "all", "comma-separated DE policies (spillall,fpss,fuseall) or all")
+	dirEntries := fs.Int("dir", 0, "replacement-disabled sparse directory entries (0 = none: every entry housed in the LLC)")
+	workers := fs.Int("workers", harness.DefaultOptions().Workers,
+		"parallel frontier expansion workers (results are identical at any value)")
+	broken := fs.Bool("broken", false, "check the deliberately broken protocol variant (live PutDE dropped); a counterexample is expected")
+	out := fs.String("o", "", "counterexample trace file (default counterexample-<policy>.json)")
+	replayPath := fs.String("replay", "", "replay a counterexample trace file and exit")
+	list := fs.Bool("list", false, "describe the op alphabet and properties, then exit")
+	quiet := fs.Bool("quiet", false, "suppress per-depth progress lines on stderr")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *list {
+		writeCheckList(os.Stdout, *cores, *addrs)
+		return
+	}
+	if *replayPath != "" {
+		if err := replayCounterexample(*replayPath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "check:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	pols, err := mcheck.ParsePolicies(*policies)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "check:", err)
+		os.Exit(2)
+	}
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	start := time.Now()
+	violations := 0
+	for _, pol := range pols {
+		cfg := mcheck.Config{
+			Cores: *cores, Addrs: *addrs, Depth: *depth,
+			Policy: pol, DirEntries: *dirEntries,
+			Broken: *broken, Workers: *workers,
+		}
+		if err := runCheck(cfg, *out, os.Stdout, progress); err != nil {
+			if _, bad := err.(*violationError); bad {
+				violations++
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "check:", err)
+			os.Exit(2)
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "[check finished in %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+	if violations > 0 {
+		os.Exit(1)
+	}
+}
+
+// violationError marks a completed run that found a counterexample, as
+// opposed to a run that could not be performed.
+type violationError struct{ err string }
+
+func (e *violationError) Error() string { return e.err }
+
+// runCheck explores one policy and renders the outcome to w. A found
+// violation is minimized, written to tracePath (or its default), and
+// returned as *violationError.
+func runCheck(cfg mcheck.Config, tracePath string, w, progress io.Writer) error {
+	res, err := mcheck.Explore(cfg, progress)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, formatResult(res))
+	if res.Violation == nil {
+		return nil
+	}
+	min := mcheck.Minimize(cfg, *res.Violation)
+	if tracePath == "" {
+		tracePath = fmt.Sprintf("counterexample-%s.json", mcheck.PolicyName(cfg.Policy))
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := mcheck.NewTrace(cfg, min).Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprint(w, formatViolation(min))
+	fmt.Fprintf(w, "  trace written to %s (replay with `zerodev check -replay %s`)\n", tracePath, tracePath)
+	return &violationError{err: min.Err}
+}
+
+// formatResult renders one exploration summary line (stable output:
+// golden-tested and byte-identical at any worker count).
+func formatResult(res mcheck.Result) string {
+	cfg := res.Config
+	coverage := "bounded"
+	if res.Exhausted {
+		coverage = "exhaustive"
+	}
+	verdict := "no violations"
+	if res.Violation != nil {
+		verdict = "VIOLATION"
+	}
+	return fmt.Sprintf("policy=%-8s cores=%d addrs=%d depth=%d dir=%d: %d states explored (%d deduped, %s): %s\n",
+		mcheck.PolicyName(cfg.Policy), cfg.Cores, cfg.Addrs, cfg.Depth, cfg.DirEntries,
+		res.Explored, res.Deduped, coverage, verdict)
+}
+
+// formatViolation renders a minimized counterexample.
+func formatViolation(v mcheck.Violation) string {
+	s := fmt.Sprintf("  %s\n", v.Err)
+	s += fmt.Sprintf("  counterexample (%d ops, minimized from %d): %s\n",
+		len(v.Ops), v.MinimizedFrom, mcheck.FormatOps(v.Ops))
+	return s
+}
+
+// replayCounterexample re-runs a trace file and reports the reproduced
+// violation.
+func replayCounterexample(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := mcheck.DecodeTrace(f)
+	if err != nil {
+		return err
+	}
+	v, err := mcheck.Replay(tr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replayed %d ops (policy=%s cores=%d addrs=%d dir=%d broken=%v): %s\n",
+		len(tr.Ops), tr.Policy, tr.Cores, tr.Addrs, tr.DirEntries, tr.Broken, mcheck.FormatOps(opsOf(v)))
+	fmt.Fprintf(w, "reproduced violation at op %d: %s\n", len(v.Ops), v.Err)
+	return nil
+}
+
+func opsOf(v mcheck.Violation) []mcheck.Op { return v.Ops }
+
+// writeCheckList describes the checker's op alphabet and property set
+// for the given shape; part of the CLI surface, golden-tested.
+func writeCheckList(w io.Writer, cores, addrs int) {
+	cfg := mcheck.Config{Cores: cores, Addrs: addrs, Depth: 1, Policy: core.SpillAll, Workers: 1}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(w, "invalid shape:", err)
+		return
+	}
+	fmt.Fprintf(w, "op alphabet (%d cores, %d addrs):\n", cores, addrs)
+	for _, op := range mcheck.Alphabet(cfg) {
+		fmt.Fprintf(w, "  %s\n", op)
+	}
+	fmt.Fprint(w, `properties checked at every reached state:
+  - core.CheckInvariants (directory/private-cache cross-validation, FPSS forms, LLC housing rules)
+  - zero-DEV: no private-cache invalidation attributable to directory replacement
+  - single-writer: at most one core holds a block in M/E
+  - no entry is busy between transactions; no block tracked in two locations
+  - corrupted-home recoverability: an overwritten memory block keeps a reachable copy
+`)
+}

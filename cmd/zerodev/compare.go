@@ -36,6 +36,10 @@ func compareCmd(args []string) {
 		fmt.Fprintln(os.Stderr, "compare: exactly one application name required")
 		os.Exit(2)
 	}
+	if err := (harness.Options{Scale: *scale, Accesses: *accesses, Workers: *workers}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(2)
+	}
 	prof, err := workload.Get(fs.Arg(0))
 	if err != nil {
 		fatal(err)

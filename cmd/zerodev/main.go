@@ -9,6 +9,7 @@
 //	zerodev run all            # every experiment, paper order
 //	zerodev single [-config baseline|zerodev] [-ratio R] [-policy P] <app>
 //	zerodev audit [-faults K,..] [-campaigns C,..] [-audit-every N] [-fail-fast]
+//	zerodev check [-cores N] [-addrs N] [-depth N] [-policies P,..] [-workers N] [-replay FILE] [-list]
 package main
 
 import (
@@ -45,6 +46,8 @@ func main() {
 		traceCmd(os.Args[2:])
 	case "compare":
 		compareCmd(os.Args[2:])
+	case "check":
+		checkCmd(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -59,7 +62,7 @@ func writeList(w io.Writer) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: zerodev list | run [flags] <experiment>...|all | single [flags] <app> | compare [flags] <app> | trace [flags] | audit [flags]")
+		"usage: zerodev list | run [flags] <experiment>...|all | single [flags] <app> | compare [flags] <app> | trace [flags] | audit [flags] | check [flags]")
 }
 
 func runCmd(args []string) {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/harness"
 	"repro/internal/llc"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -30,6 +31,16 @@ func traceCmd(args []string) {
 	replay := fs.String("replay", "", "trace directory to replay (one file per core)")
 	cfg := fs.String("config", "zerodev", "replay configuration: baseline | zerodev")
 	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	// Same pre-flight validation run/single/audit perform: reject bad
+	// scale/accesses combinations before any file or simulation work.
+	if err := (harness.Options{Scale: *scale, Accesses: *accesses, Workers: 1}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(2)
+	}
+	if *threads < 1 {
+		fmt.Fprintf(os.Stderr, "trace: -threads must be at least 1, got %d\n", *threads)
 		os.Exit(2)
 	}
 

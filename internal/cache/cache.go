@@ -278,3 +278,65 @@ func (a *Array[T]) CountValid() int {
 	}
 	return n
 }
+
+// AppendState appends a canonical encoding of the array's
+// protocol-visible state to buf: per set, per valid way in way order,
+// the way index, tag, replacement metadata, and the payload via enc.
+// LRU recency is encoded as the way's rank within its set (0 = oldest)
+// rather than the absolute use stamp, so two arrays that victimize
+// identically fingerprint identically no matter how many touches built
+// their recency order. Used by the model checker to dedup revisited
+// states; see DESIGN.md ("Model checking").
+func (a *Array[T]) AppendState(buf []byte, enc func([]byte, *T) []byte) []byte {
+	for set := 0; set < a.geo.Sets; set++ {
+		base := set * a.geo.Ways
+		for w := 0; w < a.geo.Ways; w++ {
+			i := base + w
+			if !a.valid[i] {
+				continue
+			}
+			buf = append(buf, byte(w))
+			buf = appendUint64(buf, a.tags[i])
+			switch a.policy {
+			case LRU:
+				buf = append(buf, byte(a.recencyRank(set, w)))
+			case NRU:
+				if a.ref[i] {
+					buf = append(buf, 1)
+				} else {
+					buf = append(buf, 0)
+				}
+			}
+			if enc != nil {
+				buf = enc(buf, &a.data[i])
+			}
+		}
+		buf = append(buf, 0xff) // set separator
+	}
+	return buf
+}
+
+// recencyRank counts the valid ways of set that the LRU policy would
+// victimize before (set, way): strictly older stamps, or equal stamps
+// at a lower way index (Victim breaks ties toward low ways). O(ways²)
+// per set, fine at fingerprinting scale.
+func (a *Array[T]) recencyRank(set, way int) int {
+	base := set * a.geo.Ways
+	self := a.use[base+way]
+	rank := 0
+	for w := 0; w < a.geo.Ways; w++ {
+		if w == way || !a.valid[base+w] {
+			continue
+		}
+		if u := a.use[base+w]; u < self || (u == self && w < way) {
+			rank++
+		}
+	}
+	return rank
+}
+
+func appendUint64(buf []byte, v uint64) []byte {
+	return append(buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}

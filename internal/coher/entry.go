@@ -90,3 +90,29 @@ func MaxSocketsFullMap(coresPerSocket int) int {
 func MaxSocketsWithSocketPartition(coresPerSocket int) int {
 	return (BlockBits - 2) / (StorageBits(coresPerSocket) + 1)
 }
+
+// AppendCanonical appends a canonical byte encoding of the entry's
+// protocol-visible state to buf, for state fingerprinting. Fields that
+// are meaningless in the current state are projected away — a DirOwned
+// entry may carry stale Sharers bits from an earlier shared epoch (and
+// vice versa), and two such entries must fingerprint identically
+// because the protocol can never observe the difference.
+func (e Entry) AppendCanonical(buf []byte) []byte {
+	tag := byte(e.State)
+	if e.Busy {
+		tag |= 0x80
+	}
+	buf = append(buf, tag)
+	switch e.State {
+	case DirOwned:
+		buf = append(buf, byte(e.Owner))
+	case DirShared:
+		lo, hi := e.Sharers.Words()
+		for _, w := range [2]uint64{lo, hi} {
+			buf = append(buf,
+				byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+				byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+		}
+	}
+	return buf
+}

@@ -32,6 +32,9 @@ func FuzzSpilledRoundTrip(f *testing.F) {
 	f.Add(uint8(DirOwned), true, uint8(5), uint64(0), uint64(0))
 	f.Add(uint8(DirShared), false, uint8(0), uint64(0xdeadbeef), uint64(1))
 	f.Add(uint8(DirInvalid), false, uint8(255), ^uint64(0), ^uint64(0))
+	// The stale entry from the model checker's canonical broken-variant
+	// counterexample: S sharers={0,1} (testdata/fuzz seed-6 matches).
+	f.Add(uint8(DirShared), false, uint8(0), uint64(3), uint64(0))
 	f.Fuzz(func(t *testing.T, state uint8, busy bool, owner uint8, lo, hi uint64) {
 		e := Entry{
 			State: DirState(state % 3),

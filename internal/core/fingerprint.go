@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/directory"
+)
+
+// This file composes the per-layer canonical state encodings into one
+// system fingerprint for the model checker (internal/mcheck). The
+// encoding covers exactly the protocol-visible state: private-cache
+// contents and replacement metadata, the sparse directory, LLC lines
+// with housed entries, and home-memory corruption metadata. Clocks,
+// statistics, DRAM/NoC timing state, and anything else that can only
+// change *when* a transition happens — never *which* transitions are
+// enabled — is excluded, so two states with equal fingerprints have
+// identical reachable futures under the checker's op alphabet.
+
+// stateAppender is the optional CorePort extension used for
+// fingerprinting; *cpu.Core implements it.
+type stateAppender interface {
+	AppendState(buf []byte) []byte
+}
+
+// AppendState appends the engine-side protocol state (cores, sparse
+// directory, LLC) to buf. It panics when a core or the directory does
+// not support fingerprinting — the checker constructs its own systems,
+// so a miss is a wiring bug, not a runtime condition.
+func (e *Engine) AppendState(buf []byte) []byte {
+	for i, cp := range e.cores {
+		sa, ok := cp.(stateAppender)
+		if !ok {
+			panic(fmt.Sprintf("core: core %d does not support state fingerprinting", i))
+		}
+		buf = sa.AppendState(buf)
+		buf = append(buf, 0xfe) // layer separator
+	}
+	st, ok := e.dir.(directory.Stater)
+	if !ok {
+		panic(fmt.Sprintf("core: directory %s does not support state fingerprinting", e.dir.Name()))
+	}
+	buf = st.AppendState(buf)
+	buf = append(buf, 0xfe)
+	return e.llc.AppendState(buf)
+}
+
+// AppendState appends the full system fingerprint: the engine state
+// plus the home-memory corruption metadata (segments, data-lost and
+// dir-evict bits), which the recovery flows read back.
+func (s *System) AppendState(buf []byte) []byte {
+	buf = s.Engine.AppendState(buf)
+	buf = append(buf, 0xfe)
+	return s.Home.Mem().AppendState(buf)
+}

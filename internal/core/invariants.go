@@ -73,7 +73,7 @@ func (e *Engine) CheckInvariants() error {
 		if t.mixed {
 			return fmt.Errorf("block %#x has an owner alongside other copies", uint64(addr))
 		}
-		ent, where, err := e.locateEntry(addr)
+		ent, where, err := e.LocateEntry(addr)
 		if err != nil {
 			return err
 		}
@@ -134,26 +134,48 @@ func (e *Engine) CheckInvariants() error {
 	return nil
 }
 
-// locateEntry finds the single live entry for addr across the sparse
-// directory, the LLC, and this socket's home-memory segment, reporting
-// an error when more than one location holds it.
-func (e *Engine) locateEntry(addr coher.Addr) (coher.Entry, string, error) {
-	var found coher.Entry
-	where := ""
+// Entry locations reported by LocateEntry. A block's live entry must be
+// in exactly one of them; "" means the block is untracked.
+const (
+	LocDirectory  = "directory"
+	LocLLCSpilled = "LLC-spilled"
+	LocLLCFused   = "LLC-fused"
+	LocHomeMemory = "home-memory"
+)
+
+// LocateEntry finds the single live entry for addr across the sparse
+// directory, the LLC (distinguishing spilled from fused housing), and
+// this socket's home-memory segment. where is one of the Loc*
+// constants, or "" when no location holds a live entry. A block tracked
+// in more than one location is a protocol bug; the error names both
+// locations uniformly as "block %#x tracked in both <first> and
+// <second>".
+func (e *Engine) LocateEntry(addr coher.Addr) (found coher.Entry, where string, err error) {
+	claim := func(ent coher.Entry, loc string) error {
+		if where != "" {
+			return fmt.Errorf("block %#x tracked in both %s and %s", uint64(addr), where, loc)
+		}
+		found, where = ent, loc
+		return nil
+	}
 	if ent, ok := e.dir.Lookup(addr); ok && ent.Live() {
-		found, where = ent, "directory"
+		if err := claim(ent, LocDirectory); err != nil {
+			return found, where, err
+		}
 	}
 	if v := e.llc.Probe(addr); v.HasDE() {
-		if where != "" {
-			return found, where, fmt.Errorf("block %#x tracked in both %s and LLC", uint64(addr), where)
+		loc := LocLLCSpilled
+		if v.Fused {
+			loc = LocLLCFused
 		}
-		found, where = e.llc.Payload(v, v.DEWay).Entry, "LLC"
+		if err := claim(e.llc.Payload(v, v.DEWay).Entry, loc); err != nil {
+			return found, where, err
+		}
 	}
 	if ent, ok := e.home.Segment(e.p.Socket, addr); ok {
-		if where != "" {
-			return found, where, fmt.Errorf("block %#x tracked in both %s and home memory", uint64(addr), where)
+		if err := claim(ent, LocHomeMemory); err != nil {
+			return found, where, err
 		}
-		found, where = ent, "home-memory"
 	}
 	return found, where, nil
 }

@@ -452,3 +452,38 @@ func (c *Core) ForEachBlock(fn func(addr coher.Addr, state coher.PrivState)) {
 		fn(coher.Addr(a), line.state)
 	})
 }
+
+// EvictBlock voluntarily evicts addr from the private hierarchy through
+// the ordinary capacity-eviction path (eviction notice to the uncore,
+// unlike Invalidate). It is the model checker's "evict" op: it lets the
+// bounded explorer reach PutS/PutM states without filling the L2.
+// Reports whether the block was resident.
+func (c *Core) EvictBlock(addr coher.Addr) bool {
+	set, way, ok := c.l2.Lookup(uint64(addr))
+	if !ok {
+		return false
+	}
+	c.evictL2(set, way)
+	return true
+}
+
+// AppendState appends the core's protocol-visible cache state (L1I,
+// L1D, L2 contents with coherence states and replacement metadata) to
+// buf for model-checker fingerprinting. The clock, stall remainders,
+// and stats are excluded (they affect timing, never which coherence
+// actions are reachable), as is the recent-miss history — the checker
+// runs with PrefetchDegree 0, where that history is dead state.
+func (c *Core) AppendState(buf []byte) []byte {
+	buf = c.l1i.AppendState(buf, nil)
+	buf = c.l1d.AppendState(buf, nil)
+	return c.l2.AppendState(buf, func(b []byte, l *l2Line) []byte {
+		tag := byte(l.state)
+		if l.inL1I {
+			tag |= 0x10
+		}
+		if l.inL1D {
+			tag |= 0x20
+		}
+		return append(b, tag)
+	})
+}

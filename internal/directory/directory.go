@@ -6,7 +6,11 @@
 // al., MICRO 2013) used as comparison points in Figs. 26 and 27.
 package directory
 
-import "repro/internal/coher"
+import (
+	"sort"
+
+	"repro/internal/coher"
+)
 
 // Victim is a live entry forcibly evicted from a directory. The protocol
 // engine must invalidate every private copy the entry was tracking;
@@ -168,3 +172,33 @@ func (u *Unbounded) Peak() int { return u.peak }
 
 // Name implements Directory.
 func (u *Unbounded) Name() string { return "Unbounded" }
+
+// Stater is the optional Directory extension the model checker uses to
+// fingerprint an organization's protocol-visible state. Implementations
+// must be canonical: two directories from which the engine can reach
+// exactly the same behaviors must append identical bytes. Traditional,
+// Unbounded, and NoDir implement it.
+type Stater interface {
+	AppendState(buf []byte) []byte
+}
+
+// AppendState implements Stater; NoDir has no state.
+func (NoDir) AppendState(buf []byte) []byte { return buf }
+
+// AppendState implements Stater: entries in ascending address order
+// (the map has no deterministic order of its own). Shadow-overflow
+// instrumentation is measurement-only and excluded.
+func (u *Unbounded) AppendState(buf []byte) []byte {
+	addrs := make([]coher.Addr, 0, len(u.m))
+	for a := range u.m {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		buf = append(buf,
+			byte(a), byte(a>>8), byte(a>>16), byte(a>>24),
+			byte(a>>32), byte(a>>40), byte(a>>48), byte(a>>56))
+		buf = u.m[a].AppendCanonical(buf)
+	}
+	return buf
+}

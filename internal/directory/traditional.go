@@ -125,3 +125,13 @@ func (d *Traditional) Occupancy() (int, int) {
 
 // Name implements Directory.
 func (d *Traditional) Name() string { return d.name }
+
+// AppendState implements Stater: the underlying array's tags, NRU
+// reference bits, and canonical entry encodings. Reference bits matter
+// for the NRU baseline (they steer future victim choices); for the
+// replacement-disabled variant they are inert but still deterministic.
+func (d *Traditional) AppendState(buf []byte) []byte {
+	return d.arr.AppendState(buf, func(b []byte, e *coher.Entry) []byte {
+		return e.AppendCanonical(b)
+	})
+}

@@ -354,3 +354,14 @@ func (h *chaosHome) PutDE(t sim.Cycle, socket int, addr coher.Addr, e coher.Entr
 	}
 	h.Home.PutDE(t, socket, addr, e)
 }
+
+// BrokenRecoveryHome decorates a home agent with the BreakRecovery
+// defect and nothing else: live PutDE messages (recovered entries being
+// written back to their home segment) are silently dropped, while every
+// stochastic injector stays disabled. The model checker uses it as a
+// known-bad protocol variant that must produce a counterexample —
+// validating that the explorer's invariants can actually fail.
+func BrokenRecoveryHome(h core.Home) core.Home {
+	in := NewInjector(Config{BreakRecovery: true}, sim.NewRNG(0))
+	return &chaosHome{Home: h, in: in}
+}

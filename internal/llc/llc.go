@@ -431,3 +431,26 @@ func (l *LLC) ForEachDE(fn func(addr coher.Addr, fused bool, e coher.Entry)) {
 		})
 	}
 }
+
+// AppendState appends the LLC's protocol-visible state to buf for
+// model-checker fingerprinting: per bank, the array contents (tags,
+// recency ranks, line kind/dirty bit, and the canonical form of any
+// housed directory entry). The transient Protect pin is excluded — it
+// is always clear between top-level requests, the only points the
+// checker fingerprints.
+func (l *LLC) AppendState(buf []byte) []byte {
+	for _, arr := range l.arrs {
+		buf = arr.AppendState(buf, func(b []byte, p *Payload) []byte {
+			tag := byte(p.Kind)
+			if p.Dirty {
+				tag |= 0x10
+			}
+			b = append(b, tag)
+			if p.Kind == KindSpilled || p.Kind == KindFused {
+				b = p.Entry.AppendCanonical(b)
+			}
+			return b
+		})
+	}
+	return buf
+}

@@ -1,0 +1,66 @@
+package mcheck
+
+import (
+	"fmt"
+
+	"repro/internal/coher"
+)
+
+// checkState runs the full property set against a reached state. It is
+// called between transactions only (the engine is synchronous), which
+// is what makes the busy-entry and corrupted-recoverability checks
+// meaningful: transient states are legal inside a transaction, never
+// across one.
+func checkState(cfg Config, in *instance) error {
+	eng := in.sys.Engine
+	if err := eng.CheckInvariants(); err != nil {
+		return err
+	}
+
+	// Zero-DEV: the replacement-disabled directory must never produce a
+	// directory eviction victim — no private copy is ever invalidated
+	// because the directory ran out of tracking space. This is the
+	// paper's headline property and the one the checker exists to prove
+	// over bounded configurations.
+	if devs := eng.Stats().DEVs; devs != 0 {
+		return fmt.Errorf("zero-DEV violated: %d private-cache invalidation(s) attributable to directory replacement", devs)
+	}
+
+	for _, addr := range addrAlphabet(cfg) {
+		// Single-writer, measured directly from the private caches
+		// (independently of the directory bookkeeping CheckInvariants
+		// validates): at most one core may hold addr writable.
+		writers := 0
+		for _, c := range in.sys.Cores {
+			if st, ok := c.HasBlock(addr); ok && (st == coher.PrivModified || st == coher.PrivExclusive) {
+				writers++
+			}
+		}
+		if writers > 1 {
+			return fmt.Errorf("single-writer violated: %d cores hold %#x in M/E", writers, uint64(addr))
+		}
+
+		// LocateEntry surfaces multi-location tracking, and a located
+		// entry must not be busy between transactions — the synchronous
+		// engine completes every transaction it starts.
+		ent, where, err := eng.LocateEntry(addr)
+		if err != nil {
+			return err
+		}
+		if where != "" && ent.Busy {
+			return fmt.Errorf("busy %s entry for %#x between transactions", where, uint64(addr))
+		}
+
+		// Corrupted-home recoverability: while a block's memory copy is
+		// overwritten by directory-entry segments, its data must still
+		// be reachable — in the LLC or in a private cache tracked by a
+		// live entry — or the last-copy retrieval of §III-D4 can never
+		// restore memory and the block's value is lost forever.
+		if in.sys.Home.Mem().Corrupted(addr) {
+			if v := eng.LLC().Probe(addr); !v.HasData() && where == "" {
+				return fmt.Errorf("corrupted home block %#x is unrecoverable: no LLC copy and no live entry", uint64(addr))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package mcheck
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/harness"
+)
+
+// Violation is a bad state the explorer reached: the op sequence that
+// reaches it from the initial state and the property it breaks.
+type Violation struct {
+	Ops []Op
+	Err string
+	// MinimizedFrom is the pre-shrinking op count, 0 when the violation
+	// has not been minimized.
+	MinimizedFrom int
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	Config Config
+	// Explored counts unique states reached (including the initial
+	// state); Deduped counts successor states pruned because their
+	// fingerprint was already seen.
+	Explored, Deduped int
+	// Exhausted reports that the frontier drained before the depth
+	// bound — the count of reachable states is exact, not a bound.
+	Exhausted bool
+	// Violation is nil when every reached state satisfies every
+	// property.
+	Violation *Violation
+}
+
+// succ is one candidate successor produced by expanding a frontier
+// state: the op applied, the fingerprint of the state it reached, and
+// any property violation there.
+type succ struct {
+	op      Op
+	applied bool
+	fp      [16]byte
+	err     string
+}
+
+// Explore runs the bounded BFS. The frontier at each depth is expanded
+// in parallel across cfg.Workers harness-pool workers, but successors
+// are deduplicated and violations selected in a sequential pass over
+// (frontier order × alphabet order), so the result — including which of
+// several same-depth violations is reported — is identical at any
+// worker count. Exploration stops at the first (shallowest, then
+// earliest in order) violation: every state on the frontier beyond it
+// is one the real protocol should never enter, so deeper successors of
+// a broken run carry no information.
+//
+// progress, when non-nil, receives one line per completed depth.
+func Explore(cfg Config, progress io.Writer) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Config: cfg}
+	alphabet := Alphabet(cfg)
+
+	root := newInstance(cfg)
+	rootFP, _ := root.fingerprint(nil)
+	seen := map[[16]byte]struct{}{rootFP: {}}
+	res.Explored = 1
+	if err := checkState(cfg, root); err != nil {
+		res.Violation = &Violation{Ops: nil, Err: err.Error()}
+		return res, nil
+	}
+
+	type node struct{ ops []Op }
+	frontier := []node{{ops: nil}}
+
+	for depth := 0; depth < cfg.Depth && len(frontier) > 0; depth++ {
+		pool := harness.NewPool(cfg.Workers, nil, "mcheck")
+		futs := make([]*harness.Future[[]succ], len(frontier))
+		for i, n := range frontier {
+			prefix := n.ops
+			futs[i] = harness.Submit(pool, func() []succ {
+				return expand(cfg, alphabet, prefix)
+			})
+		}
+
+		var next []node
+		for i, fut := range futs {
+			succs, err := fut.Result()
+			if err != nil {
+				// A panic inside the engine is itself a counterexample:
+				// record it against the op that triggered it. The panic
+				// message is in err; the op is recovered by re-running
+				// the expansion serially.
+				op, msg := locatePanic(cfg, alphabet, frontier[i].ops, err)
+				res.Violation = &Violation{Ops: append(append([]Op(nil), frontier[i].ops...), op), Err: msg}
+				return res, nil
+			}
+			for _, s := range succs {
+				if !s.applied {
+					continue
+				}
+				if _, dup := seen[s.fp]; dup {
+					res.Deduped++
+					continue
+				}
+				seen[s.fp] = struct{}{}
+				res.Explored++
+				ops := append(append([]Op(nil), frontier[i].ops...), s.op)
+				if s.err != "" {
+					res.Violation = &Violation{Ops: ops, Err: s.err}
+					return res, nil
+				}
+				next = append(next, node{ops: ops})
+			}
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "[check %s depth %d/%d: %d states, %d deduped, frontier %d]\n",
+				PolicyName(cfg.Policy), depth+1, cfg.Depth, res.Explored, res.Deduped, len(next))
+		}
+		frontier = next
+	}
+	res.Exhausted = len(frontier) == 0
+	return res, nil
+}
+
+// expand computes every successor of the state reached by prefix. Each
+// op replays the prefix against a fresh system (deterministic
+// re-execution is the state restore), applies the op, fingerprints, and
+// checks properties.
+func expand(cfg Config, alphabet []Op, prefix []Op) []succ {
+	succs := make([]succ, len(alphabet))
+	var buf []byte
+	for i, op := range alphabet {
+		in := replay(cfg, prefix)
+		s := succ{op: op, applied: in.apply(op)}
+		if s.applied {
+			s.fp, buf = in.fingerprint(buf)
+			if err := checkState(cfg, in); err != nil {
+				s.err = err.Error()
+			}
+		}
+		succs[i] = s
+	}
+	return succs
+}
+
+// locatePanic re-runs a panicked expansion one op at a time to identify
+// which alphabet op crashed the engine, converting the recovered panic
+// into an ordinary counterexample. poolErr supplies the message when
+// the serial re-run (unexpectedly) survives.
+func locatePanic(cfg Config, alphabet []Op, prefix []Op, poolErr error) (Op, string) {
+	for _, op := range alphabet {
+		var msg string
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					msg = fmt.Sprintf("engine panic: %v", r)
+				}
+			}()
+			in := replay(cfg, prefix)
+			in.apply(op)
+		}()
+		if msg != "" {
+			return op, msg
+		}
+	}
+	return Op{}, fmt.Sprintf("engine panic (op not reidentified): %v", poolErr)
+}

@@ -1,0 +1,111 @@
+package mcheck
+
+import (
+	"hash/fnv"
+
+	"repro/internal/coher"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// script feeds a core one scripted access at a time; the checker pushes
+// an access then steps the core, so the stream never runs dry.
+type script struct{ q []cpu.Access }
+
+func (s *script) Next() (cpu.Access, bool) {
+	if len(s.q) == 0 {
+		return cpu.Access{}, false
+	}
+	a := s.q[0]
+	s.q = s.q[1:]
+	return a, true
+}
+
+// instance is one concrete system under exploration. State restore is
+// deterministic re-execution: an instance is always (fresh system +
+// replayed op prefix), never mutated back.
+type instance struct {
+	sys     *core.System
+	scripts []*script
+}
+
+// newInstance builds a fresh system for cfg.
+func newInstance(cfg Config) *instance {
+	scripts := make([]*script, cfg.Cores)
+	streams := make([]cpu.Stream, cfg.Cores)
+	for i := range scripts {
+		scripts[i] = &script{}
+		streams[i] = scripts[i]
+	}
+	return &instance{sys: core.NewSystem(cfg.spec(), streams), scripts: scripts}
+}
+
+// apply executes one op and reports whether it was enabled. A disabled
+// op (evicting a non-resident block, forcing a writeback with no housed
+// entry, invalidating an untracked address) leaves the system provably
+// unchanged, so the explorer skips its successor outright.
+func (in *instance) apply(op Op) bool {
+	addr := AddrOf(int(op.Addr))
+	switch op.Kind {
+	case OpRead:
+		in.scripts[op.Core].q = append(in.scripts[op.Core].q, cpu.Access{Kind: cpu.Load, Addr: addr})
+		in.sys.Cores[op.Core].Step()
+		return true
+	case OpWrite:
+		in.scripts[op.Core].q = append(in.scripts[op.Core].q, cpu.Access{Kind: cpu.Store, Addr: addr})
+		in.sys.Cores[op.Core].Step()
+		return true
+	case OpEvict:
+		return in.sys.Cores[op.Core].EvictBlock(addr)
+	case OpWBDE:
+		return in.sys.Engine.ForceDEWriteback(in.now(), addr)
+	case OpInval:
+		return in.sys.Engine.InjectInvalidation(in.now(), addr)
+	}
+	panic("mcheck: unknown op kind")
+}
+
+// now returns a current cycle for engine-entry ops; the exact value
+// only shifts timing, which the fingerprint excludes.
+func (in *instance) now() sim.Cycle {
+	var t sim.Cycle
+	for _, c := range in.sys.Cores {
+		if n := c.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// replay builds the state reached by ops from a fresh system. Disabled
+// ops in the sequence are no-ops, which keeps replay total — minimized
+// traces stay valid even if shrinking disables a later op.
+func replay(cfg Config, ops []Op) *instance {
+	in := newInstance(cfg)
+	for _, op := range ops {
+		in.apply(op)
+	}
+	return in
+}
+
+// fingerprint hashes the system's canonical state into a dedup key,
+// reusing buf across calls to avoid per-state allocations.
+func (in *instance) fingerprint(buf []byte) ([16]byte, []byte) {
+	buf = in.sys.AppendState(buf[:0])
+	h := fnv.New128a()
+	h.Write(buf)
+	var fp [16]byte
+	h.Sum(fp[:0])
+	return fp, buf
+}
+
+// addrAlphabet lists the concrete addresses of cfg's alphabet, for the
+// per-address cross-state checks.
+func addrAlphabet(cfg Config) []coher.Addr {
+	addrs := make([]coher.Addr, cfg.Addrs)
+	for i := range addrs {
+		addrs[i] = AddrOf(i)
+	}
+	return addrs
+}

@@ -1,0 +1,78 @@
+package mcheck
+
+// Counterexample minimization: BFS already returns a shortest-length
+// witness to the *first* violation it meets in exploration order, but
+// that sequence can still carry ops that only pad the interleaving.
+// Minimize shrinks it greedily — truncate to the first violating step,
+// then repeatedly drop any single op whose removal keeps the trace
+// violating — to a locally minimal trace: removing any one remaining op
+// yields a clean run. The shrunken trace may violate a *different*
+// property than the original; what is preserved is that it is a real
+// counterexample, and its recorded violation always matches its replay.
+
+// violates replays ops, checking properties after every step, and
+// returns the first violation (with its step prefix) if any. Engine
+// panics count as violations.
+func violates(cfg Config, ops []Op) (v *Violation) {
+	in := newInstance(cfg)
+	for i, op := range ops {
+		applied := func() (applied bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					v = &Violation{Ops: append([]Op(nil), ops[:i+1]...), Err: panicString(r)}
+				}
+			}()
+			return in.apply(op)
+		}()
+		if v != nil {
+			return v
+		}
+		if !applied {
+			continue
+		}
+		if err := checkState(cfg, in); err != nil {
+			return &Violation{Ops: append([]Op(nil), ops[:i+1]...), Err: err.Error()}
+		}
+	}
+	return nil
+}
+
+// Minimize shrinks a violation to a locally minimal replayable trace.
+func Minimize(cfg Config, v Violation) Violation {
+	orig := len(v.Ops)
+	// Truncate to the first violating step (also re-derives Err from a
+	// replay, so the result is self-consistent even if the input came
+	// from a file).
+	cur := violates(cfg, v.Ops)
+	if cur == nil {
+		// Not actually a violation under this config; return the input
+		// unshrunk rather than inventing one.
+		return v
+	}
+	// Greedy op-drop to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur.Ops); i++ {
+			candidate := make([]Op, 0, len(cur.Ops)-1)
+			candidate = append(candidate, cur.Ops[:i]...)
+			candidate = append(candidate, cur.Ops[i+1:]...)
+			if got := violates(cfg, candidate); got != nil {
+				cur = got
+				changed = true
+				i--
+			}
+		}
+	}
+	cur.MinimizedFrom = orig
+	return *cur
+}
+
+func panicString(r interface{}) string {
+	if s, ok := r.(string); ok {
+		return "engine panic: " + s
+	}
+	if e, ok := r.(error); ok {
+		return "engine panic: " + e.Error()
+	}
+	return "engine panic"
+}

@@ -1,0 +1,91 @@
+package mcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind enumerates the bounded op alphabet. Read/Write/Evict act
+// through a chosen core's private hierarchy; WBDE and Inval act through
+// the engine's fault seams (core.ForceDEWriteback, InjectInvalidation)
+// and model the externally induced flows — DE-eviction writebacks and
+// cross-socket invalidations — a single-socket instance cannot generate
+// on its own.
+type OpKind uint8
+
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpEvict
+	OpWBDE
+	OpInval
+	numOpKinds
+)
+
+var opKindNames = [numOpKinds]string{"read", "write", "evict", "wbde", "inval"}
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// ParseOpKind is the inverse of String.
+func ParseOpKind(s string) (OpKind, error) {
+	for k, name := range opKindNames {
+		if strings.EqualFold(s, name) {
+			return OpKind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("mcheck: unknown op kind %q", s)
+}
+
+// Op is one alphabet symbol: an action, the core performing it (unused
+// for WBDE/Inval, which act socket-wide), and the alphabet index of the
+// target address.
+type Op struct {
+	Kind OpKind
+	Core uint8
+	Addr uint8
+}
+
+// String renders the op compactly: "read c0 a1", "wbde a0".
+func (o Op) String() string {
+	if o.Kind == OpWBDE || o.Kind == OpInval {
+		return fmt.Sprintf("%s a%d", o.Kind, o.Addr)
+	}
+	return fmt.Sprintf("%s c%d a%d", o.Kind, o.Core, o.Addr)
+}
+
+// FormatOps renders an op sequence on one line.
+func FormatOps(ops []Op) string {
+	parts := make([]string, len(ops))
+	for i, o := range ops {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Alphabet enumerates the config's op alphabet in its canonical order:
+// per address, each core's read/write/evict, then the socket-wide WBDE
+// and Inval. Exploration order (and therefore which of several
+// same-depth violations is reported) follows this order.
+func Alphabet(cfg Config) []Op {
+	var ops []Op
+	for a := 0; a < cfg.Addrs; a++ {
+		for c := 0; c < cfg.Cores; c++ {
+			ops = append(ops,
+				Op{Kind: OpRead, Core: uint8(c), Addr: uint8(a)},
+				Op{Kind: OpWrite, Core: uint8(c), Addr: uint8(a)},
+				Op{Kind: OpEvict, Core: uint8(c), Addr: uint8(a)},
+			)
+		}
+		ops = append(ops,
+			Op{Kind: OpWBDE, Addr: uint8(a)},
+			Op{Kind: OpInval, Addr: uint8(a)},
+		)
+	}
+	return ops
+}

@@ -1,0 +1,139 @@
+package mcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceVersion stamps counterexample files; bump on incompatible
+// format changes.
+const TraceVersion = 1
+
+// Trace is a counterexample on disk: enough configuration to rebuild
+// the exact system, the op sequence, and the violation the final op
+// triggers. The format is JSON — counterexamples exist to be read by
+// humans and replayed by `zerodev check -replay`.
+type Trace struct {
+	Version    int       `json:"version"`
+	Cores      int       `json:"cores"`
+	Addrs      int       `json:"addrs"`
+	Policy     string    `json:"policy"`
+	DirEntries int       `json:"dir_entries"`
+	Broken     bool      `json:"broken,omitempty"`
+	Ops        []TraceOp `json:"ops"`
+	// Violation is the property error replaying Ops must reproduce.
+	Violation string `json:"violation"`
+	// MinimizedFrom records the pre-shrinking op count, for reports.
+	MinimizedFrom int `json:"minimized_from,omitempty"`
+}
+
+// TraceOp is one op in file form.
+type TraceOp struct {
+	Op   string `json:"op"`
+	Core int    `json:"core,omitempty"`
+	Addr int    `json:"addr"`
+}
+
+// NewTrace packages a violation for writing.
+func NewTrace(cfg Config, v Violation) Trace {
+	tr := Trace{
+		Version:       TraceVersion,
+		Cores:         cfg.Cores,
+		Addrs:         cfg.Addrs,
+		Policy:        PolicyName(cfg.Policy),
+		DirEntries:    cfg.DirEntries,
+		Broken:        cfg.Broken,
+		Violation:     v.Err,
+		MinimizedFrom: v.MinimizedFrom,
+	}
+	for _, op := range v.Ops {
+		tr.Ops = append(tr.Ops, TraceOp{Op: op.Kind.String(), Core: int(op.Core), Addr: int(op.Addr)})
+	}
+	return tr
+}
+
+// Encode writes the trace as indented JSON.
+func (tr Trace) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// DecodeTrace reads and validates a counterexample file.
+func DecodeTrace(r io.Reader) (Trace, error) {
+	var tr Trace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tr); err != nil {
+		return Trace{}, fmt.Errorf("mcheck: decoding trace: %w", err)
+	}
+	if tr.Version != TraceVersion {
+		return Trace{}, fmt.Errorf("mcheck: trace version %d, this build reads %d", tr.Version, TraceVersion)
+	}
+	if _, _, err := tr.decode(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}
+
+// decode converts the file form back to a Config and op sequence.
+func (tr Trace) decode() (Config, []Op, error) {
+	pol, err := ParsePolicy(tr.Policy)
+	if err != nil {
+		return Config{}, nil, err
+	}
+	cfg := Config{
+		Cores:      tr.Cores,
+		Addrs:      tr.Addrs,
+		Depth:      max(1, len(tr.Ops)),
+		Policy:     pol,
+		DirEntries: tr.DirEntries,
+		Broken:     tr.Broken,
+		Workers:    1,
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, nil, err
+	}
+	ops := make([]Op, len(tr.Ops))
+	for i, to := range tr.Ops {
+		k, err := ParseOpKind(to.Op)
+		if err != nil {
+			return Config{}, nil, fmt.Errorf("mcheck: op %d: %w", i, err)
+		}
+		if to.Core < 0 || to.Core >= cfg.Cores {
+			return Config{}, nil, fmt.Errorf("mcheck: op %d: core %d out of range", i, to.Core)
+		}
+		if to.Addr < 0 || to.Addr >= cfg.Addrs {
+			return Config{}, nil, fmt.Errorf("mcheck: op %d: addr %d out of range", i, to.Addr)
+		}
+		ops[i] = Op{Kind: k, Core: uint8(to.Core), Addr: uint8(to.Addr)}
+	}
+	return cfg, ops, nil
+}
+
+// Replay re-runs a decoded trace and returns the violation it
+// reproduces. It fails when the trace runs clean or reproduces a
+// different violation than the file records — either means the trace no
+// longer describes this build's behavior.
+func Replay(tr Trace) (Violation, error) {
+	cfg, ops, err := tr.decode()
+	if err != nil {
+		return Violation{}, err
+	}
+	v := violates(cfg, ops)
+	if v == nil {
+		return Violation{}, fmt.Errorf("mcheck: trace replayed clean; recorded violation was: %s", tr.Violation)
+	}
+	if v.Err != tr.Violation {
+		return *v, fmt.Errorf("mcheck: replay reproduced a different violation\n  recorded: %s\n  replayed: %s", tr.Violation, v.Err)
+	}
+	return *v, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -9,6 +9,7 @@ package mem
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/coher"
 )
@@ -216,4 +217,43 @@ func (m *Memory) ForEachCorrupted(fn func(addr coher.Addr, b *BlockMeta)) {
 			fn(addr, b)
 		}
 	}
+}
+
+// AppendState appends the home-memory metadata's protocol-visible state
+// to buf for model-checker fingerprinting: corrupted/dir-evict blocks
+// in ascending address order, each with its data-lost flag, per-socket
+// segments (canonical entry form), and socket partition. Blocks absent
+// from the map are ordinary and contribute no bytes — gc keeps the map
+// canonical in that respect.
+func (m *Memory) AppendState(buf []byte) []byte {
+	addrs := make([]coher.Addr, 0, len(m.blocks))
+	for a := range m.blocks {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		b := m.blocks[a]
+		buf = append(buf,
+			byte(a), byte(a>>8), byte(a>>16), byte(a>>24),
+			byte(a>>32), byte(a>>40), byte(a>>48), byte(a>>56))
+		var flags byte
+		if b.DataLost {
+			flags |= 1
+		}
+		if b.DirEvict {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+		for _, seg := range b.Segments {
+			buf = seg.AppendCanonical(buf)
+		}
+		if b.DirEvict {
+			buf = append(buf, byte(b.SocketEntry.State), byte(b.SocketEntry.Owner))
+			s := uint64(b.SocketEntry.Sharers)
+			buf = append(buf,
+				byte(s), byte(s>>8), byte(s>>16), byte(s>>24),
+				byte(s>>32), byte(s>>40), byte(s>>48), byte(s>>56))
+		}
+	}
+	return buf
 }
