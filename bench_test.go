@@ -7,6 +7,7 @@ package repro_test
 // <id>` for those.
 
 import (
+	"context"
 	"io"
 	"runtime"
 	"testing"
@@ -46,7 +47,7 @@ func benchExperimentParallel(b *testing.B, id string) {
 	o.Workers = runtime.GOMAXPROCS(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Execute(o, io.Discard); err != nil {
+		if _, err := e.Execute(context.Background(), o, io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

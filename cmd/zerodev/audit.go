@@ -1,9 +1,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/faults"
@@ -13,7 +15,7 @@ import (
 // auditCmd runs the fault-injection campaigns of internal/faults: every
 // selected injector firing against every selected campaign cell, with
 // the invariant auditor running every -audit-every scheduler steps.
-func auditCmd(args []string) {
+func auditCmd(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("audit", flag.ExitOnError)
 	o := harness.DefaultOptions()
 	o.Accesses = 20000
@@ -24,6 +26,10 @@ func auditCmd(args []string) {
 	fs.IntVar(&o.Workers, "workers", o.Workers, "parallel campaign cells (output is identical at any value)")
 	fs.IntVar(&o.Retries, "retries", o.Retries, "extra attempts for a panicking cell before it is recorded as failed")
 	fs.StringVar(&o.CrashDir, "crash", o.CrashDir, "directory for panic replay bundles (\"\" disables)")
+	fs.DurationVar(&o.JobTimeout, "job-timeout", 0, "per-cell watchdog: cancel a cell running longer than this, dump diagnostics, record TIMEOUT (0 = off)")
+	ckptPath := fs.String("checkpoint", filepath.Join("results", "checkpoint", "audit.json"),
+		"where completed cells are persisted for -resume (\"\" disables checkpointing)")
+	resume := fs.String("resume", "", "resume from a checkpoint file: completed cells are served from it instead of re-running")
 	quiet := fs.Bool("quiet", false, "suppress progress and timing lines on stderr")
 	kinds := fs.String("faults", "all", "comma-separated injector kinds (see -list)")
 	auditEvery := fs.Int("audit-every", 1000, "run the invariant auditor every N scheduler steps (0 = only at completion)")
@@ -39,8 +45,9 @@ func auditCmd(args []string) {
 		return
 	}
 	o.Seed = seed
+	stderr := harness.NewSyncWriter(os.Stderr)
 	if !*quiet {
-		o.Progress = os.Stderr
+		o.Progress = stderr
 	}
 	if err := o.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "audit:", err)
@@ -64,12 +71,45 @@ func auditCmd(args []string) {
 		fmt.Fprintln(os.Stderr, "audit:", err)
 		os.Exit(2)
 	}
+	var ids []string
+	for _, c := range cells {
+		ids = append(ids, c.Name)
+	}
+	key := harness.CheckpointKey{
+		Kind: "audit", IDs: ids,
+		Scale: o.Scale, Accesses: o.Accesses, Seed: o.Seed,
+	}
+	if *resume != "" {
+		cs, err := harness.LoadCheckpoint(*resume, key)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "audit:", err)
+			os.Exit(2)
+		}
+		o.Checkpoint = cs
+		fmt.Fprintf(stderr, "[resuming from %s: %d completed cells]\n", *resume, cs.Cells())
+	} else if *ckptPath != "" {
+		o.Checkpoint = harness.NewCheckpoint(key)
+	}
 	start := time.Now()
-	if err := faults.RunCampaigns(cfg, cells, o, os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "audit: %v\n", err)
-		os.Exit(1)
+	cerr := faults.RunCampaigns(ctx, cfg, cells, o, os.Stdout)
+	if o.Checkpoint != nil && *ckptPath != "" {
+		if err := o.Checkpoint.Save(*ckptPath); err != nil {
+			fmt.Fprintf(stderr, "audit: saving checkpoint: %v\n", err)
+		}
+	}
+	if ctx.Err() != nil {
+		if o.Checkpoint != nil && *ckptPath != "" {
+			fmt.Fprintf(stderr, "audit: interrupted; completed cells saved to %s — resume with `zerodev audit -resume %s ...`\n", *ckptPath, *ckptPath)
+		} else {
+			fmt.Fprintln(stderr, "audit: interrupted")
+		}
+		os.Exit(harness.ExitInterrupted)
+	}
+	if cerr != nil {
+		fmt.Fprintf(stderr, "audit: %v\n", cerr)
+		os.Exit(harness.ExitCode(cerr))
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "[audit finished in %v]\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stderr, "[audit finished in %v]\n", time.Since(start).Round(time.Millisecond))
 	}
 }

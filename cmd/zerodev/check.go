@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/mcheck"
@@ -17,7 +19,7 @@ import (
 // instance of the real engine, with invariants checked at every newly
 // reached state. A violation is minimized and written as a replayable
 // counterexample trace; -replay re-runs such a file.
-func checkCmd(args []string) {
+func checkCmd(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	cores := fs.Int("cores", 2, fmt.Sprintf("core count (2..%d)", mcheck.MaxCores))
 	addrs := fs.Int("addrs", 2, fmt.Sprintf("distinct block addresses in the op alphabet (1..%d)", mcheck.MaxAddrs))
@@ -26,6 +28,7 @@ func checkCmd(args []string) {
 	dirEntries := fs.Int("dir", 0, "replacement-disabled sparse directory entries (0 = none: every entry housed in the LLC)")
 	workers := fs.Int("workers", harness.DefaultOptions().Workers,
 		"parallel frontier expansion workers (results are identical at any value)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-expansion watchdog: abort the search if a frontier expansion runs longer than this (0 = off)")
 	broken := fs.Bool("broken", false, "check the deliberately broken protocol variant (live PutDE dropped); a counterexample is expected")
 	out := fs.String("o", "", "counterexample trace file (default counterexample-<policy>.json)")
 	replayPath := fs.String("replay", "", "replay a counterexample trace file and exit")
@@ -61,14 +64,15 @@ func checkCmd(args []string) {
 			Cores: *cores, Addrs: *addrs, Depth: *depth,
 			Policy: pol, DirEntries: *dirEntries,
 			Broken: *broken, Workers: *workers,
+			JobTimeout: *jobTimeout,
 		}
-		if err := runCheck(cfg, *out, os.Stdout, progress); err != nil {
+		if err := runCheck(ctx, cfg, *out, os.Stdout, progress); err != nil {
 			if _, bad := err.(*violationError); bad {
 				violations++
 				continue
 			}
 			fmt.Fprintln(os.Stderr, "check:", err)
-			os.Exit(2)
+			os.Exit(checkExit(err))
 		}
 	}
 	if !*quiet {
@@ -85,11 +89,24 @@ type violationError struct{ err string }
 
 func (e *violationError) Error() string { return e.err }
 
+// checkExit maps a non-violation check failure to its exit code
+// (interrupted and watchdog-timeout searches get their documented
+// codes; anything else is a usage/configuration error).
+func checkExit(err error) int {
+	if harness.IsCancelled(err) {
+		return harness.ExitInterrupted
+	}
+	if harness.IsTimeout(err) {
+		return harness.ExitTimeout
+	}
+	return 2
+}
+
 // runCheck explores one policy and renders the outcome to w. A found
 // violation is minimized, written to tracePath (or its default), and
 // returned as *violationError.
-func runCheck(cfg mcheck.Config, tracePath string, w, progress io.Writer) error {
-	res, err := mcheck.Explore(cfg, progress)
+func runCheck(ctx context.Context, cfg mcheck.Config, tracePath string, w, progress io.Writer) error {
+	res, err := mcheck.Explore(ctx, cfg, progress)
 	if err != nil {
 		return err
 	}
@@ -101,12 +118,14 @@ func runCheck(cfg mcheck.Config, tracePath string, w, progress io.Writer) error 
 	if tracePath == "" {
 		tracePath = fmt.Sprintf("counterexample-%s.json", mcheck.PolicyName(cfg.Policy))
 	}
-	f, err := os.Create(tracePath)
+	// The counterexample is written atomically: a kill mid-write leaves
+	// the previous trace (or nothing), never a torn file.
+	f, err := atomicio.Create(tracePath)
 	if err != nil {
 		return err
 	}
 	if err := mcheck.NewTrace(cfg, min).Encode(f); err != nil {
-		f.Close()
+		f.Discard()
 		return err
 	}
 	if err := f.Close(); err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -31,7 +32,7 @@ func TestCheckCounterexampleGolden(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "cex.json")
 	var buf bytes.Buffer
-	err := runCheck(cfg, path, &buf, nil)
+	err := runCheck(context.Background(), cfg, path, &buf, nil)
 	var vErr *violationError
 	if !errors.As(err, &vErr) {
 		t.Fatalf("broken variant did not yield a counterexample: err=%v\n%s", err, buf.Bytes())

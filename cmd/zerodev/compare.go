@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +20,7 @@ import (
 // to arbitrary configuration lists.
 //
 //	zerodev compare -configs baseline:1,zerodev:0,zerodev:0.125 canneal
-func compareCmd(args []string) {
+func compareCmd(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	scale := fs.Int("scale", 8, "capacity scale divisor")
 	accesses := fs.Int("accesses", 60000, "memory accesses per core")
@@ -79,17 +80,20 @@ func compareCmd(args []string) {
 		run stats.Run
 		err error
 	}
-	pool := harness.NewPool(*workers, nil, "compare")
+	pool := harness.NewPool(ctx, *workers, nil, "compare")
 	var futs []*harness.Future[cfgResult]
 	for i := range specs {
 		name, sysSpec := names[i], specs[i]
-		futs = append(futs, harness.Submit(pool, func() cfgResult {
+		futs = append(futs, harness.Submit(pool, func(jctx context.Context) cfgResult {
 			streams := workload.Threads(prof, sysSpec.Cores, *accesses, *scale, *seed)
 			if prof.Suite == "CPU2017" {
 				streams = workload.Rate(prof, sysSpec.Cores, *accesses, *scale, *seed)
 			}
 			sys := core.NewSystem(sysSpec, streams)
-			cycles := sys.Run()
+			cycles, err := sys.RunCtx(jctx, harness.JobSteps(jctx))
+			if err != nil {
+				return cfgResult{err: err}
+			}
 			if err := sys.Engine.CheckInvariants(); err != nil {
 				return cfgResult{err: err}
 			}

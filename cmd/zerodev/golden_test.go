@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -69,7 +70,7 @@ func TestRunExperimentGolden(t *testing.T) {
 	}
 	o := harness.Options{Scale: 32, Accesses: 4000, Seed: 1, Quick: true, Workers: 4}
 	var buf bytes.Buffer
-	if _, err := e.Execute(o, &buf); err != nil {
+	if _, err := e.Execute(context.Background(), o, &buf); err != nil {
 		t.Fatal(err)
 	}
 	golden(t, "fig4_quick", buf.Bytes())

@@ -5,19 +5,29 @@
 // Usage:
 //
 //	zerodev list
-//	zerodev run [-scale N] [-accesses N] [-seed N] [-quick] [-workers N] <experiment>...
+//	zerodev run [-scale N] [-accesses N] [-seed N] [-quick] [-workers N] [-job-timeout D] [-resume FILE] <experiment>...
 //	zerodev run all            # every experiment, paper order
 //	zerodev single [-config baseline|zerodev] [-ratio R] [-policy P] <app>
-//	zerodev audit [-faults K,..] [-campaigns C,..] [-audit-every N] [-fail-fast]
-//	zerodev check [-cores N] [-addrs N] [-depth N] [-policies P,..] [-workers N] [-replay FILE] [-list]
+//	zerodev audit [-faults K,..] [-campaigns C,..] [-audit-every N] [-fail-fast] [-job-timeout D] [-resume FILE]
+//	zerodev check [-cores N] [-addrs N] [-depth N] [-policies P,..] [-workers N] [-job-timeout D] [-replay FILE] [-list]
+//
+// SIGINT/SIGTERM cancels in-flight simulations cooperatively, flushes
+// completed cells to the checkpoint, and exits 130; -resume picks the
+// run back up. Exit codes: 0 ok, 1 failure, 2 usage, 3 watchdog
+// timeout, 130 interrupted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/config"
@@ -33,21 +43,32 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// One SIGINT/SIGTERM cancels the root context: in-flight simulations
+	// abort within sim.CancelEvery steps, completed work is flushed to
+	// the checkpoint, and the process exits with code 130. A second
+	// signal kills the process immediately (stop() restores default
+	// signal handling once the context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	switch os.Args[1] {
 	case "list":
 		writeList(os.Stdout)
 	case "run":
-		runCmd(os.Args[2:])
+		runCmd(ctx, os.Args[2:])
 	case "single":
 		singleCmd(os.Args[2:])
 	case "audit":
-		auditCmd(os.Args[2:])
+		auditCmd(ctx, os.Args[2:])
 	case "trace":
 		traceCmd(os.Args[2:])
 	case "compare":
-		compareCmd(os.Args[2:])
+		compareCmd(ctx, os.Args[2:])
 	case "check":
-		checkCmd(os.Args[2:])
+		checkCmd(ctx, os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -65,7 +86,7 @@ func usage() {
 		"usage: zerodev list | run [flags] <experiment>...|all | single [flags] <app> | compare [flags] <app> | trace [flags] | audit [flags] | check [flags]")
 }
 
-func runCmd(args []string) {
+func runCmd(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	o := harness.DefaultOptions()
 	fs.IntVar(&o.Scale, "scale", o.Scale, "capacity scale divisor (power of two; 1 = Table I)")
@@ -74,13 +95,18 @@ func runCmd(args []string) {
 	fs.Uint64Var(&seed, "seed", 1, "workload synthesis seed")
 	fs.BoolVar(&o.Quick, "quick", false, "trim application lists to a representative subset")
 	fs.IntVar(&o.Workers, "workers", o.Workers, "parallel simulation workers (1 = serial; output is identical either way)")
+	fs.DurationVar(&o.JobTimeout, "job-timeout", 0, "per-simulation watchdog: cancel a job running longer than this, dump diagnostics, record TIMEOUT (0 = off)")
+	ckptPath := fs.String("checkpoint", filepath.Join("results", "checkpoint", "run.json"),
+		"where completed cells are persisted for -resume (\"\" disables checkpointing)")
+	resume := fs.String("resume", "", "resume from a checkpoint file: completed cells are served from it instead of re-running")
 	quiet := fs.Bool("quiet", false, "suppress progress and timing lines on stderr")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 	o.Seed = seed
+	stderr := harness.NewSyncWriter(os.Stderr)
 	if !*quiet {
-		o.Progress = os.Stderr
+		o.Progress = stderr
 	}
 	if err := o.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "run:", err)
@@ -97,6 +123,30 @@ func runCmd(args []string) {
 			ids = append(ids, e.ID)
 		}
 	}
+	key := harness.CheckpointKey{
+		Kind: "run", IDs: ids,
+		Scale: o.Scale, Accesses: o.Accesses, Seed: o.Seed, Quick: o.Quick,
+	}
+	if *resume != "" {
+		cs, err := harness.LoadCheckpoint(*resume, key)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "run:", err)
+			os.Exit(2)
+		}
+		o.Checkpoint = cs
+		fmt.Fprintf(stderr, "[resuming from %s: %d completed cells]\n", *resume, cs.Cells())
+	} else if *ckptPath != "" {
+		o.Checkpoint = harness.NewCheckpoint(key)
+	}
+	saveCheckpoint := func() {
+		if o.Checkpoint == nil || *ckptPath == "" {
+			return
+		}
+		if err := o.Checkpoint.Save(*ckptPath); err != nil {
+			fmt.Fprintf(stderr, "run: saving checkpoint: %v\n", err)
+		}
+	}
+	var errs []error
 	var failed []string
 	for _, id := range ids {
 		e, err := harness.Get(id)
@@ -105,23 +155,52 @@ func runCmd(args []string) {
 			os.Exit(1)
 		}
 		start := time.Now()
-		tm, err := e.Execute(o, os.Stdout)
+		tm, err := e.Execute(ctx, o, os.Stdout)
+		saveCheckpoint()
 		if err != nil {
 			// Keep going: later experiments are independent, and the
 			// failure (including any ERR cells) is already rendered.
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			fmt.Fprintf(stderr, "%s: %v\n", id, err)
+			errs = append(errs, err)
 			failed = append(failed, id)
 		}
 		if !*quiet {
-			tm.Fprint(os.Stderr)
+			tm.Fprint(stderr)
+			fmt.Fprintf(stderr, "[%s finished in %v]\n", id, time.Since(start).Round(time.Millisecond))
 		}
-		fmt.Printf("[%s finished in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		// Wall-clock chatter stays on stderr: stdout carries only the
+		// experiment tables, so an interrupted-then-resumed run's stdout
+		// is byte-identical to an uninterrupted one (CI diffs it).
+		fmt.Println()
+		if ctx.Err() != nil {
+			break
+		}
 	}
-	if len(failed) > 0 {
-		fmt.Fprintf(os.Stderr, "run: %d of %d experiments failed: %s\n",
+	joined := joinErrs(errs)
+	if ctx.Err() != nil {
+		if *ckptPath != "" && o.Checkpoint != nil {
+			fmt.Fprintf(stderr, "run: interrupted; completed cells saved to %s — resume with `zerodev run -resume %s ...`\n", *ckptPath, *ckptPath)
+		} else {
+			fmt.Fprintln(stderr, "run: interrupted")
+		}
+		os.Exit(harness.ExitInterrupted)
+	}
+	if joined != nil {
+		fmt.Fprintf(stderr, "run: %d of %d experiments failed: %s\n",
 			len(failed), len(ids), strings.Join(failed, ", "))
-		os.Exit(1)
+		os.Exit(harness.ExitCode(joined))
 	}
+}
+
+// joinErrs joins without allocating for the common empty case.
+func joinErrs(errs []error) error {
+	switch len(errs) {
+	case 0:
+		return nil
+	case 1:
+		return errs[0]
+	}
+	return errors.Join(errs...)
 }
 
 func singleCmd(args []string) {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/atomicio"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -56,19 +57,24 @@ func traceCmd(args []string) {
 		streams := workload.Threads(prof, *threads, *accesses, *scale, *seed)
 		for i, s := range streams {
 			path := filepath.Join(*dir, fmt.Sprintf("%s.t%02d.ztr", prof.Name, i))
-			f, err := os.Create(path)
+			// Atomic write: a kill mid-record leaves the previous trace
+			// (or nothing), never a truncated .ztr that replays short.
+			f, err := atomicio.Create(path)
 			if err != nil {
 				fatal(err)
 			}
 			w, err := trace.NewWriter(f)
 			if err != nil {
+				f.Discard()
 				fatal(err)
 			}
 			n, err := trace.Record(w, s, -1)
 			if err != nil {
+				f.Discard()
 				fatal(err)
 			}
 			if err := w.Close(); err != nil {
+				f.Discard()
 				fatal(err)
 			}
 			if err := f.Close(); err != nil {

@@ -1,0 +1,102 @@
+// Package atomicio provides crash-safe file writes. Every artifact the
+// harness persists — result checkpoints, crash and watchdog bundles,
+// counterexample traces, recorded workload traces — goes through this
+// package so that a SIGKILL (or power loss) mid-write can never leave a
+// torn, half-written file at the destination path: data lands in a
+// temporary file in the destination directory, is fsynced, and is
+// renamed into place (rename within one directory is atomic on POSIX
+// filesystems). The containing directory is fsynced after the rename on
+// a best-effort basis so the new name itself is durable.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data: the crash-safe
+// counterpart of os.WriteFile. On error the destination is untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	w, err := Create(path)
+	if err != nil {
+		return err
+	}
+	w.perm = perm
+	if _, err := w.Write(data); err != nil {
+		w.Discard()
+		return err
+	}
+	return w.Close()
+}
+
+// Writer accumulates a file's content in a temporary sibling of the
+// destination. Close commits it atomically; Discard abandons it leaving
+// the destination untouched. A Writer must be finished exactly once,
+// with either Close or Discard.
+type Writer struct {
+	f    *os.File
+	path string // destination
+	tmp  string // temporary name being written
+	perm os.FileMode
+}
+
+// Create opens an atomic writer targeting path, creating the containing
+// directory if needed. Nothing appears at path until Close succeeds.
+func Create(path string) (*Writer, error) {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{f: f, path: path, tmp: f.Name(), perm: 0o644}, nil
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) { return w.f.Write(p) }
+
+// Close flushes the temporary file to stable storage and renames it
+// over the destination. On any error the temporary file is removed and
+// the destination keeps its previous content (or absence).
+func (w *Writer) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.Discard()
+		return fmt.Errorf("atomicio: sync %s: %w", w.path, err)
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
+		return fmt.Errorf("atomicio: close %s: %w", w.path, err)
+	}
+	if err := os.Chmod(w.tmp, w.perm); err != nil {
+		os.Remove(w.tmp)
+		return err
+	}
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		os.Remove(w.tmp)
+		return fmt.Errorf("atomicio: commit %s: %w", w.path, err)
+	}
+	syncDir(filepath.Dir(w.path))
+	return nil
+}
+
+// Discard abandons the write: the temporary file is removed and the
+// destination is untouched. Safe to call after a failed Close.
+func (w *Writer) Discard() {
+	w.f.Close()
+	os.Remove(w.tmp)
+}
+
+// syncDir makes the rename durable. Failures are ignored: some
+// filesystems refuse to fsync directories, and the rename itself has
+// already happened.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

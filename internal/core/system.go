@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"sync/atomic"
+
 	"repro/internal/coher"
 	"repro/internal/cpu"
 	"repro/internal/directory"
@@ -92,11 +95,22 @@ func NewSystem(spec SystemSpec, streams []cpu.Stream) *System {
 // Run drives all cores to completion under min-clock interleaving and
 // returns the parallel completion time.
 func (s *System) Run() sim.Cycle {
+	c, _ := s.RunCtx(nil, nil)
+	return c
+}
+
+// RunCtx is Run with cooperative cancellation: the simulation checks
+// ctx every sim.CancelEvery scheduler steps and aborts with its error,
+// so a cancelled (or watchdog-timed-out) unit stops within a bounded
+// number of steps instead of running to completion. steps, when
+// non-nil, receives the running step count for hang diagnostics. Both
+// may be nil, which is exactly Run.
+func (s *System) RunCtx(ctx context.Context, steps *atomic.Uint64) (sim.Cycle, error) {
 	agents := make([]sim.Clocked, len(s.Cores))
 	for i, c := range s.Cores {
 		agents[i] = c
 	}
-	return sim.RunAll(agents)
+	return sim.Drive(agents, sim.ContextHook(ctx, steps, nil))
 }
 
 // CoreStats snapshots every core's counters.

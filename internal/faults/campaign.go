@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -131,9 +132,10 @@ func engineSummary(st core.Stats) string {
 // injector wired into every seam, drives it with perturbation and
 // auditing between scheduler steps, and runs one final audit at
 // completion. idx distinguishes the cell's RNG stream within the
-// campaign seed. The returned error reflects construction failures
-// only; an invariant violation is reported in CellResult.Violation.
-func RunCell(cfg Config, c Campaign, o harness.Options, idx uint64) (CellResult, error) {
+// campaign seed. The returned error reflects construction failures and
+// cancellation (ctx aborts the drive within sim.CancelEvery steps); an
+// invariant violation is reported in CellResult.Violation.
+func RunCell(ctx context.Context, cfg Config, c Campaign, o harness.Options, idx uint64) (CellResult, error) {
 	in := NewInjector(cfg, sim.NewRNG(o.Seed).Fork(0xFA+idx))
 	pre := config.TableI(o.Scale)
 	spec := pre.ZeroDEV(1.0/8, c.Policy, llc.DataLRU, llc.NonInclusive)
@@ -207,9 +209,14 @@ func RunCell(cfg Config, c Campaign, o harness.Options, idx uint64) (CellResult,
 		}
 		return nil
 	}
-	last, err := sim.Drive(agents, hook)
+	last, err := sim.Drive(agents, sim.ContextHook(ctx, harness.JobSteps(ctx), hook))
 	if err == nil {
 		audit(last)
+	} else if ctx != nil && ctx.Err() != nil {
+		// A cancelled (or watchdog-timed-out) cell is interrupted, not
+		// violated: propagate the abort so the table renders CANCELLED /
+		// TIMEOUT and the cell is never checkpointed as complete.
+		return CellResult{Campaign: c}, err
 	}
 
 	res.Steps = in.step
@@ -231,14 +238,16 @@ func RunCell(cfg Config, c Campaign, o harness.Options, idx uint64) (CellResult,
 // result table to w, prints the first violation's diagnostic, and
 // returns the joined failures (nil when every cell completed with zero
 // violations). Output is assembled in submission order, so it is
-// byte-identical for every worker count.
-func RunCampaigns(cfg Config, cells []Campaign, o harness.Options, w io.Writer) error {
+// byte-identical for every worker count. ctx cancellation aborts
+// in-flight cells; when o.Checkpoint is armed, completed cells are
+// recorded under the "audit" scope and resumed cells skip execution.
+func RunCampaigns(ctx context.Context, cfg Config, cells []Campaign, o harness.Options, w io.Writer) error {
 	t := stats.Table{
 		Title: "Fault-injection audit: invariant checks under injected protocol faults",
 		Headers: []string{"cell", "policy", "skts", "app", "steps", "audits",
 			"flips d/m/s", "wbde -/+", "nack-", "storm", "spur", "getde/corr/last", "verdict"},
 	}
-	p := harness.NewPool(o.Workers, o.Progress, "audit")
+	p := harness.NewPool(ctx, o.Workers, o.Progress, "audit")
 	p.EnableRecovery(harness.ReplayMeta{
 		Experiment: "audit",
 		Scale:      o.Scale,
@@ -246,10 +255,14 @@ func RunCampaigns(cfg Config, cells []Campaign, o harness.Options, w io.Writer) 
 		Seed:       o.Seed,
 		Workers:    o.Workers,
 	}, o.CrashDir, o.Retries)
+	p.EnableWatchdog(o.JobTimeout)
+	if o.Checkpoint != nil {
+		p.EnableCheckpoint(o.Checkpoint, "audit")
+	}
 
 	run := func(c Campaign, idx int) *harness.Future[CellResult] {
-		return harness.SubmitJob(p, c.Name, func() (CellResult, error) {
-			return RunCell(cfg, c, o, uint64(idx))
+		return harness.SubmitJob(p, c.Name, func(jctx context.Context) (CellResult, error) {
+			return RunCell(jctx, cfg, c, o, uint64(idx))
 		})
 	}
 	var futs []*harness.Future[CellResult]
@@ -277,8 +290,9 @@ func RunCampaigns(cfg Config, cells []Campaign, o harness.Options, w io.Writer) 
 		if err != nil {
 			crashed++
 			errs = append(errs, err)
+			cell := harness.CellText(err)
 			t.AddRow(c.Name, c.Policy.String(), fmt.Sprint(c.Sockets), c.App,
-				"ERR", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR")
+				cell, cell, cell, cell, cell, cell, cell, cell, cell)
 			if cfg.FailFast {
 				break
 			}

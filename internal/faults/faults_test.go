@@ -2,6 +2,7 @@ package faults
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -26,7 +27,7 @@ func TestCellSurvivesFullFaultMix(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.AuditEvery = 250
 	for _, cell := range []Campaign{Campaigns()[0], Campaigns()[4]} { // spillall-1s, fpss-4s
-		res, err := RunCell(cfg, cell, tinyOptions(), 0)
+		res, err := RunCell(context.Background(), cfg, cell, tinyOptions(), 0)
 		if err != nil {
 			t.Fatalf("%s: %v", cell.Name, err)
 		}
@@ -63,11 +64,11 @@ func TestCampaignOutputDeterministic(t *testing.T) {
 	o.Accesses = 800
 	var serial, parallel bytes.Buffer
 	o.Workers = 1
-	if err := RunCampaigns(cfg, cells, o, &serial); err != nil {
+	if err := RunCampaigns(context.Background(), cfg, cells, o, &serial); err != nil {
 		t.Fatal(err)
 	}
 	o.Workers = 8
-	if err := RunCampaigns(cfg, cells, o, &parallel); err != nil {
+	if err := RunCampaigns(context.Background(), cfg, cells, o, &parallel); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
@@ -86,7 +87,7 @@ func TestBrokenRecoveryCaughtWithinOneInterval(t *testing.T) {
 	cfg.BreakRecovery = true
 	cfg.AuditEvery = 1
 	cfg.RateScale = 2
-	res, err := RunCell(cfg, Campaigns()[0], tinyOptions(), 0)
+	res, err := RunCell(context.Background(), cfg, Campaigns()[0], tinyOptions(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestCrashCellYieldsBundleAndErr(t *testing.T) {
 	o.CrashDir = t.TempDir()
 	o.Retries = 1
 	var buf bytes.Buffer
-	err := RunCampaigns(cfg, cells, o, &buf)
+	err := RunCampaigns(context.Background(), cfg, cells, o, &buf)
 	if err == nil {
 		t.Fatal("campaign with a crashed cell returned nil error")
 	}

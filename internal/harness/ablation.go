@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -46,17 +47,25 @@ func fig12(o Options, w io.Writer) error {
 		for _, suite := range mtSuites {
 			for _, u := range groupUnits(o, suite) {
 				u := u
-				futs[pi] = append(futs[pi], Submit(p, func() stats.Run {
-					return runStreams(pre.ZeroDEV(0, pol, llc.DataLRU, llc.NonInclusive), u.make(pre.Cores), pol.String())
+				futs[pi] = append(futs[pi], SubmitJob(p, u.name+"/"+pol.String(), func(ctx context.Context) (stats.Run, error) {
+					return runStreams(ctx, pre.ZeroDEV(0, pol, llc.DataLRU, llc.NonInclusive), u.make(pre.Cores), pol.String())
 				}))
 			}
 		}
 	}
+	var errs []error
 	for pi, pol := range policies {
 		var spill, fuse, blocks, extra, fwd, reads float64
 		var latSum, latN uint64
+		var perr error
 		for _, fut := range futs[pi] {
-			x := fut.Wait()
+			x, err := fut.Result()
+			if err != nil {
+				if perr == nil {
+					perr = err
+				}
+				continue
+			}
 			spill += float64(x.LLCSpilled)
 			fuse += float64(x.LLCFused)
 			blocks += float64(pre.LLCBytes / 64)
@@ -65,6 +74,12 @@ func fig12(o Options, w io.Writer) error {
 			reads += float64(x.Engine.Reads)
 			latSum += x.Engine.LatReadLLCHit + x.Engine.LatReadForward + x.Engine.LatReadMemory
 			latN += x.Engine.NReadLLCHit + x.Engine.NReadForward + x.Engine.NReadMemory
+		}
+		if perr != nil {
+			errs = append(errs, perr)
+			cell := CellText(perr)
+			t.AddRow(pol.String(), cell, cell, cell, cell, cell)
+			continue
 		}
 		t.AddRow(pol.String(),
 			fmt.Sprintf("%.1f%%", 100*spill/blocks),
@@ -77,7 +92,7 @@ func fig12(o Options, w io.Writer) error {
 	fmt.Fprintln(w, "Paper Fig 12: SpillAll = max space + lookup-latency overhead;")
 	fmt.Fprintln(w, "FPSS = modest space, no read overhead; FuseAll = minimal space, +1 hop on shared reads.")
 	fmt.Fprintln(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 func ablationRepl(o Options, w io.Writer) error {
@@ -151,9 +166,11 @@ func ablationBacking(o Options, w io.Writer) error {
 		Headers: []string{"suite", "MemoryBackup", "DirEvictBit", "dir-cache misses (MB/DEB)", "DirEvict hits"},
 	}
 	p := so.runner()
+	// backedRun's fields are exported so the cell JSON round-trips
+	// through checkpoint/resume.
 	type backedRun struct {
-		cycles uint64
-		st     socket.Stats
+		Cycles uint64       `json:"cycles"`
+		St     socket.Stats `json:"stats"`
 	}
 	type backedPair struct {
 		mb, deb *Future[backedRun]
@@ -163,8 +180,8 @@ func ablationBacking(o Options, w io.Writer) error {
 		for _, prof := range suiteApps(so, suite) {
 			prof := prof
 			submit := func(name string, b socket.Backing) *Future[backedRun] {
-				return SubmitJob(p, prof.Name+"/"+name, func() (backedRun, error) {
-					c, st, err := runSocketBacked(so, sockets, pre, prof, b)
+				return SubmitJob(p, prof.Name+"/"+name, func(ctx context.Context) (backedRun, error) {
+					c, st, err := runSocketBacked(ctx, so, sockets, pre, prof, b)
 					return backedRun{c, st}, err
 				})
 			}
@@ -188,13 +205,14 @@ func ablationBacking(o Options, w io.Writer) error {
 			if rowErr {
 				continue
 			}
-			rel = append(rel, float64(mb.cycles)/float64(deb.cycles))
-			missMB += mb.st.DirCacheMisses
-			missDEB += deb.st.DirCacheMisses
-			hits += deb.st.DirEvictBitHits
+			rel = append(rel, float64(mb.Cycles)/float64(deb.Cycles))
+			missMB += mb.St.DirCacheMisses
+			missDEB += deb.St.DirCacheMisses
+			hits += deb.St.DirEvictBitHits
 		}
 		if rowErr {
-			t.AddRow(suite, "ERR", "ERR", "ERR", "ERR")
+			cell := CellText(errs[len(errs)-1])
+			t.AddRow(suite, cell, cell, cell, cell)
 			continue
 		}
 		t.AddRow(suite, "1.000", f3(stats.GeoMean(rel)),
@@ -204,7 +222,7 @@ func ablationBacking(o Options, w io.Writer) error {
 	return errors.Join(errs...)
 }
 
-func runSocketBacked(o Options, sockets int, pre config.Preset, prof workload.Profile, backing socket.Backing) (uint64, socket.Stats, error) {
+func runSocketBacked(ctx context.Context, o Options, sockets int, pre config.Preset, prof workload.Profile, backing socket.Backing) (uint64, socket.Stats, error) {
 	p := socket.DefaultParams(sockets, 65536/o.Scale*8)
 	p.Backing = backing
 	spec := zdev(pre, 0, llc.NonInclusive)
@@ -213,7 +231,10 @@ func runSocketBacked(o Options, sockets int, pre config.Preset, prof workload.Pr
 	if err != nil {
 		return 0, socket.Stats{}, err
 	}
-	c := sys.Run()
+	c, err := sys.RunCtx(ctx, JobSteps(ctx))
+	if err != nil {
+		return 0, socket.Stats{}, err
+	}
 	return uint64(c), sys.Stats(), nil
 }
 
@@ -269,59 +290,69 @@ func compressExp(o Options, w io.Writer) error {
 		Title:   "Compression (Sec III-D): hybrid format over live entries, 128-core ZeroDEV(NoDir)",
 		Headers: []string{"budget bits", "precise %", "avg over-invalidation", "max sockets @64B block"},
 	}
+	// acc's fields are exported so the cell JSON round-trips through
+	// checkpoint/resume.
 	type acc struct {
-		total, precise int
-		over           int
+		Total, Precise int
+		Over           int
 	}
 	p := so.runner()
 	var futs []*Future[[]acc]
 	for _, prof := range suiteApps(so, "SERVER") {
 		prof := prof
-		futs = append(futs, Submit(p, func() []acc {
+		futs = append(futs, SubmitJob(p, prof.Name+"/compress", func(ctx context.Context) ([]acc, error) {
 			part := make([]acc, len(budgets))
 			spec := zdev(pre, 0, llc.NonInclusive)
 			sys := core.NewSystem(spec, workload.Threads(prof, spec.Cores, so.Accesses, so.Scale, so.Seed))
-			sys.Run()
+			if _, err := sys.RunCtx(ctx, JobSteps(ctx)); err != nil {
+				return nil, err
+			}
 			sys.Engine.LLC().ForEachDE(func(addr coher.Addr, fused bool, e coher.Entry) {
 				for bi, b := range budgets {
 					c, err := coher.Compress(e, pre.Cores, b)
 					if err != nil {
 						continue
 					}
-					part[bi].total++
+					part[bi].Total++
 					if c.Precise() {
-						part[bi].precise++
+						part[bi].Precise++
 					} else {
-						part[bi].over += coher.OverInvalidation(e, c)
+						part[bi].Over += coher.OverInvalidation(e, c)
 					}
 				}
 			})
-			return part
+			return part, nil
 		}))
 	}
 	sums := make([]acc, len(budgets))
+	var errs []error
 	for _, fut := range futs {
-		for bi, part := range fut.Wait() {
-			sums[bi].total += part.total
-			sums[bi].precise += part.precise
-			sums[bi].over += part.over
+		parts, err := fut.Result()
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		for bi, part := range parts {
+			sums[bi].Total += part.Total
+			sums[bi].Precise += part.Precise
+			sums[bi].Over += part.Over
 		}
 	}
 	for bi, b := range budgets {
 		s := sums[bi]
-		if s.total == 0 {
+		if s.Total == 0 {
 			continue
 		}
-		imprecise := s.total - s.precise
+		imprecise := s.Total - s.Precise
 		avgOver := 0.0
 		if imprecise > 0 {
-			avgOver = float64(s.over) / float64(imprecise)
+			avgOver = float64(s.Over) / float64(imprecise)
 		}
 		t.AddRow(fmt.Sprintf("%d", b),
-			fmt.Sprintf("%.1f%%", 100*float64(s.precise)/float64(s.total)),
+			fmt.Sprintf("%.1f%%", 100*float64(s.Precise)/float64(s.Total)),
 			fmt.Sprintf("%.1f cores", avgOver),
 			fmt.Sprintf("%d (full map: %d)", coher.MaxSocketsCompressed(b), coher.MaxSocketsWithSocketPartition(pre.Cores)))
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }

@@ -1,0 +1,242 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/atomicio"
+)
+
+// CheckpointVersion stamps checkpoint files; bump on incompatible
+// format changes so a stale checkpoint is refused with a clear error
+// instead of silently misdecoded.
+const CheckpointVersion = 1
+
+// CheckpointKey fingerprints everything that shapes cell results, so a
+// checkpoint is only ever replayed against the run that produced it.
+// Workers is deliberately excluded: output is byte-identical at any
+// worker count (the engine's core invariant), so a run interrupted at
+// -workers 8 may resume at -workers 1 and vice versa.
+type CheckpointKey struct {
+	// Kind is the command family ("run", "audit"): their cell spaces are
+	// disjoint, and a run checkpoint must never satisfy an audit.
+	Kind string `json:"kind"`
+	// IDs are the experiment (or campaign) IDs in execution order.
+	IDs      []string `json:"ids"`
+	Scale    int      `json:"scale"`
+	Accesses int      `json:"accesses"`
+	Seed     uint64   `json:"seed"`
+	Quick    bool     `json:"quick,omitempty"`
+}
+
+// Fingerprint hashes the key with FNV-64a over its canonical JSON.
+func (k CheckpointKey) Fingerprint() uint64 {
+	b, err := json.Marshal(k)
+	if err != nil {
+		// CheckpointKey is all plain data; Marshal cannot fail.
+		panic(err)
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// checkpointFile is the on-disk format: the versioned header binds the
+// cells to a specific run shape, and Sum guards against torn or edited
+// files (the atomic writer makes tearing unlikely, but a checkpoint
+// that fails its own content hash must never seed a resume).
+type checkpointFile struct {
+	Version     int                        `json:"version"`
+	Key         CheckpointKey              `json:"key"`
+	Fingerprint uint64                     `json:"fingerprint"`
+	Cells       map[string]json.RawMessage `json:"cells"`
+	Sum         uint64                     `json:"sum"`
+}
+
+// contentSum hashes the cells in sorted key order with FNV-64a. Each
+// value is compacted first so the sum is a function of the JSON
+// content, not of the indentation Save's pretty-printer (or a decode
+// round-trip) happens to leave in the raw bytes.
+func contentSum(cells map[string]json.RawMessage) uint64 {
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	var compact bytes.Buffer
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+		compact.Reset()
+		if err := json.Compact(&compact, cells[k]); err == nil {
+			h.Write(compact.Bytes())
+		} else {
+			h.Write(cells[k])
+		}
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// CheckpointState is the in-memory checkpoint a run builds up and an
+// interrupted run resumes from. Cells are keyed "<scope>#<seq>" where
+// scope is the experiment/campaign ID and seq is the pool submission
+// number — deterministic because submission order is program order. The
+// unit label rides along as a cross-check against submission-order
+// drift between builds.
+type CheckpointState struct {
+	key CheckpointKey
+
+	mu    sync.Mutex
+	cells map[string]json.RawMessage
+	units map[string]string
+}
+
+// cellRecord wraps a stored cell with its unit label.
+type cellRecord struct {
+	Unit  string          `json:"unit,omitempty"`
+	Value json.RawMessage `json:"value"`
+}
+
+// NewCheckpoint returns an empty checkpoint for the given run shape.
+func NewCheckpoint(key CheckpointKey) *CheckpointState {
+	return &CheckpointState{
+		key:   key,
+		cells: make(map[string]json.RawMessage),
+		units: make(map[string]string),
+	}
+}
+
+// Key returns the run shape this checkpoint binds to.
+func (cs *CheckpointState) Key() CheckpointKey { return cs.key }
+
+// Cells reports how many completed cells the checkpoint holds.
+func (cs *CheckpointState) Cells() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.cells)
+}
+
+func cellKey(scope string, seq int) string {
+	return fmt.Sprintf("%s#%d", scope, seq)
+}
+
+// store records a completed cell. Marshal failures are swallowed: a
+// value that cannot round-trip is simply not checkpointed (the run
+// still completes; only resume granularity suffers).
+func (cs *CheckpointState) store(scope string, seq int, unit string, v any) {
+	val, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	raw, err := json.Marshal(cellRecord{Unit: unit, Value: val})
+	if err != nil {
+		return
+	}
+	cs.mu.Lock()
+	cs.cells[cellKey(scope, seq)] = raw
+	cs.units[cellKey(scope, seq)] = unit
+	cs.mu.Unlock()
+}
+
+// lookup serves a cell from the checkpoint: true means out holds the
+// recorded value. A unit-label mismatch is treated as a miss (the
+// submission order drifted; re-running is always safe).
+func (cs *CheckpointState) lookup(scope string, seq int, unit string, out any) bool {
+	cs.mu.Lock()
+	raw, ok := cs.cells[cellKey(scope, seq)]
+	cs.mu.Unlock()
+	if !ok {
+		return false
+	}
+	var rec cellRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return false
+	}
+	if rec.Unit != unit {
+		return false
+	}
+	if err := json.Unmarshal(rec.Value, out); err != nil {
+		return false
+	}
+	return true
+}
+
+// Save atomically persists the checkpoint to path: a crash or kill
+// during Save leaves either the previous checkpoint or the new one,
+// never a torn file.
+func (cs *CheckpointState) Save(path string) error {
+	cs.mu.Lock()
+	cells := make(map[string]json.RawMessage, len(cs.cells))
+	for k, v := range cs.cells {
+		cells[k] = v
+	}
+	cs.mu.Unlock()
+	f := checkpointFile{
+		Version:     CheckpointVersion,
+		Key:         cs.key,
+		Fingerprint: cs.key.Fingerprint(),
+		Cells:       cells,
+		Sum:         contentSum(cells),
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: encoding checkpoint: %w", err)
+	}
+	return atomicio.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadCheckpoint reads and validates a checkpoint for the given run
+// shape. It refuses — with errors naming the exact mismatch — files of
+// a different version, files whose fingerprint does not match key
+// (different experiments, scale, accesses, seed, or quick mode), and
+// files whose content hash fails (torn or hand-edited).
+func LoadCheckpoint(path string, key CheckpointKey) (*CheckpointState, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: reading checkpoint: %w", err)
+	}
+	// Version first, loosely: a future-version file should say
+	// "version 2" rather than fail on a field this build doesn't know.
+	var head struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(buf, &head); err != nil {
+		return nil, fmt.Errorf("harness: %s is not a checkpoint: %w", path, err)
+	}
+	if head.Version != CheckpointVersion {
+		return nil, fmt.Errorf("harness: checkpoint %s has version %d, this build reads %d", path, head.Version, CheckpointVersion)
+	}
+	var f checkpointFile
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("harness: decoding checkpoint %s: %w", path, err)
+	}
+	want := key.Fingerprint()
+	if f.Fingerprint != want {
+		return nil, fmt.Errorf("harness: checkpoint %s was written by a different run (fingerprint %016x, this invocation %016x): it covers kind=%q ids=%v scale=%d accesses=%d seed=%d quick=%v",
+			path, f.Fingerprint, want, f.Key.Kind, f.Key.IDs, f.Key.Scale, f.Key.Accesses, f.Key.Seed, f.Key.Quick)
+	}
+	if got := contentSum(f.Cells); got != f.Sum {
+		return nil, fmt.Errorf("harness: checkpoint %s failed its content hash (stored %016x, computed %016x): file is torn or was edited", path, f.Sum, got)
+	}
+	cs := NewCheckpoint(key)
+	cs.cells = f.Cells
+	if cs.cells == nil {
+		cs.cells = make(map[string]json.RawMessage)
+	}
+	for k, raw := range cs.cells {
+		var rec cellRecord
+		if err := json.Unmarshal(raw, &rec); err == nil {
+			cs.units[k] = rec.Unit
+		}
+	}
+	return cs, nil
+}

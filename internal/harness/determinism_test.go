@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -28,10 +29,10 @@ func TestParallelOutputByteIdentical(t *testing.T) {
 			serial.Workers = 1
 			parallel.Workers = 8
 			var bufS, bufP bytes.Buffer
-			if _, err := e.Execute(serial, &bufS); err != nil {
+			if _, err := e.Execute(context.Background(), serial, &bufS); err != nil {
 				t.Fatalf("serial run: %v", err)
 			}
-			tm, err := e.Execute(parallel, &bufP)
+			tm, err := e.Execute(context.Background(), parallel, &bufP)
 			if err != nil {
 				t.Fatalf("parallel run: %v", err)
 			}

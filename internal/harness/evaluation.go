@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -51,8 +52,8 @@ func fig17(o Options, w io.Writer) error {
 		errs = append(errs, r.failed())
 		row := []string{suite}
 		for ci := range cfgs {
-			if r.err(ci) != nil {
-				row = append(row, "ERR")
+			if err := r.err(ci); err != nil {
+				row = append(row, CellText(err))
 			} else {
 				row = append(row, fmt.Sprintf("%.3f [%.2f]", r.geo(ci), r.min(ci)))
 			}
@@ -115,8 +116,8 @@ func figPerApp(id string, suites []string) func(Options, io.Writer) error {
 			for ui, u := range r.units {
 				row := []string{u.name}
 				for ci := range cfgs {
-					if r.errs[ci][ui] != nil {
-						row = append(row, "ERR")
+					if err := r.errs[ci][ui]; err != nil {
+						row = append(row, CellText(err))
 						cfgErr[ci] = true
 					} else {
 						row = append(row, f3(r.speedups[ci][ui]))
@@ -186,8 +187,8 @@ func fig23(o Options, w io.Writer) error {
 	for ui, u := range r.units {
 		row := []string{u.name}
 		for ci := range cfgs {
-			if r.errs[ci][ui] != nil {
-				row = append(row, "ERR")
+			if err := r.errs[ci][ui]; err != nil {
+				row = append(row, CellText(err))
 			} else {
 				row = append(row, f3(r.speedups[ci][ui]))
 			}
@@ -225,23 +226,38 @@ func fig24(o Options, w io.Writer) error {
 			{zdev(pre, 0, llc.NonInclusive), "nodir"},
 		} {
 			cfg := cfg
-			futs[i][j] = Submit(p, func() stats.Run {
-				return runThreads(so, cfg.spec, prof, cfg.label)
+			futs[i][j] = SubmitJob(p, prof.Name+"/"+cfg.label, func(ctx context.Context) (stats.Run, error) {
+				return runThreads(ctx, so, cfg.spec, prof, cfg.label)
 			})
 		}
 	}
 	var g1, g8, gn []float64
+	var errs []error
 	for i, prof := range profs {
-		base := futs[i][0].Wait()
-		s1 := stats.Speedup(base, futs[i][1].Wait())
-		s8 := stats.Speedup(base, futs[i][2].Wait())
-		sn := stats.Speedup(base, futs[i][3].Wait())
+		var runs [4]stats.Run
+		var perr error
+		for j := range futs[i] {
+			r, err := futs[i][j].Result()
+			if err != nil && perr == nil {
+				perr = err
+			}
+			runs[j] = r
+		}
+		if perr != nil {
+			errs = append(errs, perr)
+			cell := CellText(perr)
+			t.AddRow(prof.Name, cell, cell, cell)
+			continue
+		}
+		s1 := stats.Speedup(runs[0], runs[1])
+		s8 := stats.Speedup(runs[0], runs[2])
+		sn := stats.Speedup(runs[0], runs[3])
 		t.AddF(prof.Name, s1, s8, sn)
 		g1, g8, gn = append(g1, s1), append(g8, s8), append(gn, sn)
 	}
 	t.AddF("GEOMEAN", stats.GeoMean(g1), stats.GeoMean(g8), stats.GeoMean(gn))
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 // fig25Groups lists the x-axis groups of Figs. 25-27.
@@ -338,8 +354,8 @@ func fig27(o Options, w io.Writer) error {
 		errs = append(errs, r.failed())
 		row := []string{g}
 		for ci := range cfgs {
-			if r.err(ci) != nil {
-				row = append(row, "ERR")
+			if err := r.err(ci); err != nil {
+				row = append(row, CellText(err))
 			} else {
 				row = append(row, fmt.Sprintf("%.3f [%.2f]", r.geo(ci), r.min(ci)))
 			}
@@ -363,20 +379,34 @@ func claims(o Options, w io.Writer) error {
 	for si, suite := range allSuites {
 		for _, u := range groupUnits(o, suite) {
 			u := u
-			futs[si] = append(futs[si], Submit(p, func() stats.Run {
-				return runStreams(zdev(pre, 0, llc.NonInclusive), u.make(pre.Cores), "nodir")
+			futs[si] = append(futs[si], SubmitJob(p, u.name+"/nodir", func(ctx context.Context) (stats.Run, error) {
+				return runStreams(ctx, zdev(pre, 0, llc.NonInclusive), u.make(pre.Cores), "nodir")
 			}))
 		}
 	}
+	var errs []error
 	for si, suite := range allSuites {
 		var wbde, getde, dw, crm, reads uint64
+		var serr error
 		for _, fut := range futs[si] {
-			x := fut.Wait()
+			x, err := fut.Result()
+			if err != nil {
+				if serr == nil {
+					serr = err
+				}
+				continue
+			}
 			wbde += x.Engine.DEEvictionsToMemory
 			getde += x.Engine.GetDEFlows
 			dw += x.DRAM.Writes
 			crm += x.Engine.CorruptedReadMisses
 			reads += x.Engine.Reads
+		}
+		if serr != nil {
+			errs = append(errs, serr)
+			cell := CellText(serr)
+			t.AddRow(suite, cell, cell, "", "")
+			continue
 		}
 		dePct, crmPct := 0.0, 0.0
 		if dw > 0 {
@@ -389,7 +419,7 @@ func claims(o Options, w io.Writer) error {
 			fmt.Sprintf("%d", wbde), fmt.Sprintf("%d", getde))
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 func unitSpeedup(u unit, base, x stats.Run) float64 {

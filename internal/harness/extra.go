@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -38,24 +39,39 @@ func energyExp(o Options, w io.Writer) error {
 		for _, u := range groupUnits(o, suite) {
 			u := u
 			futs[si] = append(futs[si], runPair{
-				Submit(p, func() stats.Run {
-					return runStreams(pre.Baseline(1, llc.NonInclusive), u.make(pre.Cores), "base")
+				SubmitJob(p, u.name+"/base", func(ctx context.Context) (stats.Run, error) {
+					return runStreams(ctx, pre.Baseline(1, llc.NonInclusive), u.make(pre.Cores), "base")
 				}),
-				Submit(p, func() stats.Run {
-					return runStreams(zdev(pre, 0, llc.NonInclusive), u.make(pre.Cores), "zdev")
+				SubmitJob(p, u.name+"/zdev", func(ctx context.Context) (stats.Run, error) {
+					return runStreams(ctx, zdev(pre, 0, llc.NonInclusive), u.make(pre.Cores), "zdev")
 				}),
 			})
 		}
 	}
 	var totB, totZ float64
+	var errs []error
 	for si, suite := range allSuites {
 		var eb, ez float64
+		var serr error
 		for _, pair := range futs[si] {
-			base, zd := pair.base.Wait(), pair.zd.Wait()
+			base, berr := pair.base.Result()
+			zd, zerr := pair.zd.Result()
+			if berr != nil || zerr != nil {
+				if serr == nil {
+					serr = errors.Join(berr, zerr)
+				}
+				continue
+			}
 			eb += energy.Estimate(pre.Cores, dirEntries, pre.LLCBytes,
 				uint64(base.Cycles), dirAccesses(base), llcAccesses(base)).Total()
 			ez += energy.Estimate(pre.Cores, 0, pre.LLCBytes,
 				uint64(zd.Cycles), 0, llcAccesses(zd)).Total()
+		}
+		if serr != nil {
+			errs = append(errs, serr)
+			cell := CellText(serr)
+			t.AddRow(suite, cell, cell, cell)
+			continue
 		}
 		t.AddRow(suite, "1.000", f3(ez/eb), fmt.Sprintf("%.1f%%", 100*(1-ez/eb)))
 		totB += eb
@@ -63,7 +79,7 @@ func energyExp(o Options, w io.Writer) error {
 	}
 	t.AddRow("OVERALL", "1.000", f3(totZ/totB), fmt.Sprintf("%.1f%%", 100*(1-totZ/totB)))
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 // dirAccesses approximates sparse-directory slice activity: every
@@ -97,17 +113,19 @@ func multisocketExp(o Options, w io.Writer) error {
 		Headers: []string{"suite", "ZDev-NoDir", "ZDev-1/8x", "fwd/NACK/merges (NoDir)"},
 	}
 	p := so.runner()
+	// socketRun's fields are exported so the cell JSON round-trips
+	// through checkpoint/resume.
 	type socketRun struct {
-		cycles uint64
-		st     socket.Stats
+		Cycles uint64       `json:"cycles"`
+		St     socket.Stats `json:"stats"`
 	}
 	futs := make([][][3]*Future[socketRun], len(mtSuites))
 	for si, suite := range mtSuites {
 		for _, prof := range suiteApps(so, suite) {
 			prof := prof
 			submit := func(name string, spec core.SystemSpec) *Future[socketRun] {
-				return SubmitJob(p, prof.Name+"/"+name, func() (socketRun, error) {
-					c, st, err := runSocketSys(so, sockets, spec, prof)
+				return SubmitJob(p, prof.Name+"/"+name, func(ctx context.Context) (socketRun, error) {
+					c, st, err := runSocketSys(ctx, so, sockets, spec, prof)
 					return socketRun{c, st}, err
 				})
 			}
@@ -136,14 +154,15 @@ func multisocketExp(o Options, w io.Writer) error {
 			if rowErr {
 				continue
 			}
-			sn = append(sn, float64(base.cycles)/float64(zn.cycles))
-			s8 = append(s8, float64(base.cycles)/float64(z8.cycles))
-			fwds += zn.st.SocketForwards
-			nacks += zn.st.DENFNacks
-			merges += zn.st.CorruptedMerges
+			sn = append(sn, float64(base.Cycles)/float64(zn.Cycles))
+			s8 = append(s8, float64(base.Cycles)/float64(z8.Cycles))
+			fwds += zn.St.SocketForwards
+			nacks += zn.St.DENFNacks
+			merges += zn.St.CorruptedMerges
 		}
 		if rowErr {
-			t.AddRow(suite, "ERR", "ERR", "ERR")
+			cell := CellText(errs[len(errs)-1])
+			t.AddRow(suite, cell, cell, cell)
 			continue
 		}
 		t.AddRow(suite, f3(stats.GeoMean(sn)), f3(stats.GeoMean(s8)),
@@ -156,13 +175,16 @@ func multisocketExp(o Options, w io.Writer) error {
 // runSocketSys runs a multithreaded profile across all sockets' cores
 // and returns the parallel completion time. Construction errors are
 // propagated so one bad unit cannot abort its siblings.
-func runSocketSys(o Options, sockets int, spec core.SystemSpec, prof workload.Profile) (cycles uint64, st socket.Stats, err error) {
+func runSocketSys(ctx context.Context, o Options, sockets int, spec core.SystemSpec, prof workload.Profile) (cycles uint64, st socket.Stats, err error) {
 	p := socket.DefaultParams(sockets, 65536/o.Scale*8)
 	streams := workload.Threads(prof, sockets*spec.Cores, o.Accesses, o.Scale, o.Seed)
 	sys, err := socket.New(p, spec, streams)
 	if err != nil {
 		return 0, socket.Stats{}, err
 	}
-	c := sys.Run()
+	c, err := sys.RunCtx(ctx, JobSteps(ctx))
+	if err != nil {
+		return 0, socket.Stats{}, err
+	}
 	return uint64(c), sys.Stats(), nil
 }

@@ -6,11 +6,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -48,6 +50,14 @@ type Options struct {
 	// its failure is recorded. Returned errors are never retried.
 	Retries int
 
+	// JobTimeout, when positive, arms the per-job watchdog: a simulation
+	// still running after this long is cancelled, a diagnostic bundle is
+	// written next to the crash bundles, and the cell renders TIMEOUT.
+	JobTimeout time.Duration
+	// Checkpoint, when non-nil, records completed cells so an
+	// interrupted run can resume without re-running finished work.
+	Checkpoint *CheckpointState
+
 	// pool is the experiment-wide worker pool installed by Execute;
 	// experiments reach it through runner().
 	pool *Pool
@@ -68,6 +78,9 @@ func (o Options) Validate() error {
 	}
 	if o.Retries < 0 {
 		return fmt.Errorf("-retries must be non-negative, got %d", o.Retries)
+	}
+	if o.JobTimeout < 0 {
+		return fmt.Errorf("-job-timeout must be non-negative, got %v", o.JobTimeout)
 	}
 	return nil
 }
@@ -118,22 +131,28 @@ func Get(id string) (Experiment, error) {
 
 // --- run helpers -------------------------------------------------------------
 
-// runStreams executes a spec against prepared streams and collects stats.
-func runStreams(spec core.SystemSpec, streams []cpu.Stream, label string) stats.Run {
+// runStreams executes a spec against prepared streams and collects
+// stats. It aborts with ctx's error (within sim.CancelEvery steps) when
+// the job is cancelled or timed out; the partial Run is never returned,
+// so a checkpoint can only ever record fully completed cells.
+func runStreams(ctx context.Context, spec core.SystemSpec, streams []cpu.Stream, label string) (stats.Run, error) {
 	sys := core.NewSystem(spec, streams)
-	cycles := sys.Run()
-	return stats.Collect(label, sys, cycles)
+	cycles, err := sys.RunCtx(ctx, JobSteps(ctx))
+	if err != nil {
+		return stats.Run{}, err
+	}
+	return stats.Collect(label, sys, cycles), nil
 }
 
 // runThreads runs a multithreaded workload (threads share the process
 // address space).
-func runThreads(o Options, spec core.SystemSpec, prof workload.Profile, label string) stats.Run {
-	return runStreams(spec, workload.Threads(prof, spec.Cores, o.Accesses, o.Scale, o.Seed), label)
+func runThreads(ctx context.Context, o Options, spec core.SystemSpec, prof workload.Profile, label string) (stats.Run, error) {
+	return runStreams(ctx, spec, workload.Threads(prof, spec.Cores, o.Accesses, o.Scale, o.Seed), label)
 }
 
 // runRate runs a homogeneous multiprogrammed (rate) workload.
-func runRate(o Options, spec core.SystemSpec, prof workload.Profile, label string) stats.Run {
-	return runStreams(spec, workload.Rate(prof, spec.Cores, o.Accesses, o.Scale, o.Seed), label)
+func runRate(ctx context.Context, o Options, spec core.SystemSpec, prof workload.Profile, label string) (stats.Run, error) {
+	return runStreams(ctx, spec, workload.Rate(prof, spec.Cores, o.Accesses, o.Scale, o.Seed), label)
 }
 
 // suiteApps returns the applications evaluated for a suite, trimmed in
@@ -170,9 +189,9 @@ var allSuites = []string{"PARSEC", "SPLASH2X", "SPECOMP", "FFTW", "CPU2017"}
 func isMT(suite string) bool { return suite != "CPU2017" && suite != "CPU2017HET" }
 
 // runSuiteApp dispatches threads vs rate mode by suite.
-func runSuiteApp(o Options, spec core.SystemSpec, prof workload.Profile, label string) stats.Run {
+func runSuiteApp(ctx context.Context, o Options, spec core.SystemSpec, prof workload.Profile, label string) (stats.Run, error) {
 	if isMT(prof.Suite) {
-		return runThreads(o, spec, prof, label)
+		return runThreads(ctx, o, spec, prof, label)
 	}
-	return runRate(o, spec, prof, label)
+	return runRate(ctx, o, spec, prof, label)
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -32,14 +33,27 @@ func submitBaseUnb(o Options, p *Pool, pre config.Preset, profs []workload.Profi
 	pairs := make([]baseUnbPair, len(profs))
 	for i, prof := range profs {
 		prof := prof
-		pairs[i].base = Submit(p, func() stats.Run {
-			return runSuiteApp(o, pre.Baseline(1, llc.NonInclusive), prof, "base1x")
+		pairs[i].base = SubmitJob(p, prof.Name+"/base1x", func(ctx context.Context) (stats.Run, error) {
+			return runSuiteApp(ctx, o, pre.Baseline(1, llc.NonInclusive), prof, "base1x")
 		})
-		pairs[i].unb = Submit(p, func() stats.Run {
-			return runSuiteApp(o, pre.Unbounded(llc.NonInclusive), prof, "unbounded")
+		pairs[i].unb = SubmitJob(p, prof.Name+"/unbounded", func(ctx context.Context) (stats.Run, error) {
+			return runSuiteApp(ctx, o, pre.Unbounded(llc.NonInclusive), prof, "unbounded")
 		})
 	}
 	return pairs
+}
+
+// wait resolves the pair, joining the two jobs' failures.
+func (p baseUnbPair) wait() (base, unb stats.Run, err error) {
+	base, berr := p.base.Result()
+	unb, uerr := p.unb.Result()
+	if berr == nil {
+		return base, unb, uerr
+	}
+	if uerr == nil {
+		return base, unb, berr
+	}
+	return base, unb, errors.Join(berr, uerr)
 }
 
 func fig2(o Options, w io.Writer) error {
@@ -49,10 +63,17 @@ func fig2(o Options, w io.Writer) error {
 		Headers: []string{"app", "traffic", "misses", "speedup", "savedMPKI"},
 	}
 	var traf, miss, spd []float64
+	var errs []error
 	profs := suiteApps(o, "CPU2017")
 	pairs := submitBaseUnb(o, o.runner(), pre, profs)
 	for i, prof := range profs {
-		base, unb := pairs[i].base.Wait(), pairs[i].unb.Wait()
+		base, unb, err := pairs[i].wait()
+		if err != nil {
+			errs = append(errs, err)
+			cell := CellText(err)
+			t.AddRow(prof.Name, cell, cell, cell, "")
+			continue
+		}
 		tr, ms := stats.NormTraffic(base, unb), stats.NormMisses(base, unb)
 		sp := stats.WeightedSpeedup(base, unb)
 		t.AddRow(prof.Name, f3(tr), f3(ms), f3(sp), fmt.Sprintf("%.1f", base.MPKI()-unb.MPKI()))
@@ -62,7 +83,7 @@ func fig2(o Options, w io.Writer) error {
 	}
 	t.AddRow("AVG", f3(stats.Mean(traf)), f3(stats.Mean(miss)), f3(stats.GeoMean(spd)), "")
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 func fig3(o Options, w io.Writer) error {
@@ -79,23 +100,43 @@ func fig3(o Options, w io.Writer) error {
 	for si, suite := range avgSuites {
 		avgPairs[si] = submitBaseUnb(o, p, pre, suiteApps(o, suite))
 	}
+	var errs []error
 	for i, prof := range appProfs {
-		base, unb := appPairs[i].base.Wait(), appPairs[i].unb.Wait()
+		base, unb, err := appPairs[i].wait()
+		if err != nil {
+			errs = append(errs, err)
+			cell := CellText(err)
+			t.AddRow(prof.Name, cell, cell, cell, "")
+			continue
+		}
 		t.AddRow(prof.Name, f3(stats.NormTraffic(base, unb)), f3(stats.NormMisses(base, unb)),
 			f3(stats.Speedup(base, unb)), fmt.Sprintf("%.1f", base.MPKI()-unb.MPKI()))
 	}
 	for si, suite := range avgSuites {
 		var traf, miss, spd []float64
+		var serr error
 		for _, pair := range avgPairs[si] {
-			base, unb := pair.base.Wait(), pair.unb.Wait()
+			base, unb, err := pair.wait()
+			if err != nil {
+				if serr == nil {
+					serr = err
+				}
+				continue
+			}
 			traf = append(traf, stats.NormTraffic(base, unb))
 			miss = append(miss, stats.NormMisses(base, unb))
 			spd = append(spd, stats.Speedup(base, unb))
 		}
+		if serr != nil {
+			errs = append(errs, serr)
+			cell := CellText(serr)
+			t.AddRow(suite+"-AVG", cell, cell, cell, "")
+			continue
+		}
 		t.AddRow(suite+"-AVG", f3(stats.Mean(traf)), f3(stats.Mean(miss)), f3(stats.GeoMean(spd)), "")
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 func fig4(o Options, w io.Writer) error {
@@ -140,26 +181,40 @@ func fig5(o Options, w io.Writer) error {
 		jobs[si].profs = suiteApps(o, suite)
 		for _, prof := range jobs[si].profs {
 			prof := prof
-			jobs[si].futs = append(jobs[si].futs, Submit(p, func() stats.Run {
-				return runSuiteApp(o, pre.Unbounded(llc.NonInclusive), prof, "unbounded")
+			jobs[si].futs = append(jobs[si].futs, SubmitJob(p, prof.Name+"/unbounded", func(ctx context.Context) (stats.Run, error) {
+				return runSuiteApp(ctx, o, pre.Unbounded(llc.NonInclusive), prof, "unbounded")
 			}))
 		}
 	}
+	var errs []error
 	for si, suite := range allSuites {
 		var occ []float64
 		maxApp, maxV := "", 0.0
+		var serr error
 		for pi, prof := range jobs[si].profs {
-			unb := jobs[si].futs[pi].Wait()
+			unb, err := jobs[si].futs[pi].Result()
+			if err != nil {
+				if serr == nil {
+					serr = err
+				}
+				continue
+			}
 			pct := 100 * float64(unb.DirPeakOverflow) / float64(llcBlocks)
 			occ = append(occ, pct)
 			if pct >= maxV {
 				maxV, maxApp = pct, prof.Name
 			}
 		}
+		if serr != nil {
+			errs = append(errs, serr)
+			cell := CellText(serr)
+			t.AddRow(suite, cell, cell, "")
+			continue
+		}
 		t.AddRow(suite, fmt.Sprintf("%.1f%%", stats.Max(occ)), fmt.Sprintf("%.1f%%", stats.Mean(occ)), maxApp)
 	}
 	t.Fprint(w)
-	return nil
+	return errors.Join(errs...)
 }
 
 func fig6(o Options, w io.Writer) error {
@@ -184,8 +239,8 @@ func fig6(o Options, w io.Writer) error {
 		for ci := range cfgs {
 			row = append(row, r.geoCell(ci))
 		}
-		if r.err(3) != nil {
-			row = append(row, "ERR")
+		if err := r.err(3); err != nil {
+			row = append(row, CellText(err))
 		} else {
 			worst, worstApp := 10.0, ""
 			for ui, u := range r.units {

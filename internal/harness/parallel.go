@@ -1,16 +1,21 @@
 package harness
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/stats"
 )
 
@@ -25,13 +30,22 @@ import (
 // DESIGN.md ("Parallel sweeps") records the determinism argument;
 // determinism_test.go enforces it.
 //
-// The engine is also crash-resilient: a job that panics (the protocol
-// stack panics on corruption) is recovered into a typed *JobError
-// carrying a replay bundle written under the crash directory, retried
-// up to the pool's retry budget, and finally surfaced through
-// Future.Result so the experiment renders the cell as ERR instead of
-// taking down every sibling job. Returned (non-panic) errors are
-// deterministic and are never retried.
+// The engine is also crash-safe and interruptible:
+//
+//   - a job that panics (the protocol stack panics on corruption) is
+//     recovered into a typed *JobError carrying a replay bundle, retried
+//     up to the pool's retry budget, and surfaced through Future.Result
+//     so the experiment renders the cell as ERR;
+//   - every job runs under a context derived from the pool's: when the
+//     pool's context is cancelled (SIGINT/SIGTERM via the CLI), queued
+//     jobs resolve immediately and running simulations abort within
+//     sim.CancelEvery steps, rendering as CANCELLED;
+//   - an armed watchdog bounds each job's wall time: a hung unit is
+//     cancelled, a diagnostic bundle (job identity, elapsed steps, full
+//     goroutine stacks) is written, and the cell renders as TIMEOUT
+//     instead of wedging the pool;
+//   - completed cells can be recorded in a CheckpointState so an
+//     interrupted run resumes without re-running finished work.
 
 // Pool schedules independent simulation jobs across a bounded number of
 // worker goroutines. With Workers <= 1 jobs run inline on the caller's
@@ -39,32 +53,43 @@ import (
 // A Pool also accounts jobs and summed simulation time for the
 // RunTiming summary, and optionally emits progress lines.
 type Pool struct {
+	ctx      context.Context
 	workers  int
 	sem      chan struct{}
 	label    string
 	progress io.Writer
 
-	retries  int
-	crashDir string
-	meta     ReplayMeta
+	retries    int
+	crashDir   string
+	meta       ReplayMeta
+	jobTimeout time.Duration
+
+	ckpt      *CheckpointState
+	ckptScope string
 
 	mu        sync.Mutex
 	submitted int
 	done      int
+	cached    int
 	sim       time.Duration
 	lastLine  time.Time
 	errs      []*JobError
 }
 
 // NewPool returns a pool running at most workers jobs concurrently
-// (values below 1 are treated as 1, the serial path). When progress is
-// non-nil, rate-limited "done/submitted" lines prefixed with label are
-// written to it as jobs finish.
-func NewPool(workers int, progress io.Writer, label string) *Pool {
+// (values below 1 are treated as 1, the serial path). ctx is the pool's
+// cancellation root: every job runs under a context derived from it,
+// and a nil ctx means "never cancelled". When progress is non-nil,
+// rate-limited "done/submitted" lines prefixed with label are written
+// to it as jobs finish.
+func NewPool(ctx context.Context, workers int, progress io.Writer, label string) *Pool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{workers: workers, label: label, progress: progress}
+	p := &Pool{ctx: ctx, workers: workers, label: label, progress: progress}
 	if workers > 1 {
 		p.sem = make(chan struct{}, workers)
 	}
@@ -88,6 +113,22 @@ func (p *Pool) EnableRecovery(meta ReplayMeta, crashDir string, retries int) {
 	p.retries = retries
 }
 
+// EnableWatchdog arms the per-job watchdog: a job still running after d
+// has its context cancelled, a diagnostic bundle written next to the
+// crash bundles, and its failure recorded as a TIMEOUT cell. d <= 0
+// disables the watchdog.
+func (p *Pool) EnableWatchdog(d time.Duration) { p.jobTimeout = d }
+
+// EnableCheckpoint connects the pool to a run-wide checkpoint: a
+// successfully completed job's result is recorded under scope, and a
+// job whose cell is already recorded is served from the checkpoint
+// without running. scope (typically the experiment ID) keys cells when
+// several pools share one CheckpointState.
+func (p *Pool) EnableCheckpoint(cs *CheckpointState, scope string) {
+	p.ckpt = cs
+	p.ckptScope = scope
+}
+
 // ReplayMeta identifies the run a crashed job belonged to, precisely
 // enough to replay it: the experiment and the Options that shape every
 // stream and system it builds.
@@ -100,15 +141,21 @@ type ReplayMeta struct {
 	Workers    int    `json:"workers"`
 }
 
-// JobError is the typed failure of one submitted job: either a
-// recovered panic (Panic non-empty, replay bundle at ReplayPath) or an
-// error the job returned (wrapped in Err).
+// ErrJobTimeout marks a job reaped by the watchdog; IsTimeout
+// recognizes it through any wrapping.
+var ErrJobTimeout = errors.New("job exceeded -job-timeout")
+
+// JobError is the typed failure of one submitted job: a recovered panic
+// (Panic non-empty, replay bundle at ReplayPath), an error the job
+// returned (wrapped in Err — including context cancellation), or a
+// watchdog timeout (Timeout set, diagnostic bundle at ReplayPath).
 type JobError struct {
 	Meta       ReplayMeta
 	Unit       string // submission label, e.g. "canneal/ZeroDEV-1/8"
 	Seq        int    // submission order within the pool
 	Panic      string // recovered panic value, "" for returned errors
 	Err        error  // the returned error, nil for panics
+	Timeout    bool   // reaped by the watchdog
 	Attempts   int    // executions performed (1 + retries used)
 	ReplayPath string // bundle path, "" when no bundle was written
 }
@@ -132,6 +179,76 @@ func (e *JobError) Error() string {
 
 // Unwrap exposes a returned error to errors.Is/As.
 func (e *JobError) Unwrap() error { return e.Err }
+
+// IsTimeout reports whether err carries a watchdog-reaped job.
+func IsTimeout(err error) bool { return errors.Is(err, ErrJobTimeout) }
+
+// IsCancelled reports whether err stems from context cancellation (the
+// run was interrupted, not broken).
+func IsCancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// CellText renders a failed cell's table text. The classification is
+// deterministic for a given failure kind, keeping tables byte-stable.
+func CellText(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case IsTimeout(err):
+		return "TIMEOUT"
+	case IsCancelled(err):
+		return "CANCELLED"
+	}
+	return "ERR"
+}
+
+// Documented process exit codes for experiment/campaign commands.
+// ExitCode classifies with interruption taking precedence over
+// timeouts, and timeouts over ordinary failures, so `echo $?` always
+// names the most actionable cause.
+const (
+	ExitOK          = 0
+	ExitFailure     = 1   // crashed/erroring cells, invariant violations
+	ExitUsage       = 2   // bad flags (flag package convention)
+	ExitTimeout     = 3   // watchdog reaped at least one hung job
+	ExitInterrupted = 130 // SIGINT/SIGTERM: 128 + SIGINT, shell convention
+)
+
+// ExitCode maps a run's joined error to the documented exit code.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case IsCancelled(err):
+		return ExitInterrupted
+	case IsTimeout(err):
+		return ExitTimeout
+	}
+	return ExitFailure
+}
+
+// jobMonitor is the per-job progress surface the watchdog reads when
+// dumping diagnostics: simulations publish their scheduler step count
+// here through sim.ContextHook.
+type jobMonitor struct {
+	steps atomic.Uint64
+}
+
+type monitorKey struct{}
+
+// JobSteps returns the step counter of the job owning ctx, for
+// simulation drivers to publish progress into (nil when ctx does not
+// belong to a pool job; sim.ContextHook accepts nil).
+func JobSteps(ctx context.Context) *atomic.Uint64 {
+	if ctx == nil {
+		return nil
+	}
+	if m, ok := ctx.Value(monitorKey{}).(*jobMonitor); ok {
+		return &m.steps
+	}
+	return nil
+}
 
 // Future is the pending result of a submitted job.
 type Future[T any] struct {
@@ -157,18 +274,19 @@ func (f *Future[T]) Result() (T, error) {
 // Submit schedules fn on the pool and returns its future. On a serial
 // pool (workers <= 1, or p == nil) fn runs before Submit returns, so a
 // sequence of Submit calls executes jobs in exactly the serial order.
-// A panic in fn is recovered into the future's error.
-func Submit[T any](p *Pool, fn func() T) *Future[T] {
-	return SubmitJob(p, "", func() (T, error) { return fn(), nil })
+// fn receives the job's context (cancelled on interrupt or watchdog
+// timeout); a panic in fn is recovered into the future's error.
+func Submit[T any](p *Pool, fn func(ctx context.Context) T) *Future[T] {
+	return SubmitJob(p, "", func(ctx context.Context) (T, error) { return fn(ctx), nil })
 }
 
 // SubmitJob is Submit for jobs that can fail: label names the job in
 // failure reports (unit/config), and fn's error is propagated through
 // Future.Result without aborting sibling jobs.
-func SubmitJob[T any](p *Pool, label string, fn func() (T, error)) *Future[T] {
+func SubmitJob[T any](p *Pool, label string, fn func(ctx context.Context) (T, error)) *Future[T] {
 	f := &Future[T]{done: make(chan struct{})}
 	if p == nil {
-		f.val, f.err = runRecovered(nil, label, 0, fn)
+		f.val, f.err = runRecovered(nil, context.Background(), label, 0, fn)
 		close(f.done)
 		return f
 	}
@@ -178,7 +296,7 @@ func SubmitJob[T any](p *Pool, label string, fn func() (T, error)) *Future[T] {
 	p.mu.Unlock()
 	run := func() {
 		start := time.Now()
-		f.val, f.err = runRecovered(p, label, seq, fn)
+		f.val, f.err = execute(p, label, seq, fn)
 		close(f.done)
 		p.finish(start)
 	}
@@ -194,11 +312,122 @@ func SubmitJob[T any](p *Pool, label string, fn func() (T, error)) *Future[T] {
 	return f
 }
 
+// execute runs one job end to end: checkpoint lookup, cancellation
+// check, watchdog supervision, recovery/retries, and the recording of
+// the final result (into the pool's failure list or the checkpoint).
+func execute[T any](p *Pool, label string, seq int, fn func(ctx context.Context) (T, error)) (T, error) {
+	var zero T
+	// A cell already in the checkpoint is served without running: this
+	// is the resume path, and decoding the stored JSON reproduces the
+	// original value exactly (every cell type round-trips).
+	if p.ckpt != nil {
+		var v T
+		if ok := p.ckpt.lookup(p.ckptScope, seq, label, &v); ok {
+			p.mu.Lock()
+			p.cached++
+			p.mu.Unlock()
+			return v, nil
+		}
+	}
+	// A cancelled pool resolves queued jobs immediately: in-flight
+	// simulations drain on their own cancellation points, and nothing
+	// new starts.
+	if err := p.ctx.Err(); err != nil {
+		je := &JobError{Meta: p.meta, Unit: label, Seq: seq, Err: err, Attempts: 1}
+		p.record(je)
+		return zero, je
+	}
+	mon := &jobMonitor{}
+	jctx, cancel := context.WithCancel(context.WithValue(p.ctx, monitorKey{}, mon))
+	defer cancel()
+
+	if p.jobTimeout <= 0 {
+		val, err := runRecovered(p, jctx, label, seq, fn)
+		return finalize(p, label, seq, val, err)
+	}
+
+	// Watchdog path: the job body runs on its own goroutine so a wedged
+	// unit (one that never reaches a cancellation point) can be
+	// abandoned without wedging the pool or the serial caller.
+	type outcome struct {
+		val T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		v, e := runRecovered(p, jctx, label, seq, fn)
+		ch <- outcome{v, e}
+	}()
+	timer := time.NewTimer(p.jobTimeout)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return finalize(p, label, seq, out.val, out.err)
+	case <-timer.C:
+		cancel()
+		bundle := p.writeTimeoutBundle(label, seq, mon.steps.Load())
+		p.note("watchdog: job %q exceeded %v; cancelling (diagnostics: %s)\n", label, p.jobTimeout, bundle)
+		// Grace period for the cooperative abort to land; a unit that
+		// ignores its context is abandoned (its eventual result, if
+		// any, is discarded — the buffered channel lets it exit).
+		grace := p.jobTimeout
+		if grace > 2*time.Second {
+			grace = 2 * time.Second
+		}
+		select {
+		case <-ch:
+		case <-time.After(grace):
+		}
+		je := &JobError{
+			Meta: p.meta, Unit: label, Seq: seq,
+			Err:     fmt.Errorf("%w (%v)", ErrJobTimeout, p.jobTimeout),
+			Timeout: true, Attempts: 1, ReplayPath: bundle,
+		}
+		p.record(je)
+		return zero, je
+	}
+}
+
+// finalize records a finished job: failures land in the pool's failure
+// list, successes in the checkpoint (when armed).
+func finalize[T any](p *Pool, label string, seq int, val T, err error) (T, error) {
+	if err != nil {
+		var je *JobError
+		if !errors.As(err, &je) {
+			je = &JobError{Meta: p.meta, Unit: label, Seq: seq, Err: err, Attempts: 1}
+			err = je
+		}
+		p.record(je)
+		return val, err
+	}
+	if p.ckpt != nil {
+		p.ckpt.store(p.ckptScope, seq, label, val)
+	}
+	return val, nil
+}
+
+// record appends a failure to the pool's list.
+func (p *Pool) record(je *JobError) {
+	p.mu.Lock()
+	p.errs = append(p.errs, je)
+	p.mu.Unlock()
+}
+
+// note writes a line to the progress writer under the pool mutex (the
+// writer needs no synchronization of its own).
+func (p *Pool) note(format string, args ...any) {
+	if p.progress == nil {
+		return
+	}
+	p.mu.Lock()
+	fmt.Fprintf(p.progress, format, args...)
+	p.mu.Unlock()
+}
+
 // runRecovered executes fn with panic recovery and the pool's retry
 // budget. Only panics are retried: a returned error is deterministic
 // (the same inputs fail the same way), so re-running it wastes time.
-// The final failure, if any, is recorded on the pool.
-func runRecovered[T any](p *Pool, label string, seq int, fn func() (T, error)) (T, error) {
+func runRecovered[T any](p *Pool, ctx context.Context, label string, seq int, fn func(ctx context.Context) (T, error)) (T, error) {
 	retries := 0
 	if p != nil {
 		retries = p.retries
@@ -207,7 +436,7 @@ func runRecovered[T any](p *Pool, label string, seq int, fn func() (T, error)) (
 	var err error
 	for attempt := 0; ; attempt++ {
 		var je *JobError
-		val, err, je = runOnce(p, label, seq, attempt, fn)
+		val, err, je = runOnce(p, ctx, label, seq, attempt, fn)
 		if je == nil {
 			if err != nil {
 				we := &JobError{Unit: label, Seq: seq, Err: err, Attempts: attempt + 1}
@@ -216,25 +445,19 @@ func runRecovered[T any](p *Pool, label string, seq int, fn func() (T, error)) (
 				}
 				err = we
 			}
-			break
+			return val, err
 		}
 		err = je
-		if attempt >= retries {
-			break
+		if attempt >= retries || ctx.Err() != nil {
+			return val, err
 		}
 	}
-	if err != nil && p != nil {
-		p.mu.Lock()
-		p.errs = append(p.errs, err.(*JobError))
-		p.mu.Unlock()
-	}
-	return val, err
 }
 
 // runOnce runs fn once; a panic is recovered into je with its replay
 // bundle written immediately (so even the attempts that will be
 // retried leave an artifact while the state is fresh).
-func runOnce[T any](p *Pool, label string, seq, attempt int, fn func() (T, error)) (val T, err error, je *JobError) {
+func runOnce[T any](p *Pool, ctx context.Context, label string, seq, attempt int, fn func(ctx context.Context) (T, error)) (val T, err error, je *JobError) {
 	defer func() {
 		if r := recover(); r != nil {
 			je = &JobError{Unit: label, Seq: seq, Panic: fmt.Sprint(r), Attempts: attempt + 1}
@@ -244,15 +467,20 @@ func runOnce[T any](p *Pool, label string, seq, attempt int, fn func() (T, error
 			}
 		}
 	}()
-	val, err = fn()
+	val, err = fn(ctx)
 	return
 }
+
+// BundleVersion stamps crash and watchdog bundles; bump on incompatible
+// format changes so stale bundles are refused instead of misdecoded.
+const BundleVersion = 1
 
 // replayBundle is the on-disk crash artifact: everything needed to
 // re-run the failed job (the workload and system are pure functions of
 // experiment + options + unit label) plus the panic and stack for
 // diagnosis.
 type replayBundle struct {
+	Version int `json:"version"`
 	ReplayMeta
 	Unit    string `json:"unit,omitempty"`
 	Seq     int    `json:"seq"`
@@ -261,24 +489,59 @@ type replayBundle struct {
 	Stack   string `json:"stack"`
 }
 
+// DecodeBundle reads a crash/watchdog bundle, refusing unknown fields
+// and version mismatches with a clear error rather than decoding
+// garbage from a different build's artifact.
+func DecodeBundle(r io.Reader) (ReplayMeta, error) {
+	var head struct {
+		Version int `json:"version"`
+	}
+	var buf []byte
+	var err error
+	if buf, err = io.ReadAll(r); err != nil {
+		return ReplayMeta{}, err
+	}
+	if err := json.Unmarshal(buf, &head); err != nil {
+		return ReplayMeta{}, fmt.Errorf("harness: not a replay bundle: %w", err)
+	}
+	if head.Version != BundleVersion {
+		return ReplayMeta{}, fmt.Errorf("harness: bundle version %d, this build reads %d", head.Version, BundleVersion)
+	}
+	var b replayBundle
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return ReplayMeta{}, fmt.Errorf("harness: decoding replay bundle: %w", err)
+	}
+	return b.ReplayMeta, nil
+}
+
+// timeoutBundle is the watchdog's diagnostic artifact: the hung job's
+// identity, how far it got (scheduler steps, rounded to the last
+// sim.CancelEvery boundary), and a full goroutine dump showing where
+// every worker is stuck.
+type timeoutBundle struct {
+	Version int `json:"version"`
+	ReplayMeta
+	Unit         string `json:"unit,omitempty"`
+	Seq          int    `json:"seq"`
+	TimeoutMS    int64  `json:"timeout_ms"`
+	ElapsedSteps uint64 `json:"elapsed_steps"`
+	Stacks       string `json:"stacks"`
+}
+
 // writeBundle persists the crash artifact and returns its path. The
 // filename is a pure function of the job identity — no timestamps — so
 // reruns overwrite rather than accumulate and output stays
-// deterministic.
+// deterministic. The write is atomic: a kill mid-write never leaves a
+// torn bundle.
 func (p *Pool) writeBundle(je *JobError, stack []byte) string {
 	if p.crashDir == "" {
 		return ""
 	}
-	if err := os.MkdirAll(p.crashDir, 0o755); err != nil {
-		return ""
-	}
-	unit := sanitizeName(je.Unit)
-	if unit == "" {
-		unit = "job"
-	}
-	name := fmt.Sprintf("%s_%s_j%03d_a%d.json", sanitizeName(p.meta.Experiment), unit, je.Seq, je.Attempts)
-	path := filepath.Join(p.crashDir, name)
+	name := p.bundleName(je.Unit, fmt.Sprintf("j%03d_a%d", je.Seq, je.Attempts))
 	b, err := json.MarshalIndent(replayBundle{
+		Version:    BundleVersion,
 		ReplayMeta: p.meta,
 		Unit:       je.Unit,
 		Seq:        je.Seq,
@@ -289,10 +552,48 @@ func (p *Pool) writeBundle(je *JobError, stack []byte) string {
 	if err != nil {
 		return ""
 	}
-	if err := os.WriteFile(path, b, 0o644); err != nil {
+	path := filepath.Join(p.crashDir, name)
+	if err := atomicio.WriteFile(path, b, 0o644); err != nil {
 		return ""
 	}
 	return path
+}
+
+// writeTimeoutBundle persists the watchdog diagnostic and returns its
+// path ("" when the pool has no crash directory).
+func (p *Pool) writeTimeoutBundle(unit string, seq int, steps uint64) string {
+	if p.crashDir == "" {
+		return ""
+	}
+	stacks := make([]byte, 1<<20)
+	stacks = stacks[:runtime.Stack(stacks, true)]
+	name := p.bundleName(unit, fmt.Sprintf("j%03d_timeout", seq))
+	b, err := json.MarshalIndent(timeoutBundle{
+		Version:      BundleVersion,
+		ReplayMeta:   p.meta,
+		Unit:         unit,
+		Seq:          seq,
+		TimeoutMS:    p.jobTimeout.Milliseconds(),
+		ElapsedSteps: steps,
+		Stacks:       string(stacks),
+	}, "", "  ")
+	if err != nil {
+		return ""
+	}
+	path := filepath.Join(p.crashDir, name)
+	if err := atomicio.WriteFile(path, b, 0o644); err != nil {
+		return ""
+	}
+	return path
+}
+
+// bundleName maps a job to its deterministic bundle filename.
+func (p *Pool) bundleName(unit, suffix string) string {
+	u := sanitizeName(unit)
+	if u == "" {
+		u = "job"
+	}
+	return fmt.Sprintf("%s_%s_%s.json", sanitizeName(p.meta.Experiment), u, suffix)
 }
 
 // sanitizeName maps a job label to a filesystem-safe token.
@@ -321,7 +622,8 @@ func (p *Pool) Failures() []*JobError {
 
 // FailureSummary returns nil when every job succeeded, and otherwise an
 // error summarizing the failures (wrapping the first in submission
-// order).
+// order, with every failure reachable by errors.Is/As for exit-code
+// classification).
 func (p *Pool) FailureSummary() error {
 	fails := p.Failures()
 	if len(fails) == 0 {
@@ -330,11 +632,26 @@ func (p *Pool) FailureSummary() error {
 	p.mu.Lock()
 	total := p.done
 	p.mu.Unlock()
+	rest := make([]error, 0, len(fails)-1)
+	for _, je := range fails[1:] {
+		rest = append(rest, je)
+	}
 	err := fmt.Errorf("%d of %d jobs failed; first: %w", len(fails), total, fails[0])
+	if len(rest) > 0 {
+		err = errors.Join(append([]error{err}, rest...)...)
+	}
 	if p.crashDir != "" {
 		err = fmt.Errorf("%w (replay bundles under %s)", err, p.crashDir)
 	}
 	return err
+}
+
+// CachedJobs reports how many cells were served from the checkpoint
+// instead of running, for resume reporting.
+func (p *Pool) CachedJobs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cached
 }
 
 // finish records a completed job and emits a progress line at most once
@@ -373,19 +690,23 @@ func (o Options) runner() *Pool {
 	if o.pool != nil {
 		return o.pool
 	}
-	p := NewPool(o.Workers, nil, "")
+	p := NewPool(nil, o.Workers, nil, "")
 	p.EnableRecovery(ReplayMeta{Scale: o.Scale, Accesses: o.Accesses, Seed: o.Seed, Quick: o.Quick, Workers: o.Workers}, o.CrashDir, o.Retries)
+	p.EnableWatchdog(o.JobTimeout)
 	return p
 }
 
-// Execute runs the experiment with a shared worker pool sized by
-// o.Workers and returns the timing summary alongside the experiment's
-// error. Output written to w is byte-identical for any worker count.
-// Job failures that the experiment did not itself propagate are folded
-// into the returned error, so a run with crashed cells always reports
-// non-nil.
-func (e Experiment) Execute(o Options, w io.Writer) (stats.RunTiming, error) {
-	p := NewPool(o.Workers, o.Progress, e.ID)
+// Execute runs the experiment under ctx with a shared worker pool sized
+// by o.Workers and returns the timing summary alongside the
+// experiment's error. Output written to w is byte-identical for any
+// worker count. Job failures that the experiment did not itself
+// propagate are folded into the returned error, so a run with crashed,
+// timed-out, or cancelled cells always reports non-nil (classify with
+// ExitCode). When o.Checkpoint is armed, completed cells are recorded
+// under the experiment's ID and already-recorded cells are served
+// without re-running.
+func (e Experiment) Execute(ctx context.Context, o Options, w io.Writer) (stats.RunTiming, error) {
+	p := NewPool(ctx, o.Workers, o.Progress, e.ID)
 	p.EnableRecovery(ReplayMeta{
 		Experiment: e.ID,
 		Scale:      o.Scale,
@@ -394,6 +715,10 @@ func (e Experiment) Execute(o Options, w io.Writer) (stats.RunTiming, error) {
 		Quick:      o.Quick,
 		Workers:    o.Workers,
 	}, o.CrashDir, o.Retries)
+	p.EnableWatchdog(o.JobTimeout)
+	if o.Checkpoint != nil {
+		p.EnableCheckpoint(o.Checkpoint, e.ID)
+	}
 	o.pool = p
 	start := time.Now()
 	err := e.Run(o, w)

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -20,11 +21,11 @@ import (
 // submission order reassembles the serial sequence.
 func TestPoolOrdering(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		p := NewPool(workers, nil, "order")
+		p := NewPool(nil, workers, nil, "order")
 		var futs []*Future[int]
 		for i := 0; i < 100; i++ {
 			i := i
-			futs = append(futs, Submit(p, func() int { return i * i }))
+			futs = append(futs, Submit(p, func(context.Context) int { return i * i }))
 		}
 		for i, f := range futs {
 			if got := f.Wait(); got != i*i {
@@ -41,12 +42,12 @@ func TestPoolOrdering(t *testing.T) {
 // many jobs run at once.
 func TestPoolConcurrencyBound(t *testing.T) {
 	const workers = 3
-	p := NewPool(workers, nil, "bound")
+	p := NewPool(nil, workers, nil, "bound")
 	var inFlight, peak atomic.Int32
 	gate := make(chan struct{})
 	var futs []*Future[struct{}]
 	for i := 0; i < 32; i++ {
-		futs = append(futs, Submit(p, func() struct{} {
+		futs = append(futs, Submit(p, func(context.Context) struct{} {
 			n := inFlight.Add(1)
 			for {
 				old := peak.Load()
@@ -71,9 +72,9 @@ func TestPoolConcurrencyBound(t *testing.T) {
 // TestSerialSubmitRunsInline pins the Workers<=1 guarantee: the job has
 // already executed, on the calling goroutine, when Submit returns.
 func TestSerialSubmitRunsInline(t *testing.T) {
-	p := NewPool(1, nil, "serial")
+	p := NewPool(nil, 1, nil, "serial")
 	ran := false
-	f := Submit(p, func() bool { ran = true; return true })
+	f := Submit(p, func(context.Context) bool { ran = true; return true })
 	if !ran {
 		t.Fatal("serial Submit returned before running the job")
 	}
@@ -116,10 +117,10 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 // summary reports the run as failed.
 func TestPoolRecoversPanics(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		p := NewPool(workers, nil, "crash")
-		ok1 := SubmitJob(p, "healthy-a", func() (int, error) { return 7, nil })
-		bad := SubmitJob(p, "doomed", func() (int, error) { panic("injected panic") })
-		ok2 := SubmitJob(p, "healthy-b", func() (int, error) { return 9, nil })
+		p := NewPool(nil, workers, nil, "crash")
+		ok1 := SubmitJob(p, "healthy-a", func(context.Context) (int, error) { return 7, nil })
+		bad := SubmitJob(p, "doomed", func(context.Context) (int, error) { panic("injected panic") })
+		ok2 := SubmitJob(p, "healthy-b", func(context.Context) (int, error) { return 9, nil })
 		if v, err := ok1.Result(); v != 7 || err != nil {
 			t.Fatalf("workers=%d: sibling a got (%d, %v)", workers, v, err)
 		}
@@ -153,10 +154,10 @@ func TestPoolRecoversPanics(t *testing.T) {
 // returning an error — deterministic by construction — runs exactly
 // once.
 func TestPoolRetriesPanicsOnly(t *testing.T) {
-	p := NewPool(1, nil, "retry")
+	p := NewPool(nil, 1, nil, "retry")
 	p.EnableRecovery(ReplayMeta{Experiment: "retry"}, "", 2)
 	attempts := 0
-	f := SubmitJob(p, "flaky", func() (int, error) {
+	f := SubmitJob(p, "flaky", func(context.Context) (int, error) {
 		attempts++
 		if attempts < 3 {
 			panic("transient")
@@ -171,7 +172,7 @@ func TestPoolRetriesPanicsOnly(t *testing.T) {
 	}
 	calls := 0
 	boom := errors.New("deterministic failure")
-	g := SubmitJob(p, "failing", func() (int, error) { calls++; return 0, boom })
+	g := SubmitJob(p, "failing", func(context.Context) (int, error) { calls++; return 0, boom })
 	if _, err := g.Result(); !errors.Is(err, boom) {
 		t.Fatalf("returned error not propagated: %v", err)
 	}
@@ -189,10 +190,10 @@ func TestPoolRetriesPanicsOnly(t *testing.T) {
 // but still types the failure.
 func TestPoolReplayBundles(t *testing.T) {
 	dir := t.TempDir()
-	p := NewPool(1, nil, "bundle")
+	p := NewPool(nil, 1, nil, "bundle")
 	meta := ReplayMeta{Experiment: "fig9/x", Scale: 8, Accesses: 100, Seed: 3, Workers: 2}
 	p.EnableRecovery(meta, dir, 0)
-	f := SubmitJob(p, "unit/cfg", func() (int, error) { panic("kaboom") })
+	f := SubmitJob(p, "unit/cfg", func(context.Context) (int, error) { panic("kaboom") })
 	_, err := f.Result()
 	var je *JobError
 	if !errors.As(err, &je) {
@@ -215,8 +216,8 @@ func TestPoolReplayBundles(t *testing.T) {
 		t.Fatalf("JobError.Meta = %+v, want %+v", je.Meta, meta)
 	}
 
-	q := NewPool(1, nil, "nobundle")
-	g := SubmitJob(q, "u", func() (int, error) { panic("dry") })
+	q := NewPool(nil, 1, nil, "nobundle")
+	g := SubmitJob(q, "u", func(context.Context) (int, error) { panic("dry") })
 	_, err = g.Result()
 	if !errors.As(err, &je) || je.ReplayPath != "" {
 		t.Fatalf("unarmed pool wrote a bundle: %v", err)
@@ -236,7 +237,7 @@ func TestExecuteProgressAndTiming(t *testing.T) {
 	o.Workers = 4
 	var progress, out bytes.Buffer
 	o.Progress = &progress
-	tm, err := e.Execute(o, &out)
+	tm, err := e.Execute(context.Background(), o, &out)
 	if err != nil {
 		t.Fatal(err)
 	}

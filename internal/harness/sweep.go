@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -40,14 +41,14 @@ func sweepGroup(o Options, group string, baseSpec core.SystemSpec, cores int, cf
 	futs := make([]unitFutures, len(units))
 	for ui, u := range units {
 		u := u
-		futs[ui].base = SubmitJob(p, u.name+"/base", func() (stats.Run, error) {
-			return runStreams(baseSpec, u.make(cores), "base"), nil
+		futs[ui].base = SubmitJob(p, u.name+"/base", func(ctx context.Context) (stats.Run, error) {
+			return runStreams(ctx, baseSpec, u.make(cores), "base")
 		})
 		futs[ui].cfg = make([]*Future[stats.Run], len(cfgs))
 		for ci, c := range cfgs {
 			c := c
-			futs[ui].cfg[ci] = SubmitJob(p, u.name+"/"+c.name, func() (stats.Run, error) {
-				return runStreams(c.spec, u.make(cores), c.name), nil
+			futs[ui].cfg[ci] = SubmitJob(p, u.name+"/"+c.name, func(ctx context.Context) (stats.Run, error) {
+				return runStreams(ctx, c.spec, u.make(cores), c.name)
 			})
 		}
 	}
@@ -93,11 +94,11 @@ func (r sweepResult) err(ci int) error {
 	return nil
 }
 
-// geoCell formats config ci's geometric-mean cell, rendering ERR when
-// any of its units failed.
+// geoCell formats config ci's geometric-mean cell, rendering ERR,
+// TIMEOUT, or CANCELLED (per CellText) when any of its units failed.
 func (r sweepResult) geoCell(ci int) string {
-	if r.err(ci) != nil {
-		return "ERR"
+	if err := r.err(ci); err != nil {
+		return CellText(err)
 	}
 	return fmt.Sprintf("%.3f", r.geo(ci))
 }

@@ -1,0 +1,28 @@
+package harness
+
+import (
+	"io"
+	"sync"
+)
+
+// SyncWriter serializes writes to an underlying writer with a mutex.
+// The CLI wraps stderr in one so pool progress lines, watchdog notices,
+// and shutdown messages from concurrent goroutines never interleave
+// mid-line.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w; a nil w yields a writer that discards.
+func NewSyncWriter(w io.Writer) *SyncWriter { return &SyncWriter{w: w} }
+
+// Write implements io.Writer under the mutex.
+func (s *SyncWriter) Write(p []byte) (int, error) {
+	if s.w == nil {
+		return len(p), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

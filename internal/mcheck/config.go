@@ -20,6 +20,7 @@ package mcheck
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/coher"
 	"repro/internal/core"
@@ -64,6 +65,10 @@ type Config struct {
 	// Workers shards frontier expansion across a harness pool; results
 	// are identical at any value.
 	Workers int
+	// JobTimeout, when positive, bounds each frontier expansion's wall
+	// time via the pool watchdog (a wedged engine aborts the search with
+	// a diagnostic instead of hanging CI).
+	JobTimeout time.Duration
 }
 
 // Validate rejects configurations outside the tiny-model envelope.

@@ -1,6 +1,7 @@
 package mcheck
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -53,9 +54,15 @@ type succ struct {
 // a broken run carry no information.
 //
 // progress, when non-nil, receives one line per completed depth.
-func Explore(cfg Config, progress io.Writer) (Result, error) {
+// Cancelling ctx aborts the search between expansions with ctx's error;
+// cfg.JobTimeout (when positive) bounds each frontier expansion's wall
+// time through the pool watchdog.
+func Explore(ctx context.Context, cfg Config, progress io.Writer) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	res := Result{Config: cfg}
 	alphabet := Alphabet(cfg)
@@ -73,11 +80,15 @@ func Explore(cfg Config, progress io.Writer) (Result, error) {
 	frontier := []node{{ops: nil}}
 
 	for depth := 0; depth < cfg.Depth && len(frontier) > 0; depth++ {
-		pool := harness.NewPool(cfg.Workers, nil, "mcheck")
+		if err := ctx.Err(); err != nil {
+			return res, fmt.Errorf("mcheck: search aborted at depth %d: %w", depth, err)
+		}
+		pool := harness.NewPool(ctx, cfg.Workers, nil, "mcheck")
+		pool.EnableWatchdog(cfg.JobTimeout)
 		futs := make([]*harness.Future[[]succ], len(frontier))
 		for i, n := range frontier {
 			prefix := n.ops
-			futs[i] = harness.Submit(pool, func() []succ {
+			futs[i] = harness.Submit(pool, func(context.Context) []succ {
 				return expand(cfg, alphabet, prefix)
 			})
 		}
@@ -86,6 +97,12 @@ func Explore(cfg Config, progress io.Writer) (Result, error) {
 		for i, fut := range futs {
 			succs, err := fut.Result()
 			if err != nil {
+				// Cancellation and watchdog timeouts abort the whole
+				// search: an incomplete frontier must not masquerade as
+				// an exhausted one.
+				if harness.IsCancelled(err) || harness.IsTimeout(err) {
+					return res, fmt.Errorf("mcheck: search aborted at depth %d: %w", depth, err)
+				}
 				// A panic inside the engine is itself a counterexample:
 				// record it against the op that triggered it. The panic
 				// message is in err; the op is recovered by re-running

@@ -2,6 +2,7 @@ package mcheck
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -25,7 +26,7 @@ func TestExploreCleanAllPolicies(t *testing.T) {
 	for _, pol := range []core.DEPolicy{core.SpillAll, core.FPSS, core.FuseAll} {
 		cfg := quickCfg(pol)
 		cfg.Depth = depth
-		res, err := Explore(cfg, nil)
+		res, err := Explore(context.Background(), cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,7 +46,7 @@ func TestExploreCleanAllPolicies(t *testing.T) {
 func TestExploreDirectoryHousing(t *testing.T) {
 	cfg := quickCfg(core.FPSS)
 	cfg.DirEntries = 1
-	res, err := Explore(cfg, nil)
+	res, err := Explore(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestExploreDeterministicAcrossWorkers(t *testing.T) {
 			cfg := quickCfg(core.SpillAll)
 			cfg.Broken = broken
 			cfg.Workers = workers
-			res, err := Explore(cfg, nil)
+			res, err := Explore(context.Background(), cfg, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -92,7 +93,7 @@ func TestBrokenRecoveryYieldsCounterexample(t *testing.T) {
 	cfg := quickCfg(core.SpillAll)
 	cfg.Broken = true
 	cfg.Depth = 6
-	res, err := Explore(cfg, nil)
+	res, err := Explore(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestTraceRoundTrip(t *testing.T) {
 	cfg := quickCfg(core.SpillAll)
 	cfg.Broken = true
 	cfg.Depth = 6
-	res, err := Explore(cfg, nil)
+	res, err := Explore(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,8 +156,9 @@ func TestDecodeTraceRejects(t *testing.T) {
 	cases := []struct {
 		name, in, want string
 	}{
-		{"garbage", "not json", "decoding trace"},
-		{"version", `{"version":99,"cores":2,"addrs":2,"policy":"fpss","ops":[],"violation":"x"}`, "version"},
+		{"garbage", "not json", "not a counterexample trace"},
+		{"version", `{"version":99,"cores":2,"addrs":2,"policy":"fpss","ops":[],"violation":"x"}`, "trace version 99, this build reads 1"},
+		{"unknown-field", `{"version":1,"cores":2,"addrs":2,"policy":"fpss","ops":[],"violation":"x","extra":1}`, "decoding trace"},
 		{"policy", `{"version":1,"cores":2,"addrs":2,"policy":"zesty","ops":[],"violation":"x"}`, "unknown DE policy"},
 		{"op-kind", `{"version":1,"cores":2,"addrs":2,"policy":"fpss","ops":[{"op":"teleport","addr":0}],"violation":"x"}`, "unknown op kind"},
 		{"core-range", `{"version":1,"cores":2,"addrs":2,"policy":"fpss","ops":[{"op":"read","core":7,"addr":0}],"violation":"x"}`, "out of range"},

@@ -1,6 +1,7 @@
 package mcheck
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -60,16 +61,29 @@ func (tr Trace) Encode(w io.Writer) error {
 	return enc.Encode(tr)
 }
 
-// DecodeTrace reads and validates a counterexample file.
+// DecodeTrace reads and validates a counterexample file. The version is
+// checked first with a loose decode, so a trace from a newer format is
+// refused with a clear version error rather than whatever unknown-field
+// error the strict decode would hit first.
 func DecodeTrace(r io.Reader) (Trace, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return Trace{}, fmt.Errorf("mcheck: reading trace: %w", err)
+	}
+	var head struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(buf, &head); err != nil {
+		return Trace{}, fmt.Errorf("mcheck: not a counterexample trace: %w", err)
+	}
+	if head.Version != TraceVersion {
+		return Trace{}, fmt.Errorf("mcheck: trace version %d, this build reads %d", head.Version, TraceVersion)
+	}
 	var tr Trace
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(bytes.NewReader(buf))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&tr); err != nil {
 		return Trace{}, fmt.Errorf("mcheck: decoding trace: %w", err)
-	}
-	if tr.Version != TraceVersion {
-		return Trace{}, fmt.Errorf("mcheck: trace version %d, this build reads %d", tr.Version, TraceVersion)
 	}
 	if _, _, err := tr.decode(); err != nil {
 		return Trace{}, err

@@ -5,6 +5,12 @@
 // execution.
 package sim
 
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
 // Cycle is a point on (or a span of) the global clock, measured in core
 // clock cycles of the simulated CMP.
 type Cycle uint64
@@ -34,6 +40,41 @@ type Clocked interface {
 func RunAll(agents []Clocked) Cycle {
 	last, _ := Drive(agents, nil)
 	return last
+}
+
+// CancelEvery is the cooperative cancellation interval: a simulation
+// driven through ContextHook observes context cancellation within this
+// many scheduler steps, so even a multi-million-step unit aborts with
+// bounded latency while the per-step overhead stays one modulo test.
+const CancelEvery = 1024
+
+// ContextHook wraps an optional Drive hook with cooperative
+// cancellation and progress accounting: every CancelEvery steps it
+// publishes the step count to steps (when non-nil, read by the harness
+// watchdog for diagnostics) and aborts the run with ctx's error once
+// ctx is cancelled. inner, when non-nil, still runs on every step. A
+// nil ctx and nil steps return inner unchanged, preserving the
+// zero-overhead path.
+func ContextHook(ctx context.Context, steps *atomic.Uint64, inner func(step uint64, now Cycle) error) func(step uint64, now Cycle) error {
+	if ctx == nil && steps == nil {
+		return inner
+	}
+	return func(step uint64, now Cycle) error {
+		if step%CancelEvery == 0 {
+			if steps != nil {
+				steps.Store(step)
+			}
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("sim: aborted at step %d: %w", step, err)
+				}
+			}
+		}
+		if inner != nil {
+			return inner(step, now)
+		}
+		return nil
+	}
 }
 
 // Drive is RunAll with an observation hook: after every scheduler step it

@@ -8,7 +8,9 @@
 package socket
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/coher"
@@ -155,13 +157,22 @@ func New(p Params, spec core.SystemSpec, streams []cpu.Stream) (*System, error) 
 
 // Run drives every core of every socket to completion.
 func (sys *System) Run() sim.Cycle {
+	c, _ := sys.RunCtx(nil, nil)
+	return c
+}
+
+// RunCtx is Run with cooperative cancellation (see core.System.RunCtx):
+// the run aborts with ctx's error within sim.CancelEvery steps of
+// cancellation, and steps (when non-nil) tracks progress for hang
+// diagnostics.
+func (sys *System) RunCtx(ctx context.Context, steps *atomic.Uint64) (sim.Cycle, error) {
 	var agents []sim.Clocked
 	for _, s := range sys.Sockets {
 		for _, c := range s.Cores {
 			agents = append(agents, c)
 		}
 	}
-	return sim.RunAll(agents)
+	return sim.Drive(agents, sim.ContextHook(ctx, steps, nil))
 }
 
 // Stats returns the socket-layer counters.
