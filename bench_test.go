@@ -26,6 +26,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	o := benchOptions()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := e.Run(o, io.Discard); err != nil {
@@ -45,6 +46,7 @@ func benchExperimentParallel(b *testing.B, id string) {
 	}
 	o := benchOptions()
 	o.Workers = runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Execute(context.Background(), o, io.Discard); err != nil {

@@ -15,7 +15,7 @@ import (
 // auditCmd runs the fault-injection campaigns of internal/faults: every
 // selected injector firing against every selected campaign cell, with
 // the invariant auditor running every -audit-every scheduler steps.
-func auditCmd(ctx context.Context, args []string) {
+func auditCmd(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("audit", flag.ExitOnError)
 	o := harness.DefaultOptions()
 	o.Accesses = 20000
@@ -37,13 +37,20 @@ func auditCmd(ctx context.Context, args []string) {
 	campaigns := fs.String("campaigns", "all", "comma-separated campaign cells (see -list)")
 	rateScale := fs.Float64("rate-scale", 1, "multiply every injector's default rate")
 	list := fs.Bool("list", false, "describe injectors and campaign cells, then exit")
+	prof := addProfFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return 2
 	}
 	if *list {
 		faults.WriteList(os.Stdout)
-		return
+		return 0
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "audit:", err)
+		return 2
+	}
+	defer stopProf()
 	o.Seed = seed
 	stderr := harness.NewSyncWriter(os.Stderr)
 	if !*quiet {
@@ -51,25 +58,24 @@ func auditCmd(ctx context.Context, args []string) {
 	}
 	if err := o.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "audit:", err)
-		os.Exit(2)
+		return 2
 	}
 	if *auditEvery < 0 {
 		fmt.Fprintf(os.Stderr, "audit: -audit-every must be non-negative, got %d\n", *auditEvery)
-		os.Exit(2)
+		return 2
 	}
 	cfg := faults.DefaultConfig()
 	cfg.AuditEvery = *auditEvery
 	cfg.RateScale = *rateScale
 	cfg.FailFast = *failFast
-	var err error
 	if cfg.Enabled, err = faults.ParseKinds(*kinds); err != nil {
 		fmt.Fprintln(os.Stderr, "audit:", err)
-		os.Exit(2)
+		return 2
 	}
 	cells, err := faults.SelectCampaigns(*campaigns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "audit:", err)
-		os.Exit(2)
+		return 2
 	}
 	var ids []string
 	for _, c := range cells {
@@ -83,7 +89,7 @@ func auditCmd(ctx context.Context, args []string) {
 		cs, err := harness.LoadCheckpoint(*resume, key)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "audit:", err)
-			os.Exit(2)
+			return 2
 		}
 		o.Checkpoint = cs
 		fmt.Fprintf(stderr, "[resuming from %s: %d completed cells]\n", *resume, cs.Cells())
@@ -103,13 +109,14 @@ func auditCmd(ctx context.Context, args []string) {
 		} else {
 			fmt.Fprintln(stderr, "audit: interrupted")
 		}
-		os.Exit(harness.ExitInterrupted)
+		return harness.ExitInterrupted
 	}
 	if cerr != nil {
 		fmt.Fprintf(stderr, "audit: %v\n", cerr)
-		os.Exit(harness.ExitCode(cerr))
+		return harness.ExitCode(cerr)
 	}
 	if !*quiet {
 		fmt.Fprintf(stderr, "[audit finished in %v]\n", time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

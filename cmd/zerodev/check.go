@@ -19,7 +19,7 @@ import (
 // instance of the real engine, with invariants checked at every newly
 // reached state. A violation is minimized and written as a replayable
 // counterexample trace; -replay re-runs such a file.
-func checkCmd(ctx context.Context, args []string) {
+func checkCmd(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	cores := fs.Int("cores", 2, fmt.Sprintf("core count (2..%d)", mcheck.MaxCores))
 	addrs := fs.Int("addrs", 2, fmt.Sprintf("distinct block addresses in the op alphabet (1..%d)", mcheck.MaxAddrs))
@@ -34,24 +34,31 @@ func checkCmd(ctx context.Context, args []string) {
 	replayPath := fs.String("replay", "", "replay a counterexample trace file and exit")
 	list := fs.Bool("list", false, "describe the op alphabet and properties, then exit")
 	quiet := fs.Bool("quiet", false, "suppress per-depth progress lines on stderr")
+	prof := addProfFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return 2
 	}
 	if *list {
 		writeCheckList(os.Stdout, *cores, *addrs)
-		return
+		return 0
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "check:", err)
+		return 2
+	}
+	defer stopProf()
 	if *replayPath != "" {
 		if err := replayCounterexample(*replayPath, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "check:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	pols, err := mcheck.ParsePolicies(*policies)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "check:", err)
-		os.Exit(2)
+		return 2
 	}
 	var progress io.Writer
 	if !*quiet {
@@ -72,15 +79,16 @@ func checkCmd(ctx context.Context, args []string) {
 				continue
 			}
 			fmt.Fprintln(os.Stderr, "check:", err)
-			os.Exit(checkExit(err))
+			return checkExit(err)
 		}
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "[check finished in %v]\n", time.Since(start).Round(time.Millisecond))
 	}
 	if violations > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // violationError marks a completed run that found a counterexample, as

@@ -10,6 +10,10 @@
 //	zerodev single [-config baseline|zerodev] [-ratio R] [-policy P] <app>
 //	zerodev audit [-faults K,..] [-campaigns C,..] [-audit-every N] [-fail-fast] [-job-timeout D] [-resume FILE]
 //	zerodev check [-cores N] [-addrs N] [-depth N] [-policies P,..] [-workers N] [-job-timeout D] [-replay FILE] [-list]
+//	zerodev bench [-experiments IDs] [-count N] [-o FILE] [-compare FILE]
+//
+// run, audit, check, and bench accept -cpuprofile/-memprofile FILE and
+// -pprof-http ADDR for performance investigation.
 //
 // SIGINT/SIGTERM cancels in-flight simulations cooperatively, flushes
 // completed cells to the checkpoint, and exits 130; -resume picks the
@@ -38,10 +42,18 @@ import (
 	"repro/internal/workload"
 )
 
+// main delegates to realMain so deferred cleanup — profile flushing,
+// signal-handler teardown — runs before the process exits: os.Exit
+// skips defers, so the subcommands return exit codes instead of calling
+// it themselves.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	// One SIGINT/SIGTERM cancels the root context: in-flight simulations
 	// abort within sim.CancelEvery steps, completed work is flushed to
@@ -57,21 +69,27 @@ func main() {
 	switch os.Args[1] {
 	case "list":
 		writeList(os.Stdout)
+		return 0
 	case "run":
-		runCmd(ctx, os.Args[2:])
+		return runCmd(ctx, os.Args[2:])
 	case "single":
 		singleCmd(os.Args[2:])
+		return 0
 	case "audit":
-		auditCmd(ctx, os.Args[2:])
+		return auditCmd(ctx, os.Args[2:])
 	case "trace":
 		traceCmd(os.Args[2:])
+		return 0
 	case "compare":
 		compareCmd(ctx, os.Args[2:])
+		return 0
 	case "check":
-		checkCmd(ctx, os.Args[2:])
+		return checkCmd(ctx, os.Args[2:])
+	case "bench":
+		return benchCmd(ctx, os.Args[2:])
 	default:
 		usage()
-		os.Exit(2)
+		return 2
 	}
 }
 
@@ -83,10 +101,10 @@ func writeList(w io.Writer) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: zerodev list | run [flags] <experiment>...|all | single [flags] <app> | compare [flags] <app> | trace [flags] | audit [flags] | check [flags]")
+		"usage: zerodev list | run [flags] <experiment>...|all | single [flags] <app> | compare [flags] <app> | trace [flags] | audit [flags] | check [flags] | bench [flags]")
 }
 
-func runCmd(ctx context.Context, args []string) {
+func runCmd(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	o := harness.DefaultOptions()
 	fs.IntVar(&o.Scale, "scale", o.Scale, "capacity scale divisor (power of two; 1 = Table I)")
@@ -100,9 +118,16 @@ func runCmd(ctx context.Context, args []string) {
 		"where completed cells are persisted for -resume (\"\" disables checkpointing)")
 	resume := fs.String("resume", "", "resume from a checkpoint file: completed cells are served from it instead of re-running")
 	quiet := fs.Bool("quiet", false, "suppress progress and timing lines on stderr")
+	prof := addProfFlags(fs)
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return 2
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		return 2
+	}
+	defer stopProf()
 	o.Seed = seed
 	stderr := harness.NewSyncWriter(os.Stderr)
 	if !*quiet {
@@ -110,12 +135,12 @@ func runCmd(ctx context.Context, args []string) {
 	}
 	if err := o.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "run:", err)
-		os.Exit(2)
+		return 2
 	}
 	ids := fs.Args()
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "run: no experiments named; try `zerodev list`")
-		os.Exit(2)
+		return 2
 	}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = nil
@@ -131,7 +156,7 @@ func runCmd(ctx context.Context, args []string) {
 		cs, err := harness.LoadCheckpoint(*resume, key)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "run:", err)
-			os.Exit(2)
+			return 2
 		}
 		o.Checkpoint = cs
 		fmt.Fprintf(stderr, "[resuming from %s: %d completed cells]\n", *resume, cs.Cells())
@@ -152,7 +177,7 @@ func runCmd(ctx context.Context, args []string) {
 		e, err := harness.Get(id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		start := time.Now()
 		tm, err := e.Execute(ctx, o, os.Stdout)
@@ -183,13 +208,14 @@ func runCmd(ctx context.Context, args []string) {
 		} else {
 			fmt.Fprintln(stderr, "run: interrupted")
 		}
-		os.Exit(harness.ExitInterrupted)
+		return harness.ExitInterrupted
 	}
 	if joined != nil {
 		fmt.Fprintf(stderr, "run: %d of %d experiments failed: %s\n",
 			len(failed), len(ids), strings.Join(failed, ", "))
-		os.Exit(harness.ExitCode(joined))
+		return harness.ExitCode(joined)
 	}
+	return 0
 }
 
 // joinErrs joins without allocating for the common empty case.

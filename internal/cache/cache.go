@@ -4,7 +4,10 @@
 // directory cache, and (with custom victim filtering) the shared LLC.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Policy selects the replacement bookkeeping an Array maintains.
 type Policy uint8
@@ -56,31 +59,53 @@ func MustGeometry(capacityBytes, ways, lineBytes int) Geometry {
 	return g
 }
 
+// invalidTag marks an invalid way in the tag array. Tag matching is the
+// hottest loop in the simulator, so invalid ways carry a sentinel tag no
+// real block can produce (block addresses are bounded far below 2^64 by
+// the workload address-space layout) and the match loops skip the valid
+// check entirely.
+const invalidTag = ^uint64(0)
+
 // Array is a set-associative array whose lines carry a payload of type T.
 // The zero value is not usable; construct with New.
 type Array[T any] struct {
-	geo    Geometry
-	policy Policy
-	tags   []uint64
-	valid  []bool
-	use    []uint64 // LRU stamps
-	ref    []bool   // NRU reference bits
-	data   []T
-	tick   uint64
+	geo      Geometry
+	policy   Policy
+	tagShift uint8 // log2(Sets); Tag is a shift, not a division
+	tags     []uint64
+	valid    []bool
+	use      []uint64 // LRU stamps
+	ref      []bool   // NRU reference bits
+	demo     []bool   // LRU demotion marks (preferred victims)
+	data     []T
+	live     []int16 // valid-way count per set (O(1) full-set detection)
+	tick     uint64
 }
 
-// New constructs an empty array.
+// New constructs an empty array. The set count must be a positive power
+// of two: SetIndex has always masked with Sets-1, so this was an
+// implicit requirement of every caller; it is now enforced.
 func New[T any](geo Geometry, policy Policy) *Array[T] {
-	n := geo.Blocks()
-	return &Array[T]{
-		geo:    geo,
-		policy: policy,
-		tags:   make([]uint64, n),
-		valid:  make([]bool, n),
-		use:    make([]uint64, n),
-		ref:    make([]bool, n),
-		data:   make([]T, n),
+	if geo.Sets <= 0 || geo.Sets&(geo.Sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d is not a positive power of two", geo.Sets))
 	}
+	n := geo.Blocks()
+	a := &Array[T]{
+		geo:      geo,
+		policy:   policy,
+		tagShift: uint8(bits.TrailingZeros64(uint64(geo.Sets))),
+		tags:     make([]uint64, n),
+		valid:    make([]bool, n),
+		use:      make([]uint64, n),
+		ref:      make([]bool, n),
+		demo:     make([]bool, n),
+		data:     make([]T, n),
+		live:     make([]int16, geo.Sets),
+	}
+	for i := range a.tags {
+		a.tags[i] = invalidTag
+	}
+	return a
 }
 
 // Geometry returns the array's organization.
@@ -92,14 +117,58 @@ func (a *Array[T]) SetIndex(blockAddr uint64) int {
 	return int(blockAddr & uint64(a.geo.Sets-1))
 }
 
-// Tag returns the tag for a block address under this geometry.
+// Tag returns the tag for a block address under this geometry. Sets is
+// a power of two (enforced by New), so this is a shift rather than a
+// 64-bit division on the Lookup/Probe hot path.
 func (a *Array[T]) Tag(blockAddr uint64) uint64 {
-	return blockAddr / uint64(a.geo.Sets)
+	return blockAddr >> a.tagShift
 }
 
 // AddrOf reconstructs the block address stored in (set, way).
 func (a *Array[T]) AddrOf(set, way int) uint64 {
-	return a.tags[a.idx(set, way)]*uint64(a.geo.Sets) + uint64(set)
+	return a.tags[a.idx(set, way)]<<a.tagShift | uint64(set)
+}
+
+// TagAt returns the stored tag of (set, way) without reconstructing the
+// full block address; hot paths that already know the set use it to
+// compare identity against a precomputed tag.
+func (a *Array[T]) TagAt(set, way int) uint64 {
+	return a.tags[a.idx(set, way)]
+}
+
+// FindWays2 returns the first two valid ways of set holding tag, -1 for
+// absent. A block occupies at most two ways of an LLC set (its data
+// line plus its spilled directory entry), so two slots cover every
+// caller; the scan is a single pass over the set with no per-way calls,
+// which is why the LLC probe path uses it instead of Lookup.
+func (a *Array[T]) FindWays2(set int, tag uint64) (w0, w1 int) {
+	w0, w1 = -1, -1
+	base := set * a.geo.Ways
+	tags := a.tags[base : base+a.geo.Ways]
+	for w := range tags {
+		if tags[w] == tag {
+			if w0 < 0 {
+				w0 = w
+			} else {
+				w1 = w
+				return
+			}
+		}
+	}
+	return
+}
+
+// FindWay returns the first valid way of set holding tag, or -1. It is
+// the scan Lookup performs when the caller already has the set and tag.
+func (a *Array[T]) FindWay(set int, tag uint64) int {
+	base := set * a.geo.Ways
+	tags := a.tags[base : base+a.geo.Ways]
+	for w := range tags {
+		if tags[w] == tag {
+			return w
+		}
+	}
+	return -1
 }
 
 func (a *Array[T]) idx(set, way int) int { return set*a.geo.Ways + way }
@@ -110,8 +179,9 @@ func (a *Array[T]) Lookup(blockAddr uint64) (set, way int, ok bool) {
 	set = a.SetIndex(blockAddr)
 	tag := a.Tag(blockAddr)
 	base := set * a.geo.Ways
-	for w := 0; w < a.geo.Ways; w++ {
-		if a.valid[base+w] && a.tags[base+w] == tag {
+	tags := a.tags[base : base+a.geo.Ways]
+	for w := range tags {
+		if tags[w] == tag {
 			return set, w, true
 		}
 	}
@@ -125,35 +195,46 @@ func (a *Array[T]) Contains(blockAddr uint64) bool {
 }
 
 // Touch marks (set, way) most recently used (LRU) or referenced (NRU).
+// A touch rescinds any earlier demotion.
 func (a *Array[T]) Touch(set, way int) {
 	i := a.idx(set, way)
 	switch a.policy {
 	case LRU:
 		a.tick++
 		a.use[i] = a.tick
+		a.demo[i] = false
 	case NRU:
 		a.ref[i] = true
 	}
 }
 
-// Demote marks (set, way) least recently used within its set, making it
-// the preferred victim. ZeroDEV's directory-caching studies use this for
+// Demote marks (set, way) a preferred victim: demoted lines are
+// victimized before any non-demoted line in the set. Under LRU the
+// line's use stamp is kept, so multiple demoted lines in a set retain
+// their relative recency and leave oldest-first instead of collapsing
+// to a way-index tie. ZeroDEV's directory-caching studies use this for
 // replacement-priority experiments.
 func (a *Array[T]) Demote(set, way int) {
 	i := a.idx(set, way)
 	switch a.policy {
 	case LRU:
-		a.use[i] = 0
+		a.demo[i] = true
 	case NRU:
 		a.ref[i] = false
 	}
 }
 
-// FreeWay returns an invalid way in set, or ok=false when the set is full.
+// FreeWay returns an invalid way in set, or ok=false when the set is
+// full. Full sets — the steady state of every cache in a running
+// simulation — are answered in O(1) from the per-set live count.
 func (a *Array[T]) FreeWay(set int) (way int, ok bool) {
+	if int(a.live[set]) == a.geo.Ways {
+		return -1, false
+	}
 	base := set * a.geo.Ways
-	for w := 0; w < a.geo.Ways; w++ {
-		if !a.valid[base+w] {
+	valid := a.valid[base : base+a.geo.Ways]
+	for w := range valid {
+		if !valid[w] {
 			return w, true
 		}
 	}
@@ -161,28 +242,67 @@ func (a *Array[T]) FreeWay(set int) (way int, ok bool) {
 }
 
 // Victim selects the replacement victim among the valid ways of set.
-// The set must have at least one valid way.
+// The set must have at least one valid way. The LRU case is an open-coded
+// scan (no eligibility callback) because the LLC allocates through here
+// on every fill that misses a free way.
 func (a *Array[T]) Victim(set int) int {
-	w, ok := a.VictimWhere(set, func(int, T) bool { return true })
+	if a.policy == LRU {
+		base := set * a.geo.Ways
+		n := a.geo.Ways
+		valid := a.valid[base : base+n]
+		use := a.use[base : base+n]
+		demo := a.demo[base : base+n]
+		best := -1
+		bestUse := ^uint64(0)
+		bestDemo := false
+		for w := 0; w < n; w++ {
+			if valid[w] && a.older(demo[w], use[w], bestDemo, bestUse) {
+				best, bestUse, bestDemo = w, use[w], demo[w]
+			}
+		}
+		if best < 0 {
+			panic("cache: Victim on set with no valid ways")
+		}
+		return best
+	}
+	w, ok := a.VictimWhere(set, func(int, *T) bool { return true })
 	if !ok {
 		panic("cache: Victim on set with no valid ways")
 	}
 	return w
 }
 
+// older reports whether a line with (demoted, use) is victimized before
+// one with (bestDemoted, bestUse): demoted lines first, then oldest use
+// stamp. Strict comparison keeps the lowest-way tie-break of the
+// callers' ascending scans.
+func (a *Array[T]) older(demo bool, use uint64, bestDemo bool, bestUse uint64) bool {
+	if demo != bestDemo {
+		return demo
+	}
+	return use < bestUse
+}
+
 // VictimWhere selects the replacement victim among valid ways satisfying
-// eligible. Under LRU it is the eligible way with the oldest use stamp;
-// under NRU it is the first eligible way with a clear reference bit,
-// clearing all bits first when every eligible way is referenced.
-func (a *Array[T]) VictimWhere(set int, eligible func(way int, payload T) bool) (way int, ok bool) {
+// eligible. Under LRU it is the eligible way with the oldest use stamp,
+// demoted lines before all others; under NRU it is the first eligible
+// way with a clear reference bit, clearing all bits first when every
+// eligible way is referenced. The payload pointer passed to eligible is
+// valid only for the duration of the call.
+func (a *Array[T]) VictimWhere(set int, eligible func(way int, payload *T) bool) (way int, ok bool) {
 	base := set * a.geo.Ways
 	switch a.policy {
 	case LRU:
-		best, bestUse := -1, ^uint64(0)
-		for w := 0; w < a.geo.Ways; w++ {
-			i := base + w
-			if a.valid[i] && eligible(w, a.data[i]) && a.use[i] < bestUse {
-				best, bestUse = w, a.use[i]
+		n := a.geo.Ways
+		valid := a.valid[base : base+n]
+		use := a.use[base : base+n]
+		demo := a.demo[base : base+n]
+		best := -1
+		bestUse := ^uint64(0)
+		bestDemo := false
+		for w := 0; w < n; w++ {
+			if valid[w] && eligible(w, &a.data[base+w]) && a.older(demo[w], use[w], bestDemo, bestUse) {
+				best, bestUse, bestDemo = w, use[w], demo[w]
 			}
 		}
 		return best, best >= 0
@@ -191,7 +311,7 @@ func (a *Array[T]) VictimWhere(set int, eligible func(way int, payload T) bool) 
 		for pass := 0; pass < 2; pass++ {
 			for w := 0; w < a.geo.Ways; w++ {
 				i := base + w
-				if !a.valid[i] || !eligible(w, a.data[i]) {
+				if !a.valid[i] || !eligible(w, &a.data[i]) {
 					continue
 				}
 				any = true
@@ -205,7 +325,7 @@ func (a *Array[T]) VictimWhere(set int, eligible func(way int, payload T) bool) 
 			// All eligible ways referenced: clear and rescan.
 			for w := 0; w < a.geo.Ways; w++ {
 				i := base + w
-				if a.valid[i] && eligible(w, a.data[i]) {
+				if a.valid[i] && eligible(w, &a.data[i]) {
 					a.ref[i] = false
 				}
 			}
@@ -220,7 +340,10 @@ func (a *Array[T]) VictimWhere(set int, eligible func(way int, payload T) bool) 
 func (a *Array[T]) Insert(set, way int, blockAddr uint64, payload T) {
 	i := a.idx(set, way)
 	a.tags[i] = a.Tag(blockAddr)
-	a.valid[i] = true
+	if !a.valid[i] {
+		a.valid[i] = true
+		a.live[set]++
+	}
 	a.data[i] = payload
 	a.Touch(set, way)
 }
@@ -228,11 +351,16 @@ func (a *Array[T]) Insert(set, way int, blockAddr uint64, payload T) {
 // Invalidate frees (set, way), zeroing its payload.
 func (a *Array[T]) Invalidate(set, way int) {
 	i := a.idx(set, way)
-	a.valid[i] = false
+	if a.valid[i] {
+		a.valid[i] = false
+		a.live[set]--
+	}
+	a.tags[i] = invalidTag
 	var zero T
 	a.data[i] = zero
 	a.use[i] = 0
 	a.ref[i] = false
+	a.demo[i] = false
 }
 
 // Valid reports whether (set, way) holds a line.
@@ -299,7 +427,14 @@ func (a *Array[T]) AppendState(buf []byte, enc func([]byte, *T) []byte) []byte {
 			buf = appendUint64(buf, a.tags[i])
 			switch a.policy {
 			case LRU:
-				buf = append(buf, byte(a.recencyRank(set, w)))
+				rank := byte(a.recencyRank(set, w))
+				if a.demo[i] {
+					// The demotion mark outlives the current victim order (it
+					// steers victim choice until the line is touched), so it is
+					// protocol-visible state beyond the rank.
+					rank |= 0x80
+				}
+				buf = append(buf, rank)
 			case NRU:
 				if a.ref[i] {
 					buf = append(buf, 1)
@@ -317,18 +452,27 @@ func (a *Array[T]) AppendState(buf []byte, enc func([]byte, *T) []byte) []byte {
 }
 
 // recencyRank counts the valid ways of set that the LRU policy would
-// victimize before (set, way): strictly older stamps, or equal stamps
-// at a lower way index (Victim breaks ties toward low ways). O(ways²)
-// per set, fine at fingerprinting scale.
+// victimize before (set, way): demoted before non-demoted, then
+// strictly older stamps, then equal stamps at a lower way index (Victim
+// breaks ties toward low ways). O(ways²) per set, fine at
+// fingerprinting scale.
 func (a *Array[T]) recencyRank(set, way int) int {
 	base := set * a.geo.Ways
 	self := a.use[base+way]
+	selfDemo := a.demo[base+way]
 	rank := 0
 	for w := 0; w < a.geo.Ways; w++ {
-		if w == way || !a.valid[base+w] {
+		i := base + w
+		if w == way || !a.valid[i] {
 			continue
 		}
-		if u := a.use[base+w]; u < self || (u == self && w < way) {
+		if a.demo[i] != selfDemo {
+			if a.demo[i] {
+				rank++
+			}
+			continue
+		}
+		if u := a.use[i]; u < self || (u == self && w < way) {
 			rank++
 		}
 	}

@@ -56,6 +56,46 @@ func TestLRUOrder(t *testing.T) {
 	}
 }
 
+// TestDemoteKeepsRelativeRecency is the regression test for the bug
+// where Demote zeroed the use stamp: with several demoted lines in a
+// set, Victim ties always broke toward the lowest way, destroying the
+// lines' relative age. Demoted lines must leave oldest-first, and a
+// later Touch must rescind the demotion.
+func TestDemoteKeepsRelativeRecency(t *testing.T) {
+	a := New[int](Geometry{Sets: 1, Ways: 4}, LRU)
+	for i := 0; i < 4; i++ {
+		a.Insert(0, i, uint64(i), i)
+	}
+	// Insertion order 0,1,2,3 (oldest first). Demote 3, then 1, then 2 —
+	// demotion order must NOT matter, only the lines' own recency.
+	for _, blk := range []uint64{3, 1, 2} {
+		_, w, ok := a.Lookup(blk)
+		if !ok {
+			t.Fatalf("block %d missing", blk)
+		}
+		a.Demote(0, w)
+	}
+	// Victim order among the demoted: 1, then 2, then 3 (oldest stamps
+	// first), and only then the never-demoted block 0.
+	for _, want := range []uint64{1, 2, 3, 0} {
+		w := a.Victim(0)
+		if got := a.AddrOf(0, w); got != want {
+			t.Fatalf("victim = block %d, want %d", got, want)
+		}
+		a.Invalidate(0, w)
+	}
+
+	// Touch rescinds a demotion: the line rejoins the normal order.
+	b := New[int](Geometry{Sets: 1, Ways: 2}, LRU)
+	b.Insert(0, 0, 0, 0)
+	b.Insert(0, 1, 1, 1)
+	b.Demote(0, 1)
+	b.Touch(0, 1)
+	if w := b.Victim(0); b.AddrOf(0, w) != 0 {
+		t.Fatalf("touched-after-demote line victimized; victim = block %d, want 0", b.AddrOf(0, w))
+	}
+}
+
 func TestNRUVictim(t *testing.T) {
 	a := New[struct{}](Geometry{Sets: 1, Ways: 4}, NRU)
 	for i := 0; i < 4; i++ {
@@ -80,11 +120,11 @@ func TestVictimWhere(t *testing.T) {
 	for i, k := range kinds {
 		a.Insert(0, i, uint64(i), k)
 	}
-	w, ok := a.VictimWhere(0, func(_ int, k string) bool { return k == "data" })
+	w, ok := a.VictimWhere(0, func(_ int, k *string) bool { return *k == "data" })
 	if !ok || a.AddrOf(0, w) != 0 {
 		t.Fatalf("filtered victim = %v/%v, want block 0", w, ok)
 	}
-	if _, ok := a.VictimWhere(0, func(_ int, k string) bool { return k == "none" }); ok {
+	if _, ok := a.VictimWhere(0, func(_ int, k *string) bool { return *k == "none" }); ok {
 		t.Fatal("no eligible way should report ok=false")
 	}
 }

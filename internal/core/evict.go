@@ -55,8 +55,7 @@ func (e *Engine) Evict(t sim.Cycle, c coher.CoreID, addr coher.Addr, state coher
 	}
 
 	if !freed {
-		e.storeDE(t, addr, ent)
-		e.touchLLC(addr)
+		e.storeDETouch(t, addr, ent, v)
 		return
 	}
 
@@ -68,7 +67,7 @@ func (e *Engine) Evict(t sim.Cycle, c coher.CoreID, addr coher.Addr, state coher
 		e.stats.LastSharerRetrievals++
 		e.record(coher.MsgLastSharerAck)
 	}
-	blockInLLC := e.freeDE(t, addr, state == coher.PrivModified)
+	blockInLLC := e.freeDE(t, addr, state == coher.PrivModified, v)
 	switch {
 	case state == coher.PrivModified:
 		// The dirty writeback allocates (or updates) the LLC line.

@@ -20,64 +20,92 @@ import (
 // creating housing when it lives nowhere on the socket. It maintains the
 // policy invariants on spilled/fused form.
 func (e *Engine) storeDE(t sim.Cycle, addr coher.Addr, ent coher.Entry) {
+	e.storeDEView(t, addr, ent, llc.View{DataWay: -1, DEWay: -1}, false)
+}
+
+// storeDETouch performs the storeDE-then-touchLLC sequence the request
+// flows end with, reusing the caller's view v of addr so the pair costs
+// at most one LLC probe. v must be current: Protect(addr) held (so no
+// allocation can displace addr's lines) and no fill or DE-housing
+// change for addr since v was probed.
+func (e *Engine) storeDETouch(t sim.Cycle, addr coher.Addr, ent coher.Entry, v llc.View) {
+	nv, known := e.storeDEView(t, addr, ent, v, true)
+	if !known {
+		nv = e.llc.Probe(addr)
+	}
+	if nv.HasData() || nv.HasDE() {
+		e.llc.Touch(nv)
+	}
+}
+
+// storeDEView is storeDE taking the caller's current view of addr
+// (haveView), saving the probe on the ZeroDEV LLC-housing paths. It
+// returns addr's view after housing; known is false when the final
+// view would require a fresh probe (a spilled line landed at a way this
+// function cannot cheaply know, or no view was supplied).
+func (e *Engine) storeDEView(t sim.Cycle, addr coher.Addr, ent coher.Entry, v llc.View, haveView bool) (after llc.View, known bool) {
 	if !ent.Live() {
 		panic("core: storeDE with a dead entry; use freeDE")
 	}
 	if _, ok := e.dir.Lookup(addr); ok {
 		// In-place update. Traditional directories never evict here, but
 		// SecDir (private-partition conflicts while reconciling holders)
-		// and MgD (grain conversions) can.
+		// and MgD (grain conversions) can. Victims are other addresses, so
+		// v stays current (addr's lines are protected).
 		victims, housed := e.dir.Store(addr, ent)
 		if !housed {
 			panic("core: in-place directory update refused")
 		}
 		if e.p.ZeroDEV {
-			for _, v := range victims {
-				if v.Entry.Live() {
+			for _, w := range victims {
+				if w.Entry.Live() {
 					e.stats.DEDisplacedToLLC++
-					e.houseInLLC(t, v.Addr, v.Entry)
+					e.houseInLLC(t, w.Addr, w.Entry)
 				}
 			}
-			return
+			return v, haveView
 		}
 		e.processDEVs(t, victims)
-		return
+		return v, haveView
 	}
 	if e.p.ZeroDEV {
-		if v := e.llc.Probe(addr); v.HasDE() {
-			e.updateLLCDE(t, addr, ent, v)
-			return
+		if !haveView {
+			v = e.llc.Probe(addr)
 		}
-	}
-	// New housing: the sparse directory first.
-	victims, housed := e.dir.Store(addr, ent)
-	if housed {
-		if e.p.ZeroDEV {
+		if v.HasDE() {
+			return e.updateLLCDE(t, addr, ent, v)
+		}
+		// New housing: the sparse directory first.
+		victims, housed := e.dir.Store(addr, ent)
+		if housed {
 			// §III-C4 ablation: with a replacement-enabled sparse
 			// directory under ZeroDEV, a displaced entry moves to the LLC
 			// instead of generating DEVs — but it has now disturbed both
 			// structures, which is why the paper prefers the
 			// replacement-disabled design.
-			for _, v := range victims {
-				if v.Entry.Live() {
+			for _, w := range victims {
+				if w.Entry.Live() {
 					e.stats.DEDisplacedToLLC++
-					e.houseInLLC(t, v.Addr, v.Entry)
+					e.houseInLLC(t, w.Addr, w.Entry)
 				}
 			}
-			return
+			return v, true
 		}
-		e.processDEVs(t, victims)
-		return
+		return e.houseInLLCView(t, addr, ent, v)
 	}
-	if !e.p.ZeroDEV {
+	victims, housed := e.dir.Store(addr, ent)
+	if !housed {
 		panic("core: baseline directory refused an allocation")
 	}
-	e.houseInLLC(t, addr, ent)
+	e.processDEVs(t, victims)
+	return v, haveView
 }
 
 // updateLLCDE rewrites an LLC-housed entry, converting between spilled
-// and fused forms when the coherence state transition demands it.
-func (e *Engine) updateLLCDE(t sim.Cycle, addr coher.Addr, ent coher.Entry, v llc.View) {
+// and fused forms when the coherence state transition demands it. It
+// returns addr's view after the rewrite; known is false when the new
+// housing landed at a way only a fresh probe can find.
+func (e *Engine) updateLLCDE(t sim.Cycle, addr coher.Addr, ent coher.Entry, v llc.View) (after llc.View, known bool) {
 	switch e.p.Policy {
 	case FPSS:
 		if v.Fused && ent.State == coher.DirShared {
@@ -85,16 +113,21 @@ func (e *Engine) updateLLCDE(t sim.Cycle, addr coher.Addr, ent coher.Entry, v ll
 			// so the block is reconstructed and the entry spills (§III-C2).
 			e.llc.Unfuse(v)
 			e.stats.DEFuseToSpill++
-			e.handleEvicted(t, e.llc.InsertSpilled(addr, ent))
-			return
+			if ev, ok := e.llc.InsertSpilled(addr, ent); ok {
+				e.handleEvicted(t, ev)
+			}
+			return llc.View{}, false
 		}
 		if !v.Fused && ent.State == coher.DirOwned && v.HasData() && e.llc.Mode() != llc.EPD {
 			// S → M/E: fuse with the block, freeing the spilled line
-			// (§III-C2 invariant maintenance).
+			// (§III-C2 invariant maintenance). Dropping the spilled DE
+			// leaves the data way of v untouched, so the view stays valid
+			// for the fuse.
 			e.llc.DropDE(v)
-			e.llc.Fuse(e.llc.Probe(addr), ent)
+			e.llc.Fuse(v, ent)
 			e.stats.DESpillToFuse++
-			return
+			v.DEWay, v.Fused = v.DataWay, true
+			return v, true
 		}
 		// Block absent (or EPD, where M/E blocks leave the LLC): the
 		// entry stays in spilled form.
@@ -107,21 +140,27 @@ func (e *Engine) updateLLCDE(t sim.Cycle, addr coher.Addr, ent coher.Entry, v ll
 			p.Kind = llc.KindSpilled
 			p.Dirty = false
 			p.Entry = ent
-			return
+			v.DataWay, v.Fused = -1, false
+			return v, true
 		}
 		e.llc.Payload(v, v.DEWay).Entry = ent
 	default: // SpillAll
 		e.llc.Payload(v, v.DEWay).Entry = ent
 	}
+	return v, true
 }
 
 // houseInLLC places a new entry in the LLC according to the caching
 // policy (§III-C1..3).
 func (e *Engine) houseInLLC(t sim.Cycle, addr coher.Addr, ent coher.Entry) {
-	v := e.llc.Probe(addr)
+	e.houseInLLCView(t, addr, ent, e.llc.Probe(addr))
+}
+
+// houseInLLCView is houseInLLC with the caller's current view of addr.
+// Returns the post-housing view like updateLLCDE.
+func (e *Engine) houseInLLCView(t sim.Cycle, addr coher.Addr, ent coher.Entry, v llc.View) (after llc.View, known bool) {
 	if v.HasDE() {
-		e.updateLLCDE(t, addr, ent, v)
-		return
+		return e.updateLLCDE(t, addr, ent, v)
 	}
 	fuse := false
 	switch e.p.Policy {
@@ -133,22 +172,26 @@ func (e *Engine) houseInLLC(t sim.Cycle, addr coher.Addr, ent coher.Entry) {
 	if fuse {
 		e.llc.Fuse(v, ent)
 		e.stats.DEFuses++
-		return
+		v.DEWay, v.Fused = v.DataWay, true
+		return v, true
 	}
 	e.stats.DESpills++
-	e.handleEvicted(t, e.llc.InsertSpilled(addr, ent))
+	if ev, ok := e.llc.InsertSpilled(addr, ent); ok {
+		e.handleEvicted(t, ev)
+	}
+	return llc.View{}, false
 }
 
 // freeDE removes the entry for addr from wherever it lives on the
 // socket. forceDirty is meaningful when the entry was fused: it forces
 // the reconstructed block part's dirty bit (PutM deliveries carry fresh
-// dirty data). It reports whether the block remains LLC-resident.
-func (e *Engine) freeDE(t sim.Cycle, addr coher.Addr, forceDirty bool) (blockInLLC bool) {
+// dirty data). v must be the caller's current view of addr. It reports
+// whether the block remains LLC-resident.
+func (e *Engine) freeDE(t sim.Cycle, addr coher.Addr, forceDirty bool, v llc.View) (blockInLLC bool) {
 	if _, ok := e.dir.Lookup(addr); ok {
 		e.dir.Free(addr)
-		return e.llc.Probe(addr).HasData()
+		return v.HasData()
 	}
-	v := e.llc.Probe(addr)
 	if !v.HasDE() {
 		return v.HasData()
 	}
@@ -163,15 +206,14 @@ func (e *Engine) freeDE(t sim.Cycle, addr coher.Addr, forceDirty bool) (blockInL
 		e.llc.Payload(v, v.DataWay).Dirty = dirty
 		return true
 	}
+	// Dropping a spilled DE only invalidates the DE way; whether the
+	// block's data line is resident is unchanged from the probe above.
 	e.llc.DropDE(v)
-	return e.llc.Probe(addr).HasData()
+	return v.HasData()
 }
 
 // handleEvicted disposes of a line displaced from the LLC.
-func (e *Engine) handleEvicted(t sim.Cycle, ev *llc.Evicted) {
-	if ev == nil {
-		return
-	}
+func (e *Engine) handleEvicted(t sim.Cycle, ev llc.Evicted) {
 	switch ev.Kind {
 	case llc.KindData:
 		if e.llc.Mode() == llc.Inclusive {
@@ -228,7 +270,7 @@ func (e *Engine) handleEvicted(t sim.Cycle, ev *llc.Evicted) {
 // backInvalidate enforces inclusion: a data block leaving an inclusive
 // LLC invalidates its private copies and frees its directory entry.
 // These forced invalidations are inclusion victims, not DEVs.
-func (e *Engine) backInvalidate(t sim.Cycle, ev *llc.Evicted) {
+func (e *Engine) backInvalidate(t sim.Cycle, ev llc.Evicted) {
 	v := e.llc.Probe(ev.Addr) // the data line is already gone; a spilled DE may remain
 	ent, loc := e.findDE(ev.Addr, v)
 	dirty := ev.Dirty
@@ -250,7 +292,9 @@ func (e *Engine) backInvalidate(t sim.Cycle, ev *llc.Evicted) {
 		case locDir:
 			e.dir.Free(ev.Addr)
 		case locLLC:
-			e.llc.DropDE(e.llc.Probe(ev.Addr))
+			// v is the probe that located the DE; the invalidations above
+			// touch only private caches, so it is still current.
+			e.llc.DropDE(v)
 			e.stats.DEFreedInLLC++
 		}
 	}
@@ -301,7 +345,9 @@ func (e *Engine) fillLLCData(t sim.Cycle, addr coher.Addr, dirty bool) {
 		e.llc.Touch(v)
 		return
 	}
-	e.handleEvicted(t, e.llc.InsertData(addr, dirty))
+	if ev, ok := e.llc.InsertData(addr, dirty); ok {
+		e.handleEvicted(t, ev)
+	}
 }
 
 // touchLLC applies the access-time replacement update for addr (the

@@ -111,8 +111,7 @@ func (e *Engine) readShared(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, ent c
 		e.stats.LLCDataHits++
 		e.record(coher.MsgData)
 		done := t1 + lat + e.mesh.BankToCore(bank, c)
-		e.storeDE(t1, addr, next)
-		e.touchLLC(addr)
+		e.storeDETouch(t1, addr, next, v)
 		return done, coher.PrivShared
 	}
 
@@ -128,8 +127,7 @@ func (e *Engine) readShared(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, ent c
 	e.record(coher.MsgData)
 	e.stats.Forwards3Hop++
 	done := t1 + e.mesh.BankToCore(bank, f) + e.p.OwnerLookupCycles + e.mesh.CoreToCore(f, c)
-	e.storeDE(t1, addr, next)
-	e.touchLLC(addr)
+	e.storeDETouch(t1, addr, next, v)
 	return done, coher.PrivShared
 }
 
@@ -161,10 +159,10 @@ func (e *Engine) readNoDE(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, code bo
 		}
 		if granted == coher.PrivExclusive && e.llc.Mode() == llc.EPD {
 			// The block becomes temporarily private: EPD deallocates it.
-			e.llc.InvalidateData(e.llc.Probe(addr))
+			e.llc.InvalidateData(v)
+			v.DataWay = -1
 		}
-		e.storeDE(t1, addr, e.freshEntry(c, granted))
-		e.touchLLC(addr)
+		e.storeDETouch(t1, addr, e.freshEntry(c, granted), v)
 		return done, granted
 	}
 

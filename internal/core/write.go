@@ -24,7 +24,7 @@ func (e *Engine) Write(t sim.Cycle, c coher.CoreID, addr coher.Addr) sim.Cycle {
 
 	switch {
 	case loc != locNone && ent.State == coher.DirOwned:
-		return e.writeFromOwner(t1, c, addr, ent)
+		return e.writeFromOwner(t1, c, addr, ent, v)
 	case loc != locNone && ent.State == coher.DirShared:
 		return e.writeShared(t1, c, addr, ent, v)
 	default:
@@ -34,7 +34,7 @@ func (e *Engine) Write(t sim.Cycle, c coher.CoreID, addr coher.Addr) sim.Cycle {
 
 // writeFromOwner transfers ownership: the request is forwarded to the
 // owner, which invalidates its copy and responds directly (three-hop).
-func (e *Engine) writeFromOwner(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, ent coher.Entry) sim.Cycle {
+func (e *Engine) writeFromOwner(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, ent coher.Entry, v llc.View) sim.Cycle {
 	owner := ent.Owner
 	if owner == c {
 		panic(fmt.Sprintf("core: core %d write-missed a block it owns (%#x)", c, uint64(addr)))
@@ -52,8 +52,7 @@ func (e *Engine) writeFromOwner(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, e
 	e.record(coher.MsgBusyClear) // owner → home
 	done := t2 + e.mesh.CoreToCore(owner, c)
 
-	e.storeDE(t1, addr, coher.Entry{State: coher.DirOwned, Owner: c})
-	e.touchLLC(addr)
+	e.storeDETouch(t1, addr, coher.Entry{State: coher.DirOwned, Owner: c}, v)
 	return done
 }
 
@@ -101,15 +100,15 @@ func (e *Engine) writeShared(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, ent 
 
 	if e.llc.Mode() == llc.EPD {
 		// The block becomes temporarily private: deallocate the data line.
-		if v2 := e.llc.Probe(addr); v2.HasData() && !v2.Fused {
-			e.llc.InvalidateData(v2)
+		if v.HasData() && !v.Fused {
+			e.llc.InvalidateData(v)
+			v.DataWay = -1
 		}
 	}
 	// Other sockets sharing the block must be invalidated before the
 	// core takes it to M.
 	acq := e.home.AcquireExclusive(t1, e.p.Socket, addr)
-	e.storeDE(t1, addr, coher.Entry{State: coher.DirOwned, Owner: c})
-	e.touchLLC(addr)
+	e.storeDETouch(t1, addr, coher.Entry{State: coher.DirOwned, Owner: c}, v)
 	return max2(max2(dataDone, ackDone), acq)
 }
 
@@ -129,11 +128,11 @@ func (e *Engine) writeNoDE(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, v llc.
 		e.record(coher.MsgData)
 		done := t1 + e.p.DataCycles + e.mesh.BankToCore(bank, c)
 		if e.llc.Mode() == llc.EPD {
-			e.llc.InvalidateData(e.llc.Probe(addr))
+			e.llc.InvalidateData(v)
+			v.DataWay = -1
 		}
 		done = max2(done, e.home.AcquireExclusive(t1, e.p.Socket, addr))
-		e.storeDE(t1, addr, coher.Entry{State: coher.DirOwned, Owner: c})
-		e.touchLLC(addr)
+		e.storeDETouch(t1, addr, coher.Entry{State: coher.DirOwned, Owner: c}, v)
 		return done
 	}
 	e.stats.LLCMisses++
@@ -158,7 +157,7 @@ func (e *Engine) redispatchWrite(t sim.Cycle, c coher.CoreID, addr coher.Addr) s
 	ent, loc := e.findDE(addr, v)
 	switch {
 	case loc != locNone && ent.State == coher.DirOwned:
-		return e.writeFromOwner(t, c, addr, ent)
+		return e.writeFromOwner(t, c, addr, ent, v)
 	case loc != locNone && ent.State == coher.DirShared:
 		return e.writeShared(t, c, addr, ent, v)
 	default:
@@ -227,11 +226,11 @@ func (e *Engine) Upgrade(t sim.Cycle, c coher.CoreID, addr coher.Addr) sim.Cycle
 	done = max2(done, e.home.AcquireExclusive(t1, e.p.Socket, addr))
 
 	if e.llc.Mode() == llc.EPD {
-		if v2 := e.llc.Probe(addr); v2.HasData() && !v2.Fused {
-			e.llc.InvalidateData(v2)
+		if v.HasData() && !v.Fused {
+			e.llc.InvalidateData(v)
+			v.DataWay = -1
 		}
 	}
-	e.storeDE(t1, addr, coher.Entry{State: coher.DirOwned, Owner: c})
-	e.touchLLC(addr)
+	e.storeDETouch(t1, addr, coher.Entry{State: coher.DirOwned, Owner: c}, v)
 	return done
 }

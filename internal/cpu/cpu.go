@@ -199,8 +199,8 @@ func (c *Core) stall(raw sim.Cycle, mlp float64) {
 }
 
 func (c *Core) load(addr coher.Addr) {
-	if _, _, ok := c.l1d.Lookup(uint64(addr)); ok {
-		c.touchL1(c.l1d, addr)
+	if set, way, ok := c.l1d.Lookup(uint64(addr)); ok {
+		c.l1d.Touch(set, way)
 		c.touchL2(addr)
 		c.clock += c.p.L1HitCycles
 		return
@@ -232,21 +232,25 @@ func (c *Core) store(addr coher.Addr) {
 		case coher.PrivShared:
 			c.stats.Upgrades++
 			done := c.uncore.Upgrade(c.clock, c.id, addr)
-			// Re-check: the upgrade may have raced with nothing in this
-			// synchronous model; the grant is unconditional.
+			// Re-check: an inclusion eviction during the upgrade can
+			// invalidate this core's own line, so the cached (set, way) is
+			// only trusted if the block is still resident.
 			if s2, w2, ok2 := c.l2.Lookup(uint64(addr)); ok2 {
-				c.l2.Payload(s2, w2).state = coher.PrivModified
+				set, way = s2, w2
+				c.l2.Payload(set, way).state = coher.PrivModified
+			} else {
+				ok = false
 			}
 			c.stall(done-c.clock, c.p.StoreMLP)
 		}
-		if _, _, ok := c.l1d.Lookup(uint64(addr)); ok {
-			c.touchL1(c.l1d, addr)
+		if s1, w1, ok1 := c.l1d.Lookup(uint64(addr)); ok1 {
+			c.l1d.Touch(s1, w1)
 			c.clock += c.p.L1HitCycles
 		} else {
 			c.stats.L1DMisses++
 			c.fillL1(c.l1d, addr, false)
-			if s2, w2, ok2 := c.l2.Lookup(uint64(addr)); ok2 {
-				c.l2.Payload(s2, w2).inL1D = true
+			if ok {
+				c.l2.Payload(set, way).inL1D = true
 			}
 			c.clock += c.p.L2HitCycles
 		}
@@ -260,8 +264,8 @@ func (c *Core) store(addr coher.Addr) {
 }
 
 func (c *Core) ifetch(addr coher.Addr) {
-	if _, _, ok := c.l1i.Lookup(uint64(addr)); ok {
-		c.touchL1(c.l1i, addr)
+	if set, way, ok := c.l1i.Lookup(uint64(addr)); ok {
+		c.l1i.Touch(set, way)
 		c.touchL2(addr)
 		return // fetch latency hidden on L1I hits
 	}
@@ -277,12 +281,6 @@ func (c *Core) ifetch(addr coher.Addr) {
 	done, granted := c.uncore.Read(c.clock, c.id, addr, true)
 	c.stall(done-c.clock, c.p.LoadMLP)
 	c.install(addr, granted, true)
-}
-
-func (c *Core) touchL1(arr *cache.Array[struct{}], addr coher.Addr) {
-	if set, way, ok := arr.Lookup(uint64(addr)); ok {
-		arr.Touch(set, way)
-	}
 }
 
 func (c *Core) touchL2(addr coher.Addr) {

@@ -35,6 +35,10 @@ type Directory interface {
 	// when the directory refuses the allocation without evicting anyone
 	// (replacement-disabled set full, or the NoDir organization); the
 	// caller must house the entry elsewhere — under ZeroDEV, in the LLC.
+	//
+	// The victims slice may alias storage owned by the directory and is
+	// valid only until the next Store call on the same directory; callers
+	// must finish processing (or copy) it before storing again.
 	Store(addr coher.Addr, e coher.Entry) (victims []Victim, housed bool)
 
 	// Free invalidates the entry for addr, if present.

@@ -16,6 +16,11 @@ type Traditional struct {
 	arr         *cache.Array[coher.Entry]
 	replDisable bool
 	name        string
+	// scratch backs the single-victim slice Store returns, so the
+	// baseline's hottest eviction path performs no heap allocation. Per
+	// the Directory contract, the slice is valid only until the next
+	// Store on this directory.
+	scratch [1]Victim
 }
 
 // NewTraditional builds a sparse directory with the given entry count
@@ -96,12 +101,12 @@ func (d *Traditional) Store(addr coher.Addr, e coher.Entry) ([]Victim, bool) {
 		return nil, false
 	}
 	w := d.arr.Victim(set)
-	victim := Victim{
+	d.scratch[0] = Victim{
 		Addr:  coher.Addr(d.arr.AddrOf(set, w)),
 		Entry: *d.arr.Payload(set, w),
 	}
 	d.arr.Insert(set, w, uint64(addr), e)
-	return []Victim{victim}, true
+	return d.scratch[:], true
 }
 
 // Free implements Directory.

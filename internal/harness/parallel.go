@@ -517,9 +517,10 @@ func DecodeBundle(r io.Reader) (ReplayMeta, error) {
 }
 
 // timeoutBundle is the watchdog's diagnostic artifact: the hung job's
-// identity, how far it got (scheduler steps, rounded to the last
-// sim.CancelEvery boundary), and a full goroutine dump showing where
-// every worker is stuck.
+// identity, how far it got (the exact scheduler step count —
+// sim.ContextHook publishes on every step, so a job that wedges before
+// the first cancellation boundary still reports its true progress), and
+// a full goroutine dump showing where every worker is stuck.
 type timeoutBundle struct {
 	Version int `json:"version"`
 	ReplayMeta

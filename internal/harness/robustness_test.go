@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // testKey is a fixed run shape for checkpoint tests.
@@ -235,8 +237,20 @@ func TestWatchdogReapsHungJob(t *testing.T) {
 			gate := make(chan struct{})
 			defer close(gate)
 			start := time.Now()
-			hung := SubmitJob(p, "stuck/unit", func(context.Context) (int, error) {
-				<-gate // ignores its context entirely: the worst case
+			// The job advances 37 scheduler steps — far short of the first
+			// sim.CancelEvery boundary — then wedges while ignoring its
+			// context: the worst case, and the one where interval-batched
+			// step publishing used to leave the diagnostic bundle claiming
+			// zero progress.
+			const hangAt = 37
+			hung := SubmitJob(p, "stuck/unit", func(jctx context.Context) (int, error) {
+				hook := sim.ContextHook(jctx, JobSteps(jctx), nil)
+				for s := uint64(1); s <= hangAt; s++ {
+					if err := hook(s, sim.Cycle(s)); err != nil {
+						return 0, err
+					}
+				}
+				<-gate
 				return 0, nil
 			})
 			_, err := hung.Result()
@@ -275,6 +289,10 @@ func TestWatchdogReapsHungJob(t *testing.T) {
 				bundle.Unit != "stuck/unit" || bundle.TimeoutMS != 50 ||
 				!strings.Contains(bundle.Stacks, "goroutine") {
 				t.Fatalf("diagnostic bundle missing fields: %+v", bundle)
+			}
+			if bundle.ElapsedSteps != hangAt {
+				t.Fatalf("ElapsedSteps = %d, want %d (early hang must report exact progress)",
+					bundle.ElapsedSteps, hangAt)
 			}
 			// The pool is not wedged: later jobs run and succeed.
 			v, err := SubmitJob(p, "after", func(context.Context) (int, error) { return 99, nil }).Result()

@@ -10,6 +10,7 @@ package llc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/coher"
@@ -143,13 +144,31 @@ type LLC struct {
 	mode  Mode
 	repl  Repl
 
-	// protected pins the lines of one block address for the duration of
-	// a protocol transaction, mirroring the MSHR line lock real hardware
-	// holds while a grant is in flight: replacement never victimizes a
-	// protected line, so a transaction cannot evict the block (or the
-	// directory entry) it is itself operating on.
-	protected    coher.Addr
-	hasProtected bool
+	// Bank interleave fast path: unlike set counts, bank counts are not
+	// required to be powers of two, so BankOf/local fall back to real
+	// division when they are not.
+	bankPow2  bool
+	bankShift uint8
+
+	// The protection pin fixes the lines of one block address for the
+	// duration of a protocol transaction, mirroring the MSHR line lock
+	// real hardware holds while a grant is in flight: replacement never
+	// victimizes a protected line, so a transaction cannot evict the
+	// block (or the directory entry) it is itself operating on. The
+	// bank/set/tag are precomputed at Protect time so victim selection
+	// can tell loop-invariantly whether a set is pinned at all — almost
+	// every allocation lands in an unpinned set and takes the unfiltered
+	// fast path.
+	hasProtected      bool
+	protBank, protSet int
+	protTag           uint64
+
+	// deLines counts resident spilled + fused lines across all banks.
+	// While it is zero — always, for the baseline, and during warmup for
+	// ZeroDEV — a block occupies at most one way and that way is a plain
+	// data line, so Probe takes a first-match scan with no kind
+	// classification.
+	deLines int
 }
 
 // New constructs an LLC with the given total capacity split over banks.
@@ -161,11 +180,20 @@ func New(capacityBytes, ways, banks int, mode Mode, repl Repl) (*LLC, error) {
 	if err != nil {
 		return nil, fmt.Errorf("llc: %w", err)
 	}
-	l := &LLC{banks: banks, mode: mode, repl: repl}
+	l := newLLC(banks, mode, repl)
 	for i := 0; i < banks; i++ {
 		l.arrs = append(l.arrs, cache.New[Payload](geo, cache.LRU))
 	}
 	return l, nil
+}
+
+func newLLC(banks int, mode Mode, repl Repl) *LLC {
+	l := &LLC{banks: banks, mode: mode, repl: repl}
+	if banks&(banks-1) == 0 {
+		l.bankPow2 = true
+		l.bankShift = uint8(bits.TrailingZeros64(uint64(banks)))
+	}
+	return l
 }
 
 // NewGeometry constructs an LLC directly from per-bank sets and ways,
@@ -179,7 +207,7 @@ func NewGeometry(setsPerBank, ways, banks int, mode Mode, repl Repl) (*LLC, erro
 	if ways <= 0 || banks <= 0 {
 		return nil, fmt.Errorf("llc: non-positive geometry")
 	}
-	l := &LLC{banks: banks, mode: mode, repl: repl}
+	l := newLLC(banks, mode, repl)
 	for i := 0; i < banks; i++ {
 		l.arrs = append(l.arrs, cache.New[Payload](cache.Geometry{Sets: setsPerBank, Ways: ways}, cache.LRU))
 	}
@@ -211,24 +239,40 @@ func (l *LLC) Ways() int { return l.arrs[0].Geometry().Ways }
 func (l *LLC) Blocks() int { return l.banks * l.arrs[0].Geometry().Blocks() }
 
 // BankOf maps a block address to its home bank.
-func (l *LLC) BankOf(addr coher.Addr) int { return int(uint64(addr) % uint64(l.banks)) }
+func (l *LLC) BankOf(addr coher.Addr) int {
+	if l.bankPow2 {
+		return int(uint64(addr) & (uint64(l.banks) - 1))
+	}
+	return int(uint64(addr) % uint64(l.banks))
+}
 
-func (l *LLC) local(addr coher.Addr) uint64 { return uint64(addr) / uint64(l.banks) }
+func (l *LLC) local(addr coher.Addr) uint64 {
+	if l.bankPow2 {
+		return uint64(addr) >> l.bankShift
+	}
+	return uint64(addr) / uint64(l.banks)
+}
 
 func (l *LLC) global(bank int, localAddr uint64) coher.Addr {
 	return coher.Addr(localAddr*uint64(l.banks) + uint64(bank))
 }
 
 // Probe locates the lines related to addr. It performs no replacement
-// updates.
+// updates. A block occupies at most two ways of its set (data line plus
+// spilled entry), so the tag scan stops at the second match.
 func (l *LLC) Probe(addr coher.Addr) View {
 	bank := l.BankOf(addr)
 	arr := l.arrs[bank]
 	local := l.local(addr)
 	set := arr.SetIndex(local)
 	v := View{Bank: bank, Set: set, DataWay: -1, DEWay: -1}
-	for w := 0; w < arr.Geometry().Ways; w++ {
-		if !arr.Valid(set, w) || arr.AddrOf(set, w) != local {
+	if l.deLines == 0 {
+		v.DataWay = arr.FindWay(set, arr.Tag(local))
+		return v
+	}
+	w0, w1 := arr.FindWays2(set, arr.Tag(local))
+	for _, w := range [2]int{w0, w1} {
+		if w < 0 {
 			continue
 		}
 		switch arr.Payload(set, w).Kind {
@@ -273,79 +317,97 @@ func (l *LLC) Touch(v View) {
 // Protect pins addr's lines against replacement until Unprotect; used
 // by the protocol engine around each transaction.
 func (l *LLC) Protect(addr coher.Addr) {
-	l.protected = addr
 	l.hasProtected = true
+	l.protBank = l.BankOf(addr)
+	arr := l.arrs[l.protBank]
+	local := l.local(addr)
+	l.protSet = arr.SetIndex(local)
+	l.protTag = arr.Tag(local)
 }
 
 // Unprotect releases the transaction pin.
 func (l *LLC) Unprotect() { l.hasProtected = false }
 
-// evictable reports whether the line at (bank, set, way) may be
-// victimized, honoring the transaction pin.
-func (l *LLC) evictable(bank, set, way int) bool {
-	if !l.hasProtected {
-		return true
-	}
-	arr := l.arrs[bank]
-	return l.global(bank, arr.AddrOf(set, way)) != l.protected
-}
+// isData filters victim selection to ordinary data lines (the dataLRU
+// first pass). Package-level so the hot path passes a plain function,
+// not a fresh closure.
+func isData(_ int, p *Payload) bool { return p.Kind == KindData }
 
-// victimWay picks a way to reuse in (bank, set) honoring the policy.
-// It returns the displaced line, if any.
-func (l *LLC) victimWay(bank, set int) (way int, ev *Evicted) {
+// victimWay picks a way to reuse in (bank, set) honoring the policy and
+// the transaction pin. evicted reports whether a line was displaced; ev
+// describes it. Returning the eviction by value keeps the per-fill path
+// free of heap allocation (this call used to account for three quarters
+// of all allocations in a run).
+func (l *LLC) victimWay(bank, set int) (way int, ev Evicted, evicted bool) {
 	arr := l.arrs[bank]
 	if w, free := arr.FreeWay(set); free {
-		return w, nil
+		return w, Evicted{}, false
 	}
 	var w int
-	var ok bool
-	switch l.repl {
-	case DataLRU:
-		w, ok = arr.VictimWhere(set, func(way int, p Payload) bool {
-			return p.Kind == KindData && l.evictable(bank, set, way)
+	ok := true
+	// The pin names exactly one (bank, set): any other set selects its
+	// victim with no eligibility filtering at all.
+	pinned := l.hasProtected && bank == l.protBank && set == l.protSet
+	switch {
+	case l.repl == DataLRU && !pinned:
+		if w, ok = arr.VictimWhere(set, isData); !ok {
+			w, ok = arr.Victim(set), true
+		}
+	case l.repl == DataLRU:
+		w, ok = arr.VictimWhere(set, func(way int, p *Payload) bool {
+			return p.Kind == KindData && arr.TagAt(set, way) != l.protTag
 		})
 		if !ok {
-			w, ok = arr.VictimWhere(set, func(way int, _ Payload) bool { return l.evictable(bank, set, way) })
+			w, ok = arr.VictimWhere(set, func(way int, _ *Payload) bool { return arr.TagAt(set, way) != l.protTag })
 		}
-	default: // LRU and SpLRU share the victim rule; SpLRU differs in Touch order.
-		w, ok = arr.VictimWhere(set, func(way int, _ Payload) bool { return l.evictable(bank, set, way) })
+	case !pinned: // LRU and SpLRU share the victim rule; SpLRU differs in Touch order.
+		w = arr.Victim(set)
+	default:
+		w, ok = arr.VictimWhere(set, func(way int, _ *Payload) bool { return arr.TagAt(set, way) != l.protTag })
 	}
 	if !ok {
 		panic("llc: no evictable way (associativity too low for line protection)")
 	}
-	p := *arr.Payload(set, w)
-	e := &Evicted{
+	p := arr.Payload(set, w)
+	ev = Evicted{
 		Addr:  l.global(bank, arr.AddrOf(set, w)),
 		Kind:  p.Kind,
 		Dirty: p.Dirty,
 		Entry: p.Entry,
 	}
-	return w, e
+	return w, ev, true
 }
 
 // InsertData allocates a data line for addr (which must not already have
-// one) and returns the displaced line, if any.
-func (l *LLC) InsertData(addr coher.Addr, dirty bool) *Evicted {
+// one). evicted reports whether ev describes a displaced line.
+func (l *LLC) InsertData(addr coher.Addr, dirty bool) (ev Evicted, evicted bool) {
 	bank := l.BankOf(addr)
 	arr := l.arrs[bank]
 	local := l.local(addr)
 	set := arr.SetIndex(local)
-	way, ev := l.victimWay(bank, set)
+	way, ev, evicted := l.victimWay(bank, set)
+	if evicted && ev.Kind != KindData {
+		l.deLines--
+	}
 	arr.Insert(set, way, local, Payload{Kind: KindData, Dirty: dirty})
-	return ev
+	return ev, evicted
 }
 
-// InsertSpilled allocates a spilled-entry line for addr and returns the
-// displaced line, if any. The caller must ensure no DE line already
-// exists for addr.
-func (l *LLC) InsertSpilled(addr coher.Addr, e coher.Entry) *Evicted {
+// InsertSpilled allocates a spilled-entry line for addr. The caller must
+// ensure no DE line already exists for addr. evicted reports whether ev
+// describes a displaced line.
+func (l *LLC) InsertSpilled(addr coher.Addr, e coher.Entry) (ev Evicted, evicted bool) {
 	bank := l.BankOf(addr)
 	arr := l.arrs[bank]
 	local := l.local(addr)
 	set := arr.SetIndex(local)
-	way, ev := l.victimWay(bank, set)
+	way, ev, evicted := l.victimWay(bank, set)
+	if evicted && ev.Kind != KindData {
+		l.deLines--
+	}
 	arr.Insert(set, way, local, Payload{Kind: KindSpilled, Entry: e})
-	return ev
+	l.deLines++
+	return ev, evicted
 }
 
 // Fuse converts the data line of v into a fused line carrying e. The
@@ -357,6 +419,7 @@ func (l *LLC) Fuse(v View, e coher.Entry) {
 	}
 	p.Kind = KindFused
 	p.Entry = e
+	l.deLines++
 	l.arrs[v.Bank].Touch(v.Set, v.DataWay)
 }
 
@@ -370,6 +433,7 @@ func (l *LLC) Unfuse(v View) {
 	}
 	p.Kind = KindData
 	p.Entry = coher.Entry{}
+	l.deLines--
 }
 
 // DropDE removes the housed directory entry of v: a spilled line is
@@ -383,6 +447,7 @@ func (l *LLC) DropDE(v View) {
 		return
 	}
 	l.arrs[v.Bank].Invalidate(v.Set, v.DEWay)
+	l.deLines--
 }
 
 // InvalidateData removes the data line of v (EPD deallocation on

@@ -29,7 +29,7 @@ func shared(cs ...coher.CoreID) coher.Entry {
 
 func TestProbeAndKinds(t *testing.T) {
 	l := tiny(LRU)
-	if ev := l.InsertData(1, false); ev != nil {
+	if _, evicted := l.InsertData(1, false); evicted {
 		t.Fatal("insert into empty set evicted")
 	}
 	v := l.Probe(1)
@@ -38,7 +38,7 @@ func TestProbeAndKinds(t *testing.T) {
 	}
 	// A spilled entry for the same address coexists in the set (two tag
 	// matches, distinguished by state, §III-C1).
-	if ev := l.InsertSpilled(1, shared(0)); ev != nil {
+	if _, evicted := l.InsertSpilled(1, shared(0)); evicted {
 		t.Fatal("unexpected eviction")
 	}
 	v = l.Probe(1)
@@ -96,8 +96,8 @@ func TestDataLRUPrefersDataVictims(t *testing.T) {
 	l.InsertData(3, false)
 	// Set full; inserting picks the LRU *data* line (addr 1), not the
 	// older spilled entry.
-	ev := l.InsertData(4, false)
-	if ev == nil || ev.Kind != KindData || ev.Addr != 1 {
+	ev, evicted := l.InsertData(4, false)
+	if !evicted || ev.Kind != KindData || ev.Addr != 1 {
 		t.Fatalf("evicted = %+v, want data block 1", ev)
 	}
 	// When only DE lines remain eligible, they are evicted as a fallback.
@@ -105,8 +105,8 @@ func TestDataLRUPrefersDataVictims(t *testing.T) {
 	for i := coher.Addr(0); i < 4; i++ {
 		l2.InsertSpilled(i, shared(1))
 	}
-	ev = l2.InsertData(9, false)
-	if ev == nil || ev.Kind != KindSpilled {
+	ev, evicted = l2.InsertData(9, false)
+	if !evicted || ev.Kind != KindSpilled {
 		t.Fatalf("fallback evicted = %+v", ev)
 	}
 }
@@ -121,20 +121,20 @@ func TestSpLRUTouchOrderProtectsSpill(t *testing.T) {
 	l.Touch(l.Probe(0))
 	// Next insertions evict block 1, then block 2, then block 0 — the
 	// spilled entry outlives its block.
-	ev := l.InsertData(3, false)
-	if ev == nil || ev.Addr != 1 || ev.Kind != KindData {
+	ev, evicted := l.InsertData(3, false)
+	if !evicted || ev.Addr != 1 || ev.Kind != KindData {
 		t.Fatalf("first eviction = %+v", ev)
 	}
-	ev = l.InsertData(4, false)
-	if ev == nil || ev.Addr != 2 {
+	ev, evicted = l.InsertData(4, false)
+	if !evicted || ev.Addr != 2 {
 		t.Fatalf("second eviction = %+v", ev)
 	}
-	ev = l.InsertData(5, false)
-	if ev == nil || ev.Addr != 0 || ev.Kind != KindData {
+	ev, evicted = l.InsertData(5, false)
+	if !evicted || ev.Addr != 0 || ev.Kind != KindData {
 		t.Fatalf("third eviction = %+v (block must leave before its spill)", ev)
 	}
-	ev = l.InsertData(6, false)
-	if ev == nil || ev.Kind != KindSpilled || ev.Addr != 0 {
+	ev, evicted = l.InsertData(6, false)
+	if !evicted || ev.Kind != KindSpilled || ev.Addr != 0 {
 		t.Fatalf("fourth eviction = %+v (now the spill)", ev)
 	}
 }
@@ -146,13 +146,13 @@ func TestProtection(t *testing.T) {
 	l.InsertData(2, false)
 	l.InsertData(3, false)
 	l.Protect(0)
-	ev := l.InsertData(4, false)
-	if ev == nil || ev.Addr == 0 {
+	ev, evicted := l.InsertData(4, false)
+	if !evicted || ev.Addr == 0 {
 		t.Fatalf("protected line evicted: %+v", ev)
 	}
 	l.Unprotect()
-	ev = l.InsertData(5, false)
-	if ev == nil || ev.Addr != 0 {
+	ev, evicted = l.InsertData(5, false)
+	if !evicted || ev.Addr != 0 {
 		t.Fatalf("after unprotect, block 0 should go: %+v", ev)
 	}
 }
@@ -178,5 +178,59 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := NewGeometry(3, 4, 1, NonInclusive, LRU); err == nil {
 		t.Fatal("non-power-of-two sets accepted")
+	}
+}
+
+// checkDELines asserts the deLines fast-path counter agrees with an
+// exhaustive kind census. Probe's single-way fast path is only correct
+// while the counter is exact, so any drift is a correctness bug, not a
+// performance one.
+func checkDELines(t *testing.T, l *LLC) {
+	t.Helper()
+	_, s, f := l.CountKinds()
+	if l.deLines != s+f {
+		t.Fatalf("deLines = %d, want %d (spilled %d + fused %d)", l.deLines, s+f, s, f)
+	}
+}
+
+func TestDELinesCounterTracksKindCensus(t *testing.T) {
+	l := tiny(LRU)
+	checkDELines(t, l)
+
+	l.InsertData(1, false)
+	checkDELines(t, l)
+	l.InsertSpilled(1, shared(0))
+	checkDELines(t, l)
+
+	// Fuse a second block, unfuse it again.
+	l.InsertData(2, true)
+	v := l.Probe(2)
+	l.Fuse(v, owned(3))
+	checkDELines(t, l)
+	l.Unfuse(l.Probe(2))
+	checkDELines(t, l)
+
+	// Drop the spilled entry.
+	l.DropDE(l.Probe(1))
+	checkDELines(t, l)
+
+	// Refill the set with spills, then force evictions of DE lines by
+	// data allocations (the set has 4 ways).
+	l.InsertSpilled(5, shared(1))
+	l.InsertSpilled(9, shared(2))
+	l.InsertSpilled(13, owned(1))
+	checkDELines(t, l)
+	for a := coher.Addr(17); a < 33; a += 4 {
+		l.InsertData(a, false)
+		checkDELines(t, l)
+	}
+
+	// Drop via a fused line's DropDE path.
+	v = l.Probe(29)
+	if v.HasData() {
+		l.Fuse(v, owned(2))
+		checkDELines(t, l)
+		l.DropDE(l.Probe(29))
+		checkDELines(t, l)
 	}
 }

@@ -85,3 +85,64 @@ func (r *RNG) Zipf(n int, s float64) int {
 	}
 	return i
 }
+
+// ZipfGen is RNG.Zipf with the loop-invariant transcendentals hoisted
+// out: for a fixed (n, s), math.Log(n) and math.Pow(n, 1-s) never
+// change, yet computing them dominated every draw. Draw consumes the
+// same single uniform from the RNG and evaluates the identical
+// floating-point expression RNG.Zipf evaluates (same operations on the
+// same rounded intermediates), so for any generator state Draw and Zipf
+// return the same index and leave the stream in the same state —
+// workload synthesis stays bit-identical (TestZipfGenMatchesZipf).
+type ZipfGen struct {
+	n    int
+	s    float64
+	logN float64 // s == 1: ln n
+	powT float64 // s != 1: n^(1-s) - 1
+	invP float64 // s != 1: 1/(1-s)
+}
+
+// NewZipfGen precomputes a sampler equivalent to Zipf(n, s).
+func NewZipfGen(n int, s float64) ZipfGen {
+	z := ZipfGen{n: n, s: s}
+	if n <= 1 || s <= 0 {
+		return z
+	}
+	if s == 1 {
+		z.logN = math.Log(float64(n))
+		return z
+	}
+	p := 1 - s
+	z.powT = math.Pow(float64(n), p) - 1
+	z.invP = 1 / p
+	return z
+}
+
+// Draw returns the next Zipf index, advancing r exactly as Zipf(n, s)
+// would.
+func (z *ZipfGen) Draw(r *RNG) int {
+	if z.n <= 1 {
+		return 0
+	}
+	if z.s <= 0 {
+		return r.Intn(z.n)
+	}
+	u := r.Float64()
+	if z.s == 1 {
+		x := math.Exp(u*z.logN) - 1
+		i := int(x)
+		if i >= z.n {
+			i = z.n - 1
+		}
+		return i
+	}
+	x := math.Pow(u*z.powT+1, z.invP) - 1
+	i := int(x)
+	if i < 0 {
+		i = 0
+	}
+	if i >= z.n {
+		i = z.n - 1
+	}
+	return i
+}

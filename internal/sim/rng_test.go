@@ -1,0 +1,28 @@
+package sim
+
+import "testing"
+
+// TestZipfGenMatchesZipf pins the contract ZipfGen's doc comment makes:
+// for any generator state, Draw returns the same index as Zipf(n, s)
+// and leaves the RNG stream in the same state. Goldens across the repo
+// depend on this bit-for-bit, so the comparison is exact equality over
+// a range of skews (including the s == 1 special case and the s <= 0
+// uniform degenerate) and sizes.
+func TestZipfGenMatchesZipf(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 4096, 1 << 20} {
+		for _, s := range []float64{-1, 0, 0.5, 0.99, 1, 1.2, 2.5} {
+			gen := NewZipfGen(n, s)
+			ra, rb := NewRNG(0xfeed), NewRNG(0xfeed)
+			for i := 0; i < 2000; i++ {
+				want := ra.Zipf(n, s)
+				got := gen.Draw(rb)
+				if got != want {
+					t.Fatalf("n=%d s=%v draw %d: Draw=%d Zipf=%d", n, s, i, got, want)
+				}
+			}
+			if ra.Uint64() != rb.Uint64() {
+				t.Fatalf("n=%d s=%v: streams diverged after 2000 draws", n, s)
+			}
+		}
+	}
+}

@@ -99,7 +99,7 @@ func (sys *System) fillDirCache(t sim.Cycle, addr coher.Addr, e coher.SocketEntr
 	set := sys.dirCache.SetIndex(uint64(addr))
 	way, free := sys.dirCache.FreeWay(set)
 	if !free {
-		w, ok := sys.dirCache.VictimWhere(set, func(_ int, p coher.SocketEntry) bool {
+		w, ok := sys.dirCache.VictimWhere(set, func(_ int, p *coher.SocketEntry) bool {
 			return p.State == coher.SockOwned
 		})
 		if !ok {

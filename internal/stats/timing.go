@@ -21,9 +21,16 @@ type RunTiming struct {
 
 // Parallelism is the realized speedup over the jobs' summed simulation
 // time (1.0 on the serial path, approaching Workers under full load).
+// Quick-scale runs on fast machines can finish below the clock's
+// resolution, leaving Wall (or both durations) zero; rather than report
+// a bogus 0.0x, such runs claim full utilization of their workers — the
+// only thing a sub-resolution wall can support.
 func (t RunTiming) Parallelism() float64 {
 	if t.Wall <= 0 {
-		return 0
+		if t.Sim <= 0 {
+			return 1
+		}
+		return float64(max(1, t.Workers))
 	}
 	return float64(t.Sim) / float64(t.Wall)
 }

@@ -1,0 +1,40 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParallelismBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		t    RunTiming
+		want float64
+	}{
+		{"serial", RunTiming{Workers: 1, Wall: 2 * time.Second, Sim: 2 * time.Second}, 1},
+		{"parallel", RunTiming{Workers: 8, Wall: time.Second, Sim: 6 * time.Second}, 6},
+		// Sub-resolution walls: a Quick run can finish before the clock
+		// ticks. 0.0x would be a lie; claim full worker utilization.
+		{"zero wall with sim time", RunTiming{Workers: 4, Wall: 0, Sim: time.Millisecond}, 4},
+		{"zero wall zero workers", RunTiming{Workers: 0, Wall: 0, Sim: time.Millisecond}, 1},
+		{"negative wall", RunTiming{Workers: 2, Wall: -time.Nanosecond, Sim: time.Millisecond}, 2},
+		{"all zero", RunTiming{Workers: 8, Wall: 0, Sim: 0}, 1},
+	}
+	for _, c := range cases {
+		if got := c.t.Parallelism(); got != c.want {
+			t.Errorf("%s: Parallelism() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFprintNeverPrintsZeroX(t *testing.T) {
+	var b strings.Builder
+	RunTiming{Experiment: "fig2", Workers: 4, Jobs: 3, Sim: time.Microsecond}.Fprint(&b)
+	if strings.Contains(b.String(), " 0.0x") {
+		t.Fatalf("sub-resolution wall printed 0.0x: %q", b.String())
+	}
+	if !strings.Contains(b.String(), "fig2") {
+		t.Fatalf("summary line malformed: %q", b.String())
+	}
+}

@@ -99,7 +99,15 @@ type gen struct {
 	codeRot, sharedRot, privRot int
 	migSet                      int // migratory hot-set size
 	seqPtr                      int // streaming walk pointer
-	queued                      *cpu.Access
+
+	// Zipf samplers for the four fixed (n, skew) pairs this thread draws
+	// from; precomputing them hoists the per-draw transcendentals out of
+	// the access loop without changing the streams (sim.ZipfGen is
+	// bit-identical to sim.RNG.Zipf).
+	zCode, zShared, zMig, zPriv sim.ZipfGen
+
+	queued    cpu.Access
+	hasQueued bool
 }
 
 // newGen builds the generator for thread `thread` of process `proc`.
@@ -129,15 +137,18 @@ func newGen(p Profile, proc, thread, accesses, scale int, rng *sim.RNG) *gen {
 	if g.migSet > g.sharedN {
 		g.migSet = g.sharedN
 	}
+	g.zCode = sim.NewZipfGen(g.codeN, p.CodeSkew)
+	g.zShared = sim.NewZipfGen(g.sharedN, p.SharedSkew)
+	g.zMig = sim.NewZipfGen(g.migSet, 0.5)
+	g.zPriv = sim.NewZipfGen(g.privN, p.PrivateSkew)
 	return g
 }
 
 // Next implements cpu.Stream.
 func (g *gen) Next() (cpu.Access, bool) {
-	if g.queued != nil {
-		a := *g.queued
-		g.queued = nil
-		return a, true
+	if g.hasQueued {
+		g.hasQueued = false
+		return g.queued, true
 	}
 	if g.left <= 0 {
 		return cpu.Access{}, false
@@ -148,15 +159,16 @@ func (g *gen) Next() (cpu.Access, bool) {
 	switch {
 	case g.rng.Bool(g.p.IfetchFrac):
 		a.Kind = cpu.Ifetch
-		a.Addr = g.codeB + g.rot(g.rng.Zipf(g.codeN, g.p.CodeSkew), g.codeRot, g.codeN)
+		a.Addr = g.codeB + g.rot(g.zCode.Draw(g.rng), g.codeRot, g.codeN)
 	case g.rng.Bool(g.p.SharedFrac):
-		a.Addr = g.sharedB + g.rot(g.rng.Zipf(g.sharedN, g.p.SharedSkew), g.sharedRot, g.sharedN)
+		a.Addr = g.sharedB + g.rot(g.zShared.Draw(g.rng), g.sharedRot, g.sharedN)
 		if g.rng.Bool(g.p.Migratory) {
 			// Migratory read-modify-write on a hot block: queue the store
 			// so ownership bounces between the threads touching it.
-			a.Addr = g.sharedB + g.rot(g.rng.Zipf(g.migSet, 0.5), g.sharedRot, g.sharedN)
+			a.Addr = g.sharedB + g.rot(g.zMig.Draw(g.rng), g.sharedRot, g.sharedN)
 			a.Kind = cpu.Load
-			g.queued = &cpu.Access{Gap: uint32(g.rng.Intn(g.p.GapMean + 1)), Kind: cpu.Store, Addr: a.Addr}
+			g.queued = cpu.Access{Gap: uint32(g.rng.Intn(g.p.GapMean + 1)), Kind: cpu.Store, Addr: a.Addr}
+			g.hasQueued = true
 		} else if g.rng.Bool(g.p.SharedWriteFrac) {
 			a.Kind = cpu.Store
 		} else {
@@ -167,7 +179,7 @@ func (g *gen) Next() (cpu.Access, bool) {
 			a.Addr = g.privB + g.rot(g.seqPtr, g.privRot, g.privN)
 			g.seqPtr = (g.seqPtr + 1) % g.privN
 		} else {
-			a.Addr = g.privB + g.rot(g.rng.Zipf(g.privN, g.p.PrivateSkew), g.privRot, g.privN)
+			a.Addr = g.privB + g.rot(g.zPriv.Draw(g.rng), g.privRot, g.privN)
 		}
 		if g.rng.Bool(g.p.WriteFrac) {
 			a.Kind = cpu.Store
