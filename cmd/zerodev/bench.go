@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,19 +20,32 @@ import (
 
 // BenchFileVersion tags the BENCH_*.json schema; bump it when fields
 // change meaning. The conventional output name is BENCH_<v>.json.
-const BenchFileVersion = 5
+const BenchFileVersion = 6
+
+// Named comparison failures, so callers (and the regression-gate table
+// test) can distinguish an unusable baseline from a real regression.
+var (
+	// ErrBaselineMissing: the -compare baseline file cannot be read.
+	ErrBaselineMissing = errors.New("bench: baseline file missing")
+	// ErrBaselineVersion: the baseline's schema version differs from
+	// BenchFileVersion, so its entries are not comparable.
+	ErrBaselineVersion = errors.New("bench: baseline schema version mismatch")
+)
 
 // benchEntry is one measured benchmark: an experiment at a worker
 // count. NsPerOp/AllocsPerOp/BytesPerOp are from the fastest of the
 // -count runs (minimum is the stable statistic on a noisy machine; the
 // raw samples are kept so any other statistic can be recomputed).
 type benchEntry struct {
-	Experiment  string  `json:"experiment"`
-	Workers     int     `json:"workers"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	SamplesNs   []int64 `json:"samples_ns"`
+	Experiment string `json:"experiment"`
+	Workers    int    `json:"workers"`
+	// DomainWorkers is the intra-run epoch-scheduler worker count
+	// (harness.Options.DomainWorkers); omitted for serial stepping.
+	DomainWorkers int     `json:"domain_workers,omitempty"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	SamplesNs     []int64 `json:"samples_ns"`
 	// Parallelism is the realized speedup (summed sim time over wall
 	// time) of the last run; present only for Workers > 1.
 	Parallelism float64 `json:"parallelism,omitempty"`
@@ -51,6 +65,13 @@ type benchPreChange struct {
 	Fig18MedianNs    int64   `json:"fig18_median_ns"`
 	Fig18AllocsPerOp int64   `json:"fig18_allocs_per_op"`
 	Fig18BytesPerOp  int64   `json:"fig18_bytes_per_op"`
+	// Multisocket receipts for the domain-scheduler PR: the serial
+	// multisocket experiment measured on the commit before the epoch
+	// scheduler landed, same machine and settings.
+	MultisocketSamplesNs   []int64 `json:"multisocket_samples_ns,omitempty"`
+	MultisocketMedianNs    int64   `json:"multisocket_median_ns,omitempty"`
+	MultisocketAllocsPerOp int64   `json:"multisocket_allocs_per_op,omitempty"`
+	MultisocketBytesPerOp  int64   `json:"multisocket_bytes_per_op,omitempty"`
 }
 
 type benchConfig struct {
@@ -69,6 +90,7 @@ type benchFile struct {
 	// Fig18ImprovementX = pre_change.fig18_median_ns / the serial Fig18
 	// ns_per_op of this file, when both are present.
 	Fig18ImprovementX float64      `json:"fig18_improvement_vs_pre_change,omitempty"`
+	Notes             []string     `json:"notes,omitempty"`
 	Results           []benchEntry `json:"results"`
 }
 
@@ -89,6 +111,10 @@ func benchCmd(ctx context.Context, args []string) int {
 	parIDs := fs.String("parallel", "fig18",
 		"comma-separated experiments to additionally benchmark on the parallel engine (\"\" disables)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker count for the -parallel runs")
+	domIDs := fs.String("domain", "fig18,multisocket",
+		"comma-separated experiments to additionally benchmark under the epoch-barrier domain scheduler (\"\" disables)")
+	domWorkers := fs.String("domain-workers", "2,4",
+		"comma-separated intra-run domain-worker counts for the -domain runs (\"\" disables)")
 	count := fs.Int("count", 3, "runs per benchmark; ns/op is the fastest run")
 	out := fs.String("o", fmt.Sprintf("BENCH_%d.json", BenchFileVersion),
 		"output file; an existing file's pre_change block is carried forward")
@@ -125,6 +151,16 @@ func benchCmd(ctx context.Context, args []string) int {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		return 2
 	}
+	domain, err := benchIDs(*domIDs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 2
+	}
+	dwCounts, err := parseWorkerList(*domWorkers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 2
+	}
 
 	bf := benchFile{
 		Version:    BenchFileVersion,
@@ -138,21 +174,13 @@ func benchCmd(ctx context.Context, args []string) int {
 			fmt.Fprintln(os.Stderr, "bench: interrupted")
 			return harness.ExitInterrupted
 		}
-		ent, err := measure(ctx, id, o, 1)
+		ent, err := measureBest(ctx, id, o, 1, 1, *count)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			return 1
 		}
-		for i := 1; i < *count; i++ {
-			more, err := measure(ctx, id, o, 1)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "bench:", err)
-				return 1
-			}
-			ent = fastest(ent, more)
-		}
 		bf.Results = append(bf.Results, ent)
-		fmt.Printf("%-14s workers=1  %12d ns/op  %9d B/op  %7d allocs/op\n",
+		fmt.Printf("%-14s workers=1        %12d ns/op  %9d B/op  %7d allocs/op\n",
 			id, ent.NsPerOp, ent.BytesPerOp, ent.AllocsPerOp)
 	}
 	for _, id := range parallel {
@@ -160,25 +188,37 @@ func benchCmd(ctx context.Context, args []string) int {
 			fmt.Fprintln(os.Stderr, "bench: interrupted")
 			return harness.ExitInterrupted
 		}
-		ent, err := measure(ctx, id, o, *workers)
+		ent, err := measureBest(ctx, id, o, *workers, 1, *count)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			return 1
 		}
-		for i := 1; i < *count; i++ {
-			more, err := measure(ctx, id, o, *workers)
+		bf.Results = append(bf.Results, ent)
+		fmt.Printf("%-14s workers=%-2d       %12d ns/op  %9d B/op  %7d allocs/op  %.1fx realized\n",
+			id, ent.Workers, ent.NsPerOp, ent.BytesPerOp, ent.AllocsPerOp, ent.Parallelism)
+	}
+	for _, dw := range dwCounts {
+		for _, id := range domain {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "bench: interrupted")
+				return harness.ExitInterrupted
+			}
+			ent, err := measureBest(ctx, id, o, 1, dw, *count)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bench:", err)
 				return 1
 			}
-			ent = fastest(ent, more)
+			bf.Results = append(bf.Results, ent)
+			fmt.Printf("%-14s domain-workers=%-2d %10d ns/op  %9d B/op  %7d allocs/op\n",
+				id, dw, ent.NsPerOp, ent.BytesPerOp, ent.AllocsPerOp)
 		}
-		bf.Results = append(bf.Results, ent)
-		fmt.Printf("%-14s workers=%-2d %12d ns/op  %9d B/op  %7d allocs/op  %.1fx realized\n",
-			id, ent.Workers, ent.NsPerOp, ent.BytesPerOp, ent.AllocsPerOp, ent.Parallelism)
+	}
+	if len(domain) > 0 && len(dwCounts) > 0 && runtime.GOMAXPROCS(0) == 1 {
+		bf.Notes = append(bf.Notes,
+			"domain-worker entries were measured with GOMAXPROCS=1: they show the epoch scheduler's bookkeeping overhead, not a wall-clock speedup; byte-identical output is enforced by the harness serial-equivalence suite")
 	}
 
-	if e := bf.find("fig18", 1); e != nil && bf.PreChange != nil && e.NsPerOp > 0 {
+	if e := bf.find("fig18", 1, 0); e != nil && bf.PreChange != nil && e.NsPerOp > 0 {
 		bf.Fig18ImprovementX = float64(bf.PreChange.Fig18MedianNs) / float64(e.NsPerOp)
 		fmt.Printf("fig18 serial vs pre-change median: %.2fx\n", bf.Fig18ImprovementX)
 	}
@@ -229,16 +269,56 @@ func benchIDs(s string) ([]string, error) {
 	return ids, nil
 }
 
+// parseWorkerList expands a comma-separated list of worker counts;
+// "" is empty.
+func parseWorkerList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// measureBest measures one experiment count times and keeps the
+// fastest run (accumulating raw samples).
+func measureBest(ctx context.Context, id string, o harness.Options, workers, dw, count int) (benchEntry, error) {
+	ent, err := measure(ctx, id, o, workers, dw)
+	if err != nil {
+		return benchEntry{}, err
+	}
+	for i := 1; i < count; i++ {
+		more, err := measure(ctx, id, o, workers, dw)
+		if err != nil {
+			return benchEntry{}, err
+		}
+		ent = fastest(ent, more)
+	}
+	return ent, nil
+}
+
 // measure runs one experiment under testing.Benchmark. workers == 1
 // measures the serial path (the one the determinism goldens pin);
 // workers > 1 measures the parallel engine and reports its realized
-// parallelism.
-func measure(ctx context.Context, id string, o harness.Options, workers int) (benchEntry, error) {
+// parallelism. dw > 1 additionally steps each run under the
+// epoch-barrier domain scheduler (harness.Options.DomainWorkers) —
+// output stays byte-identical, only the stepping schedule changes.
+func measure(ctx context.Context, id string, o harness.Options, workers, dw int) (benchEntry, error) {
 	e, err := harness.Get(id)
 	if err != nil {
 		return benchEntry{}, err
 	}
 	o.Workers = workers
+	o.DomainWorkers = dw
+	if dw <= 1 {
+		dw = 0 // serial stepping; keep the JSON field omitted
+	}
 	var par float64
 	var runErr error
 	r := testing.Benchmark(func(b *testing.B) {
@@ -260,13 +340,14 @@ func measure(ctx context.Context, id string, o harness.Options, workers int) (be
 		return benchEntry{}, fmt.Errorf("%s: %w", id, runErr)
 	}
 	return benchEntry{
-		Experiment:  id,
-		Workers:     workers,
-		NsPerOp:     r.NsPerOp(),
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		SamplesNs:   []int64{r.NsPerOp()},
-		Parallelism: par,
+		Experiment:    id,
+		Workers:       workers,
+		DomainWorkers: dw,
+		NsPerOp:       r.NsPerOp(),
+		AllocsPerOp:   r.AllocsPerOp(),
+		BytesPerOp:    r.AllocedBytesPerOp(),
+		SamplesNs:     []int64{r.NsPerOp()},
+		Parallelism:   par,
 	}, nil
 }
 
@@ -283,10 +364,11 @@ func fastest(a, b benchEntry) benchEntry {
 	return a
 }
 
-func (f *benchFile) find(id string, workers int) *benchEntry {
+func (f *benchFile) find(id string, workers, dw int) *benchEntry {
 	for i := range f.Results {
-		if f.Results[i].Experiment == id && f.Results[i].Workers == workers {
-			return &f.Results[i]
+		e := &f.Results[i]
+		if e.Experiment == id && e.Workers == workers && e.DomainWorkers == dw {
+			return e
 		}
 	}
 	return nil
@@ -313,24 +395,35 @@ func loadPreChange(path string) *benchPreChange {
 // compareBench gates the serial Fig18 measurement against a baseline
 // file: a regression beyond maxRegress fails the run. Only Fig18 gates
 // — it is the 128-core serial stress benchmark the overhaul targets —
-// but every common entry is reported.
+// but every common entry is reported. A missing baseline fails with
+// ErrBaselineMissing and a schema-version mismatch with
+// ErrBaselineVersion, so CI distinguishes a broken gate setup from a
+// real performance regression.
 func compareBench(cur benchFile, baselinePath string, maxRegress float64) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %s: %v", ErrBaselineMissing, baselinePath, err)
 	}
 	var base benchFile
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("%s: %w", baselinePath, err)
 	}
+	if base.Version != cur.Version {
+		return fmt.Errorf("%w: baseline %s is version %d, this build writes version %d",
+			ErrBaselineVersion, baselinePath, base.Version, cur.Version)
+	}
 	for _, b := range base.Results {
-		if c := cur.find(b.Experiment, b.Workers); c != nil && b.NsPerOp > 0 {
-			fmt.Printf("vs baseline: %-14s workers=%-2d %+.1f%%\n", b.Experiment, b.Workers,
+		if c := cur.find(b.Experiment, b.Workers, b.DomainWorkers); c != nil && b.NsPerOp > 0 {
+			label := fmt.Sprintf("workers=%d", b.Workers)
+			if b.DomainWorkers > 0 {
+				label += fmt.Sprintf(" domain-workers=%d", b.DomainWorkers)
+			}
+			fmt.Printf("vs baseline: %-14s %-24s %+.1f%%\n", b.Experiment, label,
 				100*(float64(c.NsPerOp)/float64(b.NsPerOp)-1))
 		}
 	}
-	b := base.find("fig18", 1)
-	c := cur.find("fig18", 1)
+	b := base.find("fig18", 1, 0)
+	c := cur.find("fig18", 1, 0)
 	if b == nil || c == nil {
 		return fmt.Errorf("comparison needs a serial fig18 entry in both files")
 	}

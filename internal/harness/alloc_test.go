@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/llc"
+	"repro/internal/workload"
+)
+
+// allocsForAccesses measures total heap allocations for building and
+// running a small system with the given per-core stream length under
+// the given domain-worker count.
+func allocsForAccesses(t *testing.T, accesses, dw int) float64 {
+	t.Helper()
+	const scale = 32
+	pre := config.TableI(scale)
+	spec := pre.ZeroDEV(0, core.FPSS, llc.DataLRU, llc.NonInclusive)
+	prof := workload.MustGet("canneal")
+	return testing.AllocsPerRun(3, func() {
+		sys := core.NewSystem(spec, workload.Threads(prof, spec.Cores, accesses, scale, 1))
+		if _, err := sys.RunCtxDomains(context.Background(), nil, dw); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestStepPathAllocationFloor is the allocation-regression guard for
+// the per-step path: the marginal allocation cost of extra accesses —
+// the difference between a 2N-access run and an N-access run, which
+// cancels out all construction-time allocation — must stay near zero
+// per access, for both the serial scheduler and the epoch-barrier
+// domain scheduler. PR 5 drove the steady-state step path to
+// effectively allocation-free (the ~53k allocs/op fig18 floor is
+// construction); a change that allocates per step shows up here as
+// roughly cores × extra-accesses allocations and fails loudly.
+func TestStepPathAllocationFloor(t *testing.T) {
+	const n = 4000
+	for _, tc := range []struct {
+		name string
+		dw   int
+	}{{"serial", 1}, {"domain-workers=4", 4}} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := allocsForAccesses(t, n, tc.dw)
+			double := allocsForAccesses(t, 2*n, tc.dw)
+			marginal := (double - base) / float64(n*8) // 8 cores
+			t.Logf("allocs: %d accesses %.0f, %d accesses %.0f, marginal/access %.4f",
+				n, base, 2*n, double, marginal)
+			// Threshold: well below one allocation per access, with
+			// headroom for amortized buffer growth (peek/gapCum, exchange
+			// heap, DRAM/LLC bookkeeping) and measurement noise.
+			if marginal > 0.25 {
+				t.Fatalf("per-step path allocates %.4f allocations/access (marginal over %d extra accesses x 8 cores); the step path must stay effectively allocation-free",
+					marginal, n)
+			}
+		})
+	}
+}

@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/llc"
+	"repro/internal/socket"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// This file is the serial-equivalence suite for the epoch-barrier
+// domain scheduler: every configuration is run to completion under the
+// serial scheduler (domain-workers 1) and under the domain scheduler at
+// higher worker counts, and both the full stats dump and the
+// protocol-state fingerprint (core/socket AppendState) must be
+// byte-identical. TestDriveDomainsMatchesDrive (internal/sim) proves
+// the scheduler abstractly; this suite proves the real agents'
+// LocalBound implementations never let a misclassified step into a
+// parallel epoch. Run it under -race (CI does) and it is also the
+// data-race proof for the production parallel path.
+
+// equivRun executes one configuration at the given socket count,
+// DE policy, workload seed, and domain-worker count, returning the full
+// stats dump and the final protocol-state fingerprint.
+func equivRun(t *testing.T, sockets int, pol core.DEPolicy, seed uint64, dw int) (string, []byte) {
+	t.Helper()
+	const scale, accesses = 32, 2500
+	pre := config.TableI(scale)
+	spec := pre.ZeroDEV(0, pol, llc.DataLRU, llc.NonInclusive)
+	prof := workload.MustGet("canneal")
+	if sockets == 1 {
+		sys := core.NewSystem(spec, workload.Threads(prof, spec.Cores, accesses, scale, seed))
+		cycles, err := sys.RunCtxDomains(context.Background(), nil, dw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dump := fmt.Sprintf("%+v\ncores=%+v", stats.Collect("equiv", sys, cycles), sys.CoreStats())
+		return dump, sys.AppendState(nil)
+	}
+	streams := workload.Threads(prof, sockets*spec.Cores, accesses, scale, seed)
+	sys, err := socket.New(socket.DefaultParams(sockets, 512), spec, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := sys.RunCtxDomains(context.Background(), nil, dw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := fmt.Sprintf("cycles=%d\nsocket=%+v\n", cycles, sys.Stats())
+	for s, sock := range sys.Sockets {
+		dump += fmt.Sprintf("s%d=%+v\n", s, sock.Engine.Stats())
+		for c, cc := range sock.Cores {
+			dump += fmt.Sprintf("s%dc%d=%+v\n", s, c, cc.Stats())
+		}
+	}
+	return dump, sys.AppendState(nil)
+}
+
+// TestSerialEquivalence sweeps seeds × DE policies × socket counts ×
+// domain-worker counts and requires byte-identical stats and state
+// fingerprints against the serial run of the same configuration.
+func TestSerialEquivalence(t *testing.T) {
+	seeds := []uint64{1, 9, 1234}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	policies := []struct {
+		name string
+		pol  core.DEPolicy
+	}{{"SpillAll", core.SpillAll}, {"FPSS", core.FPSS}, {"FuseAll", core.FuseAll}}
+	for _, sockets := range []int{1, 2, 4} {
+		for _, p := range policies {
+			for _, seed := range seeds {
+				name := fmt.Sprintf("sockets=%d/%s/seed=%d", sockets, p.name, seed)
+				t.Run(name, func(t *testing.T) {
+					wantDump, wantFP := equivRun(t, sockets, p.pol, seed, 1)
+					workerCounts := []int{2, 4}
+					if sockets > 4 {
+						workerCounts = append(workerCounts, sockets)
+					}
+					for _, dw := range workerCounts {
+						gotDump, gotFP := equivRun(t, sockets, p.pol, seed, dw)
+						if gotDump != wantDump {
+							t.Fatalf("domain-workers %d: stats diverge from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+								dw, wantDump, gotDump)
+						}
+						if !bytes.Equal(gotFP, wantFP) {
+							t.Fatalf("domain-workers %d: state fingerprint diverges from serial (serial %d bytes, parallel %d bytes)",
+								dw, len(wantFP), len(gotFP))
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDomainWorkersFigureOutput extends the figure-level determinism
+// test across the intra-run axis: representative experiments must print
+// byte-identical output with domain workers enabled, composing with the
+// cross-cell pool (Workers) the existing test covers.
+func TestDomainWorkersFigureOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow; TestSerialEquivalence covers the scheduler in short mode")
+	}
+	o := tinyOptions()
+	for _, id := range []string{"fig2", "fig5", "fig6", "fig18", "multisocket"} {
+		t.Run(id, func(t *testing.T) {
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial := o
+			serial.Workers, serial.DomainWorkers = 1, 1
+			var want bytes.Buffer
+			if _, err := e.Execute(context.Background(), serial, &want); err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			for _, dw := range []int{2, 4} {
+				par := o
+				par.Workers, par.DomainWorkers = 2, dw
+				var got bytes.Buffer
+				if _, err := e.Execute(context.Background(), par, &got); err != nil {
+					t.Fatalf("domain-workers %d: %v", dw, err)
+				}
+				if !bytes.Equal(got.Bytes(), want.Bytes()) {
+					t.Errorf("domain-workers %d output differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+						dw, want.String(), got.String())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,103 @@
+package noc
+
+// This file implements the cross-domain message queue the epoch-barrier
+// domain scheduler (sim.DriveDomains) drains between epochs. Frontier
+// announcements from per-socket domains arrive in whatever order the
+// domains produce them; CrossQueue re-establishes the canonical global
+// order — (cycle, source socket, per-source sequence) — so the next
+// domain to serialize is a pure function of the announcements made, not
+// of goroutine timing. Sources announce with monotonically
+// non-decreasing cycles, so the per-source sequence number both
+// preserves each source's announcement order and makes the total order
+// strict even when a source re-announces the same cycle.
+
+import "repro/internal/sim"
+
+type xqEntry struct {
+	cycle  sim.Cycle
+	source int
+	seq    uint64
+}
+
+// CrossQueue is a binary min-heap of frontier announcements keyed by
+// (cycle, source, sequence). It implements sim.Exchange. The zero value
+// is ready to use; it is not safe for concurrent use (the domain
+// scheduler announces and drains only between epochs, on the
+// coordinating goroutine).
+type CrossQueue struct {
+	heap []xqEntry
+	seq  []uint64 // next per-source sequence number
+}
+
+// NewCrossQueue returns a queue sized for the given source count.
+func NewCrossQueue(sources int) *CrossQueue {
+	return &CrossQueue{
+		heap: make([]xqEntry, 0, sources),
+		seq:  make([]uint64, sources),
+	}
+}
+
+func (q *CrossQueue) less(i, j int) bool {
+	a, b := &q.heap[i], &q.heap[j]
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
+	}
+	if a.source != b.source {
+		return a.source < b.source
+	}
+	return a.seq < b.seq
+}
+
+// Announce implements sim.Exchange: enqueue source's frontier cycle,
+// assigning the next per-source sequence number.
+func (q *CrossQueue) Announce(cycle sim.Cycle, source int) {
+	for source >= len(q.seq) {
+		q.seq = append(q.seq, 0)
+	}
+	e := xqEntry{cycle: cycle, source: source, seq: q.seq[source]}
+	q.seq[source]++
+	q.heap = append(q.heap, e)
+	// Sift up.
+	i := len(q.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+// Next implements sim.Exchange: remove and return the canonically least
+// announcement.
+func (q *CrossQueue) Next() (sim.Cycle, int, bool) {
+	if len(q.heap) == 0 {
+		return 0, 0, false
+	}
+	top := q.heap[0]
+	n := len(q.heap) - 1
+	q.heap[0] = q.heap[n]
+	q.heap = q.heap[:n]
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			break
+		}
+		q.heap[i], q.heap[min] = q.heap[min], q.heap[i]
+		i = min
+	}
+	return top.cycle, top.source, true
+}
+
+// Len returns the number of queued announcements.
+func (q *CrossQueue) Len() int { return len(q.heap) }

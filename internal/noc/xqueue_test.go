@@ -1,0 +1,219 @@
+package noc_test
+
+import (
+	"context"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/llc"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/socket"
+	"repro/internal/workload"
+)
+
+// refEntry mirrors CrossQueue's key; the reference model below is the
+// executable definition of the canonical drain order.
+type refEntry struct {
+	cycle  sim.Cycle
+	source int
+	seq    uint64
+}
+
+// refExchange is the brute-force reference: announcements in a flat
+// slice, Next scans for the (cycle, source, seq) minimum.
+type refExchange struct {
+	entries []refEntry
+	next    map[int]uint64
+}
+
+func (r *refExchange) Announce(cycle sim.Cycle, source int) {
+	if r.next == nil {
+		r.next = make(map[int]uint64)
+	}
+	r.entries = append(r.entries, refEntry{cycle, source, r.next[source]})
+	r.next[source]++
+}
+
+func (r *refExchange) Next() (sim.Cycle, int, bool) {
+	if len(r.entries) == 0 {
+		return 0, 0, false
+	}
+	min := 0
+	for i := 1; i < len(r.entries); i++ {
+		a, b := r.entries[i], r.entries[min]
+		if a.cycle < b.cycle || (a.cycle == b.cycle && (a.source < b.source ||
+			(a.source == b.source && a.seq < b.seq))) {
+			min = i
+		}
+	}
+	e := r.entries[min]
+	r.entries = append(r.entries[:min], r.entries[min+1:]...)
+	return e.cycle, e.source, true
+}
+
+// The fuzz op encoding: 5-byte records. First byte 0xFF = drain one
+// announcement; anything else selects the source (mod 8) of an
+// announce, with the following 4 bytes the little-endian cycle.
+// Per-source cycles are clamped monotone non-decreasing, matching the
+// contract domains observe (frontier clocks only move forward).
+const opDrain = 0xFF
+
+func appendAnnounceOp(buf []byte, cycle sim.Cycle, source int) []byte {
+	buf = append(buf, byte(source))
+	return binary.LittleEndian.AppendUint32(buf, uint32(cycle))
+}
+
+func appendDrainOp(buf []byte) []byte {
+	return append(buf, opDrain, 0, 0, 0, 0)
+}
+
+// recordingExchange wraps a CrossQueue and transcribes every Announce
+// and Next into the fuzz op encoding, distilling seed-corpus entries
+// from real runs.
+type recordingExchange struct {
+	q   *noc.CrossQueue
+	ops []byte
+	max int
+}
+
+func (r *recordingExchange) Announce(cycle sim.Cycle, source int) {
+	if len(r.ops) < r.max {
+		r.ops = appendAnnounceOp(r.ops, cycle, source)
+	}
+	r.q.Announce(cycle, source)
+}
+
+func (r *recordingExchange) Next() (sim.Cycle, int, bool) {
+	if len(r.ops) < r.max {
+		r.ops = appendDrainOp(r.ops)
+	}
+	return r.q.Next()
+}
+
+// distillSeed runs a small two-socket system under the domain scheduler
+// and returns the op transcript of its inter-domain exchange: a seed
+// corpus entry with the announce/drain interleaving of a real
+// multisocket golden run.
+func distillSeed(tb testing.TB) []byte {
+	pre := config.TableI(64)
+	spec := pre.ZeroDEV(0, core.FPSS, llc.DataLRU, llc.NonInclusive)
+	const sockets = 2
+	streams := workload.Threads(workload.MustGet("ocean_cp"), sockets*spec.Cores, 2000, 64, 7)
+	sys, err := socket.New(socket.DefaultParams(sockets, 512), spec, streams)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rec := &recordingExchange{q: noc.NewCrossQueue(sockets), max: 2000}
+	domains := make([][]sim.LocalAgent, sockets)
+	for s, sock := range sys.Sockets {
+		for _, c := range sock.Cores {
+			domains[s] = append(domains[s], c)
+		}
+	}
+	if _, err := sim.DriveDomains(context.Background(), domains, 2, nil, rec); err != nil {
+		tb.Fatal(err)
+	}
+	return rec.ops
+}
+
+// applyOps runs one op stream against an Exchange and returns the drain
+// transcript (including the full drain of whatever remains queued).
+func applyOps(x sim.Exchange, data []byte) []refEntry {
+	var out []refEntry
+	prev := map[int]sim.Cycle{}
+	for len(data) >= 5 {
+		rec := data[:5]
+		data = data[5:]
+		if rec[0] == opDrain {
+			if c, s, ok := x.Next(); ok {
+				out = append(out, refEntry{cycle: c, source: s})
+			}
+			continue
+		}
+		src := int(rec[0] % 8)
+		c := sim.Cycle(binary.LittleEndian.Uint32(rec[1:5]))
+		if c < prev[src] {
+			c = prev[src]
+		}
+		prev[src] = c
+		x.Announce(c, src)
+	}
+	for {
+		c, s, ok := x.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, refEntry{cycle: c, source: s})
+	}
+}
+
+// FuzzCanonicalMessageOrder fuzzes interleaved cross-socket announce
+// and drain operations and asserts the CrossQueue drain order is a
+// pure function of (cycle, source, sequence): it must match the
+// brute-force reference model record for record, and replaying the
+// same op stream must reproduce the same transcript exactly.
+func FuzzCanonicalMessageOrder(f *testing.F) {
+	f.Add(distillSeed(f))
+	// Hand-written seeds: cycle ties across sources, re-announcement of
+	// one cycle by one source (seq tie-break), interleaved drains, and
+	// drains of an empty queue.
+	var s []byte
+	s = appendAnnounceOp(s, 5, 1)
+	s = appendAnnounceOp(s, 5, 0)
+	s = appendAnnounceOp(s, 5, 0)
+	s = appendDrainOp(s)
+	s = appendAnnounceOp(s, 3, 7)
+	s = appendDrainOp(s)
+	s = appendDrainOp(s)
+	f.Add(s)
+	f.Add(appendDrainOp(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := applyOps(noc.NewCrossQueue(8), data)
+		want := applyOps(&refExchange{}, data)
+		if len(got) != len(want) {
+			t.Fatalf("drain count: CrossQueue %d, reference %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].cycle != want[i].cycle || got[i].source != want[i].source {
+				t.Fatalf("drain %d: CrossQueue (cycle %d, source %d), reference (cycle %d, source %d)",
+					i, got[i].cycle, got[i].source, want[i].cycle, want[i].source)
+			}
+		}
+		replay := applyOps(noc.NewCrossQueue(8), data)
+		for i := range got {
+			if replay[i] != got[i] {
+				t.Fatalf("replay diverged at drain %d", i)
+			}
+		}
+	})
+}
+
+// TestCrossQueueSequenceOrder pins the per-source FIFO guarantee:
+// re-announcements of one source at one cycle drain in announcement
+// order, and sources break cycle ties ahead of sequence numbers.
+func TestCrossQueueSequenceOrder(t *testing.T) {
+	q := noc.NewCrossQueue(2)
+	q.Announce(10, 1)
+	q.Announce(10, 0)
+	q.Announce(10, 1)
+	q.Announce(2, 1)
+	want := []struct {
+		cycle  sim.Cycle
+		source int
+	}{{2, 1}, {10, 0}, {10, 1}, {10, 1}}
+	for i, w := range want {
+		c, s, ok := q.Next()
+		if !ok || c != w.cycle || s != w.source {
+			t.Fatalf("drain %d = (%d, %d, %v), want (%d, %d, true)", i, c, s, ok, w.cycle, w.source)
+		}
+	}
+	if _, _, ok := q.Next(); ok {
+		t.Fatal("drained queue returned ok")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+}

@@ -1,0 +1,351 @@
+package sim
+
+// This file implements the intra-run domain scheduler: agents are
+// partitioned into domains (one per socket in the multi-socket system),
+// and execution alternates between parallel epochs — every domain
+// advances its agents through steps proven to touch only agent-private
+// state, up to a shared sync horizon — and serial steps that execute
+// shared-state ("non-local") transactions one at a time in exactly the
+// (clock, agent index) order of the serial scheduler.
+//
+// Determinism argument (the full version is in DESIGN.md, "Intra-run
+// parallelism"). Each agent provides LocalBound: a conservative lower
+// bound on the local time of its next step that may touch state outside
+// the agent. The epoch horizon E is the minimum (LocalBound, index)
+// over all live agents, so below E there exists no step — in any domain
+// — that touches shared state. Every step executed inside an epoch is
+// therefore (a) private, because its key is below its own agent's
+// bound, and (b) exact, because no concurrent shared-state activity can
+// exist below E to perturb it. Private steps of distinct agents commute
+// and each agent executes its own steps in program order, so any
+// interleaving of an epoch's steps yields the same state; shared steps
+// run serially at the global (clock, index) frontier, with every
+// smaller-keyed step already executed. The resulting final state, per
+// step behavior, and all statistics are byte-identical to Drive's.
+//
+// Progress argument: when the global-frontier agent's next step is not
+// provably private it is executed serially; when it is provably
+// private, E strictly exceeds the frontier key (its own bound does, and
+// every other live agent's (bound, index) also does, because bounds
+// dominate clocks and the frontier agent wins the index tie-break), so
+// the epoch executes at least that one step.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// LocalAgent is a Clocked agent that can bound its own shared-state-free
+// run, enabling the domain scheduler to execute it concurrently with
+// other agents below the bound.
+type LocalAgent interface {
+	Clocked
+	// LocalBound returns a conservative lower bound on the agent's local
+	// time at its next step that may touch state outside the agent
+	// (uncore requests, evictions, upgrades). Every step taken while
+	// Now() < LocalBound() must touch only agent-private state, and its
+	// behavior must depend only on agent-private state. MaxCycle means
+	// no remaining step can touch shared state. Implementations may scan
+	// ahead in their input; the scan must not change the agent's
+	// observable behavior.
+	LocalBound() Cycle
+}
+
+// Exchange orders the inter-domain frontier announcements the epoch
+// barrier exchanges: each domain announces the key of its earliest
+// pending shared-state step, and the coordinator drains announcements
+// in the canonical (cycle, source domain, per-source sequence) order to
+// pick the next domain to serialize. noc.CrossQueue is the production
+// implementation.
+type Exchange interface {
+	// Announce enqueues domain source's current frontier cycle. The
+	// implementation assigns the per-source sequence number.
+	Announce(cycle Cycle, source int)
+	// Next removes and returns the canonically least announcement:
+	// ordered by cycle, then source, then per-source sequence. ok is
+	// false when the queue is empty.
+	Next() (cycle Cycle, source int, ok bool)
+}
+
+// domainRunner is one domain's scheduling state: a (clock, global
+// index) min-heap over the domain's live agents.
+type domainRunner struct {
+	h    schedHeap
+	last Cycle // largest local clock observed in this domain
+	n    int   // original agent count (for the live bookkeeping)
+
+	// Cached minimum (LocalBound, order) over the domain's live agents,
+	// valid while no agent of the domain has stepped since it was
+	// computed. Epochs touch few domains once most sit at their shared
+	// frontiers, so the horizon computation usually reuses these.
+	minBound    Cycle
+	minIdx      int32
+	boundsValid bool
+}
+
+// minBoundKey returns the cached domain-minimum (LocalBound, order)
+// key, recomputing it when stale.
+func (r *domainRunner) minBoundKey() (Cycle, int32) {
+	if !r.boundsValid {
+		r.minBound, r.minIdx = MaxCycle, 0
+		h := &r.h
+		for i := range h.agent {
+			b := h.agent[i].(LocalAgent).LocalBound()
+			if b < r.minBound || (b == r.minBound && h.order[i] < r.minIdx) {
+				r.minBound, r.minIdx = b, h.order[i]
+			}
+		}
+		r.boundsValid = true
+	}
+	return r.minBound, r.minIdx
+}
+
+// runLocal advances the domain through every step with key strictly
+// below the epoch horizon (eCycle, eIdx). All such steps are private by
+// the horizon construction, so domains may run this concurrently. done
+// (when non-nil) aborts the epoch early after a cancellation; steps
+// receives batched progress for the watchdog.
+func (r *domainRunner) runLocal(eCycle Cycle, eIdx int32, done <-chan struct{}, steps *atomic.Uint64) {
+	h := &r.h
+	var n uint64
+	for len(h.agent) > 0 {
+		if h.clock[0] > eCycle || (h.clock[0] == eCycle && h.order[0] >= eIdx) {
+			break
+		}
+		a := h.agent[0]
+		a.Step()
+		t := a.Now()
+		if t > r.last {
+			r.last = t
+		}
+		if a.Done() {
+			h.pop()
+		} else {
+			h.reposition(t)
+		}
+		n++
+		if n%CancelEvery == 0 {
+			if steps != nil {
+				steps.Add(CancelEvery)
+			}
+			if done != nil {
+				select {
+				case <-done:
+					r.boundsValid = false
+					return
+				default:
+				}
+			}
+		}
+	}
+	if n > 0 {
+		r.boundsValid = false
+	}
+	if steps != nil {
+		steps.Add(n % CancelEvery)
+	}
+}
+
+// phaseReq carries one epoch's horizon to the domain workers.
+type phaseReq struct {
+	eCycle Cycle
+	eIdx   int32
+}
+
+// DriveDomains drives domains of agents to completion with the
+// epoch-barrier domain scheduler, using up to `workers` goroutines for
+// the parallel epochs (clamped to the domain count; 1 runs the epochs
+// inline). The flattened agent order (domain-major) defines the
+// tie-break index, so output is byte-identical to
+// Drive(flatten(domains), ...). ctx and steps behave as in ContextHook:
+// cancellation aborts within a bounded number of steps, and steps
+// accumulates executed-step counts for the watchdog. xq must not be
+// nil; it orders the inter-domain frontier exchange.
+//
+// DriveDomains intentionally takes no per-step hook: observation hooks
+// assume globally serialized step numbering with quiescent shared state
+// after every step, which parallel epochs do not provide. Callers that
+// need a real hook (fault campaigns, online auditors) use Drive.
+func DriveDomains(ctx context.Context, domains [][]LocalAgent, workers int, steps *atomic.Uint64, xq Exchange) (Cycle, error) {
+	if xq == nil {
+		panic("sim: DriveDomains needs an Exchange")
+	}
+	runners := make([]*domainRunner, len(domains))
+	base := int32(0)
+	live := 0
+	for d, agents := range domains {
+		cl := make([]Clocked, len(agents))
+		for i, a := range agents {
+			cl[i] = a
+		}
+		runners[d] = &domainRunner{h: makeSchedFrom(cl, base), n: len(agents)}
+		base += int32(len(agents))
+		if len(runners[d].h.agent) > 0 {
+			live++
+			xq.Announce(runners[d].h.clock[0], d)
+		}
+	}
+
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+
+	// Persistent phase workers; domain d belongs to worker d mod W.
+	w := workers
+	if w > len(domains) {
+		w = len(domains)
+	}
+	var start []chan phaseReq
+	var wg sync.WaitGroup
+	var panicked atomic.Value
+	if w > 1 {
+		start = make([]chan phaseReq, w)
+		for i := range start {
+			start[i] = make(chan phaseReq)
+			go func(me int) {
+				for req := range start[me] {
+					func() {
+						defer func() {
+							if v := recover(); v != nil {
+								panicked.Store(v)
+							}
+							wg.Done()
+						}()
+						for d := me; d < len(runners); d += w {
+							runners[d].runLocal(req.eCycle, req.eIdx, done, steps)
+						}
+					}()
+				}
+			}(i)
+		}
+		defer func() {
+			for _, ch := range start {
+				close(ch)
+			}
+		}()
+	}
+
+	finalLast := func() Cycle {
+		var last Cycle
+		for _, r := range runners {
+			if r.last > last {
+				last = r.last
+			}
+		}
+		return last
+	}
+
+	var serial uint64
+	for live > 0 {
+		// Pop frontier announcements until one matches its domain's
+		// current frontier; stale announcements (the frontier has moved
+		// since) drain first because clocks only increase.
+		var d int
+		for {
+			c, src, ok := xq.Next()
+			if !ok {
+				panic("sim: exchange drained with live domains")
+			}
+			r := runners[src]
+			if len(r.h.agent) > 0 && r.h.clock[0] == c {
+				d = src
+				break
+			}
+		}
+		r := runners[d]
+		a := r.h.agent[0].(LocalAgent)
+
+		if a.LocalBound() > r.h.clock[0] {
+			// The frontier step is provably private: compute the epoch
+			// horizon and run every domain below it in parallel.
+			eCycle := MaxCycle
+			eIdx := int32(0)
+			for _, rr := range runners {
+				b, idx := rr.minBoundKey()
+				if b < eCycle || (b == eCycle && idx < eIdx) {
+					eCycle, eIdx = b, idx
+				}
+			}
+			// A domain only has epoch work when its frontier key is below
+			// the horizon; when exactly one does (common once most domains
+			// sit at their shared frontiers), run it inline and skip the
+			// worker barrier.
+			active := 0
+			var lone *domainRunner
+			for _, rr := range runners {
+				h := &rr.h
+				if len(h.agent) > 0 && (h.clock[0] < eCycle || (h.clock[0] == eCycle && h.order[0] < eIdx)) {
+					active++
+					lone = rr
+				}
+			}
+			if w > 1 && active > 1 {
+				wg.Add(w)
+				for _, ch := range start {
+					ch <- phaseReq{eCycle, eIdx}
+				}
+				wg.Wait()
+				if v := panicked.Load(); v != nil {
+					panic(v)
+				}
+			} else if active == 1 {
+				lone.runLocal(eCycle, eIdx, done, steps)
+			} else {
+				for _, rr := range runners {
+					rr.runLocal(eCycle, eIdx, done, steps)
+				}
+			}
+			if ctx != nil {
+				select {
+				case <-done:
+					return finalLast(), fmt.Errorf("sim: aborted: %w", ctx.Err())
+				default:
+				}
+			}
+			live = 0
+			for dd, rr := range runners {
+				if len(rr.h.agent) > 0 {
+					live++
+					xq.Announce(rr.h.clock[0], dd)
+				}
+			}
+		} else {
+			// Shared-state (or unproven) frontier step: execute it
+			// serially, exactly as Drive would. It may also mutate other
+			// domains' agents (invalidations, downgrades); those set their
+			// own scan-dirty flags, but the cached domain bound minima
+			// must be dropped here.
+			for _, rr := range runners {
+				rr.boundsValid = false
+			}
+			a.Step()
+			t := a.Now()
+			if t > r.last {
+				r.last = t
+			}
+			if a.Done() {
+				r.h.pop()
+			} else {
+				r.h.reposition(t)
+			}
+			if len(r.h.agent) == 0 {
+				live--
+			} else {
+				xq.Announce(r.h.clock[0], d)
+			}
+			if steps != nil {
+				steps.Add(1)
+			}
+			serial++
+			if serial%CancelEvery == 0 && ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return finalLast(), fmt.Errorf("sim: aborted: %w", err)
+				}
+			}
+		}
+	}
+	return finalLast(), nil
+}

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// localScriptedAgent is a scripted LocalAgent: each step advances the
+// clock by incs[i], and steps with shared[i] set mutate state shared by
+// every agent (a plain counter and an append-only log), so the race
+// detector catches any epoch that lets a shared step run concurrently
+// and the log order pins the serial shared-step schedule. boundCap
+// limits the lookahead LocalBound uses (0 = exact), modeling the
+// capped-scan conservatism of real agents.
+type localScriptedAgent struct {
+	id     int
+	now    Cycle
+	incs   []Cycle
+	shared []bool
+	steps  int
+
+	boundCap  int
+	sharedLog *[]int
+	sharedSum *uint64
+}
+
+func (a *localScriptedAgent) Now() Cycle { return a.now }
+func (a *localScriptedAgent) Done() bool { return a.steps >= len(a.incs) }
+
+func (a *localScriptedAgent) Step() {
+	if a.shared[a.steps] {
+		*a.sharedLog = append(*a.sharedLog, a.id)
+		*a.sharedSum += uint64(a.id) + 1
+	}
+	a.now += a.incs[a.steps]
+	a.steps++
+}
+
+// LocalBound returns the clock at which the next shared step will be
+// scheduled (exactly, or a smaller bound when the lookahead cap stops
+// the scan first), MaxCycle when no shared step remains.
+func (a *localScriptedAgent) LocalBound() Cycle {
+	t := a.now
+	for k := a.steps; k < len(a.incs); k++ {
+		if a.boundCap > 0 && k-a.steps >= a.boundCap {
+			return t
+		}
+		if a.shared[k] {
+			return t
+		}
+		t += a.incs[k]
+	}
+	return MaxCycle
+}
+
+// testExchange is a reference sim.Exchange: an eager sorted drain over
+// (cycle, source, seq). The production implementation is
+// noc.CrossQueue; this stub exists because noc imports sim.
+type testExchange struct {
+	entries []struct {
+		cycle  Cycle
+		source int
+		seq    uint64
+	}
+	next map[int]uint64
+}
+
+func (x *testExchange) Announce(cycle Cycle, source int) {
+	if x.next == nil {
+		x.next = make(map[int]uint64)
+	}
+	e := struct {
+		cycle  Cycle
+		source int
+		seq    uint64
+	}{cycle, source, x.next[source]}
+	x.next[source]++
+	i := len(x.entries)
+	x.entries = append(x.entries, e)
+	for i > 0 {
+		p := x.entries[i-1]
+		if p.cycle < e.cycle || (p.cycle == e.cycle && (p.source < e.source ||
+			(p.source == e.source && p.seq < e.seq))) {
+			break
+		}
+		x.entries[i] = p
+		i--
+		x.entries[i] = e
+	}
+}
+
+func (x *testExchange) Next() (Cycle, int, bool) {
+	if len(x.entries) == 0 {
+		return 0, 0, false
+	}
+	e := x.entries[0]
+	x.entries = x.entries[1:]
+	return e.cycle, e.source, true
+}
+
+// buildLocalAgents synthesizes a randomized LocalAgent population plus
+// a structurally identical Clocked copy for the serial reference. Both
+// copies share nothing; each records shared-step activity into its own
+// log/sum.
+func buildLocalAgents(seed uint64) (par, ser []*localScriptedAgent) {
+	rng := NewRNG(seed)
+	n := 1 + int(rng.Intn(40))
+	sharedDenom := 2 + int(rng.Intn(8)) // shared-step probability 1/denom
+	for i := 0; i < n; i++ {
+		var start Cycle
+		if rng.Intn(4) == 0 {
+			start = Cycle(rng.Intn(3))
+		}
+		steps := int(rng.Intn(60)) // 0 = done at start
+		incs := make([]Cycle, steps)
+		shared := make([]bool, steps)
+		for j := range incs {
+			incs[j] = Cycle(rng.Intn(3)) // zeros force clock ties
+			shared[j] = rng.Intn(sharedDenom) == 0
+		}
+		var cap int
+		if rng.Intn(2) == 0 {
+			cap = 1 + int(rng.Intn(5)) // conservative capped bound
+		}
+		mk := func() *localScriptedAgent {
+			return &localScriptedAgent{
+				id:     i,
+				now:    start,
+				incs:   append([]Cycle(nil), incs...),
+				shared: append([]bool(nil), shared...),
+			}
+		}
+		p, s := mk(), mk()
+		p.boundCap = cap
+		par = append(par, p)
+		ser = append(ser, s)
+	}
+	return par, ser
+}
+
+// partition splits agents into a random number of contiguous domains,
+// empty domains included.
+func partition(agents []*localScriptedAgent, rng *RNG) [][]LocalAgent {
+	nd := 1 + int(rng.Intn(4))
+	cuts := make([]int, nd+1)
+	cuts[nd] = len(agents)
+	for i := 1; i < nd; i++ {
+		cuts[i] = int(rng.Intn(len(agents) + 1))
+	}
+	for i := 1; i < nd; i++ { // keep cuts sorted -> contiguous domains
+		for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+			cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+		}
+	}
+	out := make([][]LocalAgent, nd)
+	for d := 0; d < nd; d++ {
+		for _, a := range agents[cuts[d]:cuts[d+1]] {
+			out[d] = append(out[d], a)
+		}
+	}
+	return out
+}
+
+// TestDriveDomainsMatchesDrive drives randomized LocalAgent populations
+// through the serial scheduler and the epoch-barrier domain scheduler —
+// random contiguous domain partitions, worker counts 1..3, exact and
+// capped bounds — and requires identical final per-agent state, an
+// identical shared-step order, and an identical completion time. Run
+// with -race, this is also the data-race proof for the parallel epochs.
+func TestDriveDomainsMatchesDrive(t *testing.T) {
+	seeds := uint64(400)
+	if testing.Short() {
+		seeds = 60
+	}
+	for seed := uint64(1); seed <= seeds; seed++ {
+		par, ser := buildLocalAgents(seed)
+		rng := NewRNG(seed ^ 0x9e3779b97f4a7c15)
+
+		var serLog []int
+		var serSum uint64
+		clocked := make([]Clocked, len(ser))
+		for i, a := range ser {
+			a.sharedLog, a.sharedSum = &serLog, &serSum
+			clocked[i] = a
+		}
+		serLast, err := Drive(clocked, nil)
+		if err != nil {
+			t.Fatalf("seed %d: serial: %v", seed, err)
+		}
+
+		var parLog []int
+		var parSum uint64
+		for _, a := range par {
+			a.sharedLog, a.sharedSum = &parLog, &parSum
+		}
+		domains := partition(par, rng)
+		workers := 1 + int(rng.Intn(3))
+		var steps atomic.Uint64
+		parLast, err := DriveDomains(context.Background(), domains, workers, &steps, &testExchange{})
+		if err != nil {
+			t.Fatalf("seed %d: domains: %v", seed, err)
+		}
+
+		if parLast != serLast {
+			t.Fatalf("seed %d: completion time: domains %d, serial %d", seed, parLast, serLast)
+		}
+		if parSum != serSum {
+			t.Fatalf("seed %d: shared-state sum: domains %d, serial %d", seed, parSum, serSum)
+		}
+		if len(parLog) != len(serLog) {
+			t.Fatalf("seed %d: shared-step count: domains %d, serial %d", seed, len(parLog), len(serLog))
+		}
+		for i := range parLog {
+			if parLog[i] != serLog[i] {
+				t.Fatalf("seed %d: shared-step order diverges at %d: domains agent %d, serial agent %d",
+					seed, i, parLog[i], serLog[i])
+			}
+		}
+		var total uint64
+		for i, a := range par {
+			if a.now != ser[i].now || a.steps != ser[i].steps {
+				t.Fatalf("seed %d: agent %d final state: domains (now %d, steps %d), serial (now %d, steps %d)",
+					seed, i, a.now, a.steps, ser[i].now, ser[i].steps)
+			}
+			total += uint64(a.steps)
+		}
+		if steps.Load() != total {
+			t.Fatalf("seed %d: progress counter %d, want %d", seed, steps.Load(), total)
+		}
+	}
+}
+
+// TestDriveDomainsCancellation: a pre-cancelled context aborts the run
+// with the context's error within a bounded number of steps.
+func TestDriveDomainsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	incs := make([]Cycle, 100*CancelEvery)
+	shared := make([]bool, len(incs))
+	var log []int
+	var sum uint64
+	a := &localScriptedAgent{incs: incs, shared: shared, sharedLog: &log, sharedSum: &sum}
+	var steps atomic.Uint64
+	_, err := DriveDomains(ctx, [][]LocalAgent{{a}}, 2, &steps, &testExchange{})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if a.steps > int(2*CancelEvery) {
+		t.Fatalf("cancelled run executed %d steps, want <= %d", a.steps, 2*CancelEvery)
+	}
+}
+
+// TestDriveDomainsPanicForwarding: a panic inside a domain worker must
+// surface as a panic on the calling goroutine (the harness's per-job
+// recover depends on it), not crash the process from a bare goroutine.
+func TestDriveDomainsPanicForwarding(t *testing.T) {
+	mk := func(id int) *localScriptedAgent {
+		incs := make([]Cycle, 50)
+		var log []int
+		var sum uint64
+		return &localScriptedAgent{id: id, incs: incs, shared: make([]bool, 50), sharedLog: &log, sharedSum: &sum}
+	}
+	a, b := mk(0), mk(1)
+	b.incs[10] = 0
+	bomb := &panicAfter{localScriptedAgent: b, at: 10}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+	}()
+	_, _ = DriveDomains(context.Background(), [][]LocalAgent{{a}, {bomb}}, 2, nil, &testExchange{})
+}
+
+type panicAfter struct {
+	*localScriptedAgent
+	at int
+}
+
+func (p *panicAfter) Step() {
+	if p.steps == p.at {
+		panic("boom")
+	}
+	p.localScriptedAgent.Step()
+}

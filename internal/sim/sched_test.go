@@ -123,6 +123,108 @@ func TestHeapMatchesLinearScan(t *testing.T) {
 	}
 }
 
+// churnAgent advances to absolute target clocks: each step sets
+// now = max(now, targets[steps]). Scripts built from shared rendezvous
+// times make whole groups of agents land on identical clocks mid-run
+// (injected ties), and a large jump followed by a run of equal targets
+// models an agent that goes idle far in the future and re-arms there,
+// stepping repeatedly at a constant clock while the rest of the
+// population catches up. These are exactly the churn patterns the epoch
+// barrier's (clock, original index) tie-break must reproduce.
+type churnAgent struct {
+	id      int
+	now     Cycle
+	targets []Cycle
+	steps   int
+}
+
+func (a *churnAgent) Now() Cycle { return a.now }
+func (a *churnAgent) Done() bool { return a.steps >= len(a.targets) }
+func (a *churnAgent) Step() {
+	if t := a.targets[a.steps]; t > a.now {
+		a.now = t
+	}
+	a.steps++
+}
+
+// buildChurnAgents synthesizes agent sets around shared rendezvous
+// clocks: every agent's script interleaves small local advances with
+// jumps to rendezvous points common to the whole population, plus
+// park-and-re-arm runs (several steps at one far clock).
+func buildChurnAgents(seed uint64) (a, b []Clocked, ids map[Clocked]int) {
+	rng := NewRNG(seed)
+	n := 2 + int(rng.Intn(60))
+	nrv := 1 + int(rng.Intn(6))
+	rendezvous := make([]Cycle, nrv)
+	t := Cycle(0)
+	for i := range rendezvous {
+		t += Cycle(5 + rng.Intn(50))
+		rendezvous[i] = t
+	}
+	a = make([]Clocked, n)
+	b = make([]Clocked, n)
+	ids = make(map[Clocked]int, 2*n)
+	for i := 0; i < n; i++ {
+		var targets []Cycle
+		now := Cycle(0)
+		for _, rv := range rendezvous {
+			// Local advance toward the rendezvous.
+			for k := int(rng.Intn(4)); k > 0; k-- {
+				now += Cycle(rng.Intn(3))
+				targets = append(targets, now)
+			}
+			if rng.Intn(4) != 0 {
+				// Jump to the shared rendezvous clock (identical clocks
+				// injected mid-run), then idle there: re-arm with equal
+				// targets so the agent keeps stepping at the same time.
+				if rv > now {
+					now = rv
+				}
+				for k := 1 + int(rng.Intn(4)); k > 0; k-- {
+					targets = append(targets, now)
+				}
+			}
+		}
+		ai := &churnAgent{id: i, targets: targets}
+		bi := &churnAgent{id: i, targets: append([]Cycle(nil), targets...)}
+		a[i], b[i] = ai, bi
+		ids[ai] = i
+		ids[bi] = i
+	}
+	return a, b, ids
+}
+
+// TestHeapMatchesLinearScanChurn extends TestHeapMatchesLinearScan to
+// rendezvous churn: groups of agents injected onto identical clocks
+// mid-run and agents that park far ahead and re-arm, pinning the
+// (clock, original index) tie-break under sustained ties.
+func TestHeapMatchesLinearScanChurn(t *testing.T) {
+	for seed := uint64(1); seed <= 500; seed++ {
+		heapAgents, linAgents, ids := buildChurnAgents(seed)
+		var heapSeq, linSeq []int
+		heapLast, err := driveLogged(heapAgents, ids, &heapSeq, Drive)
+		if err != nil {
+			t.Fatalf("seed %d: heap drive: %v", seed, err)
+		}
+		linLast, err := driveLogged(linAgents, ids, &linSeq, linearDrive)
+		if err != nil {
+			t.Fatalf("seed %d: linear drive: %v", seed, err)
+		}
+		if heapLast != linLast {
+			t.Fatalf("seed %d: final clock mismatch: heap %d, linear %d", seed, heapLast, linLast)
+		}
+		if len(heapSeq) != len(linSeq) {
+			t.Fatalf("seed %d: step count mismatch: heap %d, linear %d", seed, len(heapSeq), len(linSeq))
+		}
+		for i := range heapSeq {
+			if heapSeq[i] != linSeq[i] {
+				t.Fatalf("seed %d: schedulers diverge at step %d: heap picked agent %d, linear picked agent %d\nheap: %v\nlinear: %v",
+					seed, i, heapSeq[i], linSeq[i], clip(heapSeq, i), clip(linSeq, i))
+			}
+		}
+	}
+}
+
 func clip(seq []int, i int) []int {
 	lo, hi := i-3, i+4
 	if lo < 0 {

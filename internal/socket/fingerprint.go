@@ -1,0 +1,43 @@
+package socket
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/coher"
+)
+
+// AppendState appends the multi-socket protocol-visible state to buf
+// for cross-mode comparison (the serial-equivalence suite fingerprints
+// a run's final state under both schedulers): every socket's engine
+// state, the shared home-memory metadata, the socket-level directory
+// cache, and — under the MemoryBackup scheme — the authoritative backup
+// map in sorted address order, so the encoding is independent of map
+// iteration order. Clocks, statistics, and DRAM/NoC timing state are
+// excluded, as in core.System.AppendState.
+func (sys *System) AppendState(buf []byte) []byte {
+	for _, s := range sys.Sockets {
+		buf = s.Engine.AppendState(buf)
+		buf = append(buf, 0xfd) // socket separator
+	}
+	buf = sys.mem.AppendState(buf)
+	buf = append(buf, 0xfe)
+	buf = sys.dirCache.AppendState(buf, appendSocketEntry)
+	buf = append(buf, 0xfe)
+	addrs := make([]coher.Addr, 0, len(sys.backup))
+	for a := range sys.backup {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		e := sys.backup[a]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(a))
+		buf = appendSocketEntry(buf, &e)
+	}
+	return buf
+}
+
+func appendSocketEntry(buf []byte, e *coher.SocketEntry) []byte {
+	buf = append(buf, byte(e.State), byte(e.Owner))
+	return binary.LittleEndian.AppendUint64(buf, uint64(e.Sharers))
+}
