@@ -97,6 +97,17 @@ func auditCmd(ctx context.Context, args []string) int {
 			fmt.Fprintln(os.Stderr, "audit:", err)
 			return 2
 		}
+		// Campaign cells submit in list order, one per cell, so the grid
+		// is the cell list itself; a checkpoint with cells this build no
+		// longer generates is rejected by name.
+		var grid []harness.CellID
+		for i, c := range cells {
+			grid = append(grid, harness.CellID{Scope: "audit", Seq: i + 1, Unit: c.Name})
+		}
+		if err := cs.VerifyGrid(grid); err != nil {
+			fmt.Fprintln(os.Stderr, "audit:", err)
+			return 2
+		}
 		o.Checkpoint = cs
 		fmt.Fprintf(stderr, "[resuming from %s: %d completed cells]\n", *resume, cs.Cells())
 	} else if *ckptPath != "" {

@@ -11,6 +11,13 @@
 //	zerodev audit [-faults K,..] [-campaigns C,..] [-audit-every N] [-fail-fast] [-job-timeout D] [-resume FILE]
 //	zerodev check [-cores N] [-addrs N] [-depth N] [-policies P,..] [-workers N] [-job-timeout D] [-replay FILE] [-list]
 //	zerodev bench [-experiments IDs] [-count N] [-o FILE] [-compare FILE]
+//	zerodev serve [-addr A] [-state FILE] [-lease-ttl D] [-retry-budget N]
+//	zerodev work [-connect URL] [-id NAME] [-poll D]
+//
+// serve runs the fault-tolerant campaign coordinator (submit campaigns
+// with POST /v1/campaigns; inspect with GET /v1/jobs) and work runs a
+// worker that leases cells from it; killed workers and coordinator
+// restarts recover without losing completed work (see DESIGN.md §10).
 //
 // run, audit, check, and bench accept -cpuprofile/-memprofile FILE and
 // -pprof-http ADDR for performance investigation.
@@ -87,6 +94,10 @@ func realMain() int {
 		return checkCmd(ctx, os.Args[2:])
 	case "bench":
 		return benchCmd(ctx, os.Args[2:])
+	case "serve":
+		return serveCmd(ctx, os.Args[2:])
+	case "work":
+		return workCmd(ctx, os.Args[2:])
 	default:
 		usage()
 		return 2
@@ -101,7 +112,7 @@ func writeList(w io.Writer) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: zerodev list | run [flags] <experiment>...|all | single [flags] <app> | compare [flags] <app> | trace [flags] | audit [flags] | check [flags] | bench [flags]")
+		"usage: zerodev list | run [flags] <experiment>...|all | single [flags] <app> | compare [flags] <app> | trace [flags] | audit [flags] | check [flags] | bench [flags] | serve [flags] | work [flags]")
 }
 
 func runCmd(ctx context.Context, args []string) int {
@@ -157,6 +168,28 @@ func runCmd(ctx context.Context, args []string) int {
 	if *resume != "" {
 		cs, err := harness.LoadCheckpoint(*resume, key)
 		if err != nil {
+			fmt.Fprintln(os.Stderr, "run:", err)
+			return 2
+		}
+		// The fingerprint pins the run shape; the grid check additionally
+		// pins the cell decomposition, so a checkpoint holding cells this
+		// build's experiments no longer generate is rejected by name
+		// instead of silently ignored.
+		var grid []harness.CellID
+		for _, id := range ids {
+			e, err := harness.Get(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "run:", err)
+				return 2
+			}
+			cells, err := e.Cells(o)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "run:", err)
+				return 2
+			}
+			grid = append(grid, cells...)
+		}
+		if err := cs.VerifyGrid(grid); err != nil {
 			fmt.Fprintln(os.Stderr, "run:", err)
 			return 2
 		}

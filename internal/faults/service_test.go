@@ -1,0 +1,61 @@
+package faults
+
+import "testing"
+
+// TestServiceChaosDeterminism: two injectors built from the same seed
+// make identical decisions (the chaos harness's reproducibility rests
+// on this), different seeds diverge, and a nil injector never fires.
+func TestServiceChaosDeterminism(t *testing.T) {
+	a, b := NewServiceChaos(7), NewServiceChaos(7)
+	kinds := []ServiceKind{DupGrant, WorkerStall, StaleHeartbeat, DoubleDelivery}
+	for i := 0; i < 2000; i++ {
+		k := kinds[i%len(kinds)]
+		if a.Hit(k) != b.Hit(k) {
+			t.Fatalf("same-seed injectors diverged at draw %d", i)
+		}
+	}
+	if a.TotalInjected() == 0 {
+		t.Fatal("2000 draws at default rates injected nothing")
+	}
+	if a.TotalInjected() != b.TotalInjected() {
+		t.Fatalf("same-seed totals differ: %d vs %d", a.TotalInjected(), b.TotalInjected())
+	}
+
+	d, e := NewServiceChaos(1), NewServiceChaos(2)
+	same := true
+	for i := 0; i < 500 && same; i++ {
+		same = d.Hit(DupGrant) == e.Hit(DupGrant)
+	}
+	if same {
+		t.Fatal("different seeds produced identical decision streams")
+	}
+
+	var nilChaos *ServiceChaos
+	for i := 0; i < 100; i++ {
+		if nilChaos.Hit(DupGrant) {
+			t.Fatal("nil injector fired")
+		}
+	}
+	if nilChaos.TotalInjected() != 0 || nilChaos.Injected(WorkerStall) != 0 {
+		t.Fatal("nil injector counted injections")
+	}
+}
+
+// TestServiceChaosRates: a zeroed rate never fires, a rate of 1 always
+// fires, and counts track firings per kind.
+func TestServiceChaosRates(t *testing.T) {
+	c := NewServiceChaos(3)
+	c.SetRate(DupGrant, 0)
+	c.SetRate(WorkerStall, 1)
+	for i := 0; i < 200; i++ {
+		if c.Hit(DupGrant) {
+			t.Fatal("rate-0 injector fired")
+		}
+		if !c.Hit(WorkerStall) {
+			t.Fatal("rate-1 injector did not fire")
+		}
+	}
+	if c.Injected(DupGrant) != 0 || c.Injected(WorkerStall) != 200 {
+		t.Fatalf("counts = %d/%d, want 0/200", c.Injected(DupGrant), c.Injected(WorkerStall))
+	}
+}

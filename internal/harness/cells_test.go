@@ -1,0 +1,191 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCellsEnumerateEveryExperiment: the cell grid enumerates for every
+// registered experiment without executing a simulation, and the keys
+// are unique with 1-based contiguous-enough sequence numbers. This is
+// the campaign service's planning surface: if any experiment's
+// decomposition stops being derivable without execution, sharding
+// breaks, and this test names the experiment.
+func TestCellsEnumerateEveryExperiment(t *testing.T) {
+	o := tinyOptions()
+	for _, e := range List() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			grid, err := e.Cells(o)
+			if err != nil {
+				t.Fatalf("Cells: %v", err)
+			}
+			if len(grid) == 0 {
+				t.Fatal("empty cell grid")
+			}
+			seen := make(map[string]bool, len(grid))
+			for _, c := range grid {
+				if c.Scope != e.ID {
+					t.Fatalf("cell %s carries scope %q, want %q", c, c.Scope, e.ID)
+				}
+				if c.Seq < 1 {
+					t.Fatalf("cell %s has non-positive seq", c)
+				}
+				if c.Unit == "" {
+					t.Fatalf("cell %s#%d has an empty unit label", c.Scope, c.Seq)
+				}
+				if seen[c.Key()] {
+					t.Fatalf("duplicate cell key %s", c.Key())
+				}
+				seen[c.Key()] = true
+			}
+		})
+	}
+}
+
+// TestCellsEnumerationMatchesExecution: the enumerated grid is exactly
+// the set of cells a real run records — same keys, same unit labels.
+// This is the contract that makes a coordinator's plan and a worker's
+// execution interchangeable across processes.
+func TestCellsEnumerationMatchesExecution(t *testing.T) {
+	e, err := Get("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := tinyOptions()
+	o.Accesses = 1000
+	grid, err := e.Cells(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewCheckpoint(testKey())
+	ro := o
+	ro.Checkpoint = cs
+	if _, err := e.Execute(context.Background(), ro, &bytes.Buffer{}); err != nil {
+		t.Fatalf("reference execution: %v", err)
+	}
+	recorded := cs.Export()
+	if len(recorded) != len(grid) {
+		t.Fatalf("execution recorded %d cells, enumeration planned %d", len(recorded), len(grid))
+	}
+	for _, c := range grid {
+		raw, ok := recorded[c.Key()]
+		if !ok {
+			t.Fatalf("planned cell %s was never recorded", c)
+		}
+		var rec struct {
+			Unit string `json:"unit"`
+		}
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			t.Fatalf("cell %s record does not decode: %v", c, err)
+		}
+		if rec.Unit != c.Unit {
+			t.Fatalf("cell %s recorded unit %q, plan says %q", c.Key(), rec.Unit, c.Unit)
+		}
+	}
+}
+
+// TestShardedExecutionReassemblesByteIdentical is the harness half of
+// the campaign service's equivalence proof: split one experiment's grid
+// across two executors, merge their exported cells into a fresh
+// checkpoint, render from it — the output must equal a plain serial run
+// byte for byte, with zero simulation at render time.
+func TestShardedExecutionReassemblesByteIdentical(t *testing.T) {
+	e, err := Get("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := tinyOptions()
+	o.Accesses = 1000
+	o.Workers = 1
+
+	var want bytes.Buffer
+	if _, err := e.Execute(context.Background(), o, &want); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	grid, err := e.Cells(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) < 2 {
+		t.Fatalf("fig4 grid has %d cells; sharding needs at least 2", len(grid))
+	}
+	merged := NewCheckpoint(testKey())
+	for shard := 0; shard < 2; shard++ {
+		shard := shard
+		cs := NewCheckpoint(testKey())
+		sel := func(c CellID) bool { return c.Seq%2 == shard }
+		if err := e.ExecuteSelected(context.Background(), o, sel, cs); err != nil {
+			t.Fatalf("shard %d: %v", shard, err)
+		}
+		exported := cs.Export()
+		for _, c := range grid {
+			_, has := exported[c.Key()]
+			if want := sel(c); has != want {
+				t.Fatalf("shard %d: cell %s presence = %v, want %v", shard, c, has, want)
+			}
+		}
+		merged.Merge(exported)
+	}
+	if merged.Cells() != len(grid) {
+		t.Fatalf("merged checkpoint holds %d cells, want %d", merged.Cells(), len(grid))
+	}
+
+	var got bytes.Buffer
+	if err := e.RenderFromCheckpoint(o, merged, nil, &got); err != nil {
+		t.Fatalf("render from merged shards: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("sharded reassembly differs from serial run\n--- want ---\n%s\n--- got ---\n%s",
+			want.String(), got.String())
+	}
+}
+
+// TestRenderFromCheckpointStubsFailures: a cell carried in the stub map
+// renders as an ERR cell with the stub's message surfacing in the
+// failure summary, and a cell in neither checkpoint nor stub is a
+// missing-result failure — render never silently simulates.
+func TestRenderFromCheckpointStubsFailures(t *testing.T) {
+	e, err := Get("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := tinyOptions()
+	o.Accesses = 1000
+	o.Workers = 1
+	grid, err := e.Cells(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := grid[len(grid)/2]
+	cs := NewCheckpoint(testKey())
+	if err := e.ExecuteSelected(context.Background(), o, func(c CellID) bool { return c != victim }, cs); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("stubbed", func(t *testing.T) {
+		var out bytes.Buffer
+		stub := map[string]string{victim.Key(): "cell degraded after 4 attempt(s): lease expired"}
+		err := e.RenderFromCheckpoint(o, cs, stub, &out)
+		if err == nil {
+			t.Fatal("render with a stubbed failure returned nil error")
+		}
+		if !strings.Contains(err.Error(), "lease expired") {
+			t.Fatalf("failure summary does not carry the stub message: %v", err)
+		}
+		if !strings.Contains(out.String(), "ERR") {
+			t.Fatalf("output does not render the degraded cell as ERR:\n%s", out.String())
+		}
+	})
+	t.Run("missing", func(t *testing.T) {
+		var out bytes.Buffer
+		err := e.RenderFromCheckpoint(o, cs, nil, &out)
+		if err == nil || !strings.Contains(err.Error(), "has no recorded result") {
+			t.Fatalf("missing cell err = %v, want a missing-result failure", err)
+		}
+	})
+}

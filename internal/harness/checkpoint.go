@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/atomicio"
@@ -166,6 +167,77 @@ func (cs *CheckpointState) lookup(scope string, seq int, unit string, out any) b
 		return false
 	}
 	return true
+}
+
+// Export returns a copy of the raw completed cells, keyed
+// "<scope>#<seq>". Each value is a self-contained cell record (unit
+// label plus result JSON) that Merge on any other CheckpointState
+// accepts verbatim — this is the transport format the campaign service
+// uses to ship a worker's computed cells back to the coordinator.
+func (cs *CheckpointState) Export() map[string]json.RawMessage {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make(map[string]json.RawMessage, len(cs.cells))
+	for k, v := range cs.cells {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds raw cell records (as produced by Export) to the
+// checkpoint, overwriting any existing entries with the same key.
+// Records that do not decode are skipped: a malformed cell must surface
+// as a miss (and re-run), never as a wrong answer.
+func (cs *CheckpointState) Merge(cells map[string]json.RawMessage) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for k, raw := range cells {
+		var rec cellRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			continue
+		}
+		cs.cells[k] = raw
+		cs.units[k] = rec.Unit
+	}
+}
+
+// VerifyGrid checks every stored cell against the current run's cell
+// grid and refuses — naming each offending cell — a checkpoint holding
+// cells the grid no longer generates, or cells whose recorded unit
+// label drifted from the grid's. Silently ignoring such cells would
+// mask a real mismatch between the checkpoint and the code about to
+// resume from it (a renamed unit, a reordered sweep, a hand-merged
+// file), so the resume path rejects them by name instead.
+func (cs *CheckpointState) VerifyGrid(grid []CellID) error {
+	expected := make(map[string]string, len(grid))
+	for _, c := range grid {
+		expected[c.Key()] = c.Unit
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	var bad []string
+	for key := range cs.cells {
+		unit, ok := expected[key]
+		switch {
+		case !ok:
+			bad = append(bad, fmt.Sprintf("%s (unit %q)", key, cs.units[key]))
+		case cs.units[key] != unit:
+			bad = append(bad, fmt.Sprintf("%s (unit %q, grid has %q)", key, cs.units[key], unit))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	const show = 8
+	listed := bad
+	suffix := ""
+	if len(bad) > show {
+		listed = bad[:show]
+		suffix = fmt.Sprintf(", and %d more", len(bad)-show)
+	}
+	return fmt.Errorf("harness: checkpoint holds %d cell(s) the current run does not generate: %s%s (the cell grid changed; re-run without -resume)",
+		len(bad), strings.Join(listed, ", "), suffix)
 }
 
 // Save atomically persists the checkpoint to path: a crash or kill

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +67,9 @@ type Pool struct {
 
 	ckpt      *CheckpointState
 	ckptScope string
+
+	enum func(seq int, unit string)
+	gate func(seq int, unit string) (bool, error)
 
 	mu        sync.Mutex
 	submitted int
@@ -129,6 +133,23 @@ func (p *Pool) EnableCheckpoint(cs *CheckpointState, scope string) {
 	p.ckptScope = scope
 }
 
+// EnableEnumerate puts the pool in enumeration mode: submitted jobs are
+// reported to fn in submission order and resolve immediately with zero
+// values, without executing anything. This is how the campaign service
+// discovers an experiment's cell grid — the set of (seq, unit) jobs is a
+// pure function of the Options, never of simulation results, so the
+// grid a coordinator enumerates is exactly the grid a worker executes.
+func (p *Pool) EnableEnumerate(fn func(seq int, unit string)) { p.enum = fn }
+
+// EnableGate installs a per-job admission decision, consulted after the
+// checkpoint lookup: gate(seq, unit) returning (true, _) runs the job
+// normally; (false, nil) resolves it with a zero value without
+// executing (a worker skipping cells leased to someone else); and
+// (false, err) resolves it as a failed cell carrying err (a coordinator
+// rendering a degraded campaign's ERR cells without re-running them).
+// Skipped jobs are never recorded in the checkpoint.
+func (p *Pool) EnableGate(gate func(seq int, unit string) (bool, error)) { p.gate = gate }
+
 // ReplayMeta identifies the run a crashed job belonged to, precisely
 // enough to replay it: the experiment and the Options that shape every
 // stream and system it builds.
@@ -157,7 +178,11 @@ type JobError struct {
 	Err        error  // the returned error, nil for panics
 	Timeout    bool   // reaped by the watchdog
 	Attempts   int    // executions performed (1 + retries used)
-	ReplayPath string // bundle path, "" when no bundle was written
+	ReplayPath string // bundle path of the final attempt, "" when no bundle was written
+	// PriorBundles are the replay-bundle paths of earlier attempts that
+	// also panicked, oldest first, so operators can diff the first crash
+	// against the retry's.
+	PriorBundles []string
 }
 
 // Error implements error.
@@ -171,7 +196,11 @@ func (e *JobError) Error() string {
 		name = fmt.Sprintf("job %d", e.Seq)
 	}
 	msg := fmt.Sprintf("job %q failed after %d attempt(s): %s", name, e.Attempts, what)
-	if e.ReplayPath != "" {
+	switch {
+	case e.ReplayPath != "" && len(e.PriorBundles) > 0:
+		msg += fmt.Sprintf(" (replay bundles, attempts in order: %s, then %s)",
+			strings.Join(e.PriorBundles, ", "), e.ReplayPath)
+	case e.ReplayPath != "":
 		msg += " (replay bundle: " + e.ReplayPath + ")"
 	}
 	return msg
@@ -317,6 +346,13 @@ func SubmitJob[T any](p *Pool, label string, fn func(ctx context.Context) (T, er
 // the final result (into the pool's failure list or the checkpoint).
 func execute[T any](p *Pool, label string, seq int, fn func(ctx context.Context) (T, error)) (T, error) {
 	var zero T
+	// Enumeration mode records the cell and never executes (or consults
+	// the checkpoint: the grid must be complete even when every cell is
+	// already done).
+	if p.enum != nil {
+		p.enum(seq, label)
+		return zero, nil
+	}
 	// A cell already in the checkpoint is served without running: this
 	// is the resume path, and decoding the stored JSON reproduces the
 	// original value exactly (every cell type round-trips).
@@ -327,6 +363,20 @@ func execute[T any](p *Pool, label string, seq int, fn func(ctx context.Context)
 			p.cached++
 			p.mu.Unlock()
 			return v, nil
+		}
+	}
+	// The gate skips cells this process does not own (a worker holding a
+	// lease on a different cell) or stubs cells whose outcome is already
+	// decided (a degraded cell rendering as ERR). Skips bypass the
+	// checkpoint store: only genuinely executed results are recorded.
+	if p.gate != nil {
+		if run, gerr := p.gate(seq, label); !run {
+			if gerr != nil {
+				je := &JobError{Meta: p.meta, Unit: label, Seq: seq, Err: gerr, Attempts: 1}
+				p.record(je)
+				return zero, je
+			}
+			return zero, nil
 		}
 	}
 	// A cancelled pool resolves queued jobs immediately: in-flight
@@ -434,6 +484,7 @@ func runRecovered[T any](p *Pool, ctx context.Context, label string, seq int, fn
 	}
 	var val T
 	var err error
+	var prior []string // bundle paths of earlier panicking attempts
 	for attempt := 0; ; attempt++ {
 		var je *JobError
 		val, err, je = runOnce(p, ctx, label, seq, attempt, fn)
@@ -449,7 +500,11 @@ func runRecovered[T any](p *Pool, ctx context.Context, label string, seq int, fn
 		}
 		err = je
 		if attempt >= retries || ctx.Err() != nil {
+			je.PriorBundles = prior
 			return val, err
+		}
+		if je.ReplayPath != "" {
+			prior = append(prior, je.ReplayPath)
 		}
 	}
 }

@@ -476,6 +476,146 @@ func TestLoadCheckpointRejects(t *testing.T) {
 	})
 }
 
+// TestVerifyGridRejects extends the resume refusal table to grid drift:
+// a checkpoint holding cells the current spec no longer generates —
+// removed cells, drifted unit labels — is rejected by name instead of
+// silently ignored, and long offender lists truncate with a count.
+func TestVerifyGridRejects(t *testing.T) {
+	grid := []CellID{
+		{Scope: "exp", Seq: 1, Unit: "u1"},
+		{Scope: "exp", Seq: 2, Unit: "u2"},
+	}
+	mk := func(cells ...CellID) *CheckpointState {
+		cs := NewCheckpoint(testKey())
+		for _, c := range cells {
+			cs.store(c.Scope, c.Seq, c.Unit, 1)
+		}
+		return cs
+	}
+	cases := []struct {
+		name string
+		cs   *CheckpointState
+		want []string // substrings of the refusal; empty = accepted
+	}{
+		{"empty", mk(), nil},
+		{"subset", mk(grid[0]), nil},
+		{"exact", mk(grid...), nil},
+		{"removed-cell", mk(grid[0], CellID{Scope: "exp", Seq: 9, Unit: "gone"}),
+			[]string{"1 cell(s) the current run does not generate", `exp#9 (unit "gone")`, "re-run without -resume"}},
+		{"drifted-unit", mk(grid[0], CellID{Scope: "exp", Seq: 2, Unit: "renamed"}),
+			[]string{`exp#2 (unit "renamed", grid has "u2")`}},
+		{"foreign-scope", mk(CellID{Scope: "other", Seq: 1, Unit: "u1"}),
+			[]string{`other#1 (unit "u1")`}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cs.VerifyGrid(grid)
+			if len(tc.want) == 0 {
+				if err != nil {
+					t.Fatalf("unexpected refusal: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("drifted checkpoint was accepted")
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Fatalf("refusal %q missing %q", err.Error(), w)
+				}
+			}
+		})
+	}
+
+	t.Run("truncates-long-lists", func(t *testing.T) {
+		cs := NewCheckpoint(testKey())
+		for i := 100; i < 112; i++ {
+			cs.store("exp", i, "extra", 1)
+		}
+		err := cs.VerifyGrid(grid)
+		if err == nil {
+			t.Fatal("12 alien cells accepted")
+		}
+		if !strings.Contains(err.Error(), "12 cell(s)") || !strings.Contains(err.Error(), "and 4 more") {
+			t.Fatalf("long refusal not truncated with a count: %v", err)
+		}
+	})
+
+	t.Run("round-trips-through-disk", func(t *testing.T) {
+		// The CLI path loads, then verifies; the refusal must survive the
+		// save/load round trip (units are re-derived from the records).
+		cs := mk(grid[0], CellID{Scope: "exp", Seq: 7, Unit: "stale"})
+		path := filepath.Join(t.TempDir(), "drift.json")
+		if err := cs.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadCheckpoint(path, testKey())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := loaded.VerifyGrid(grid); err == nil || !strings.Contains(err.Error(), "exp#7") {
+			t.Fatalf("loaded drifted checkpoint: err = %v", err)
+		}
+	})
+}
+
+// TestRetriedPanicNamesEveryBundle: a job that panics on the first
+// attempt and again on the retry must surface BOTH replay-bundle paths
+// in its JobError text, oldest first, so the operator can diff the
+// attempts; both bundles must exist and decode.
+func TestRetriedPanicNamesEveryBundle(t *testing.T) {
+	dir := t.TempDir()
+	p := NewPool(context.Background(), 1, nil, "twice")
+	p.EnableRecovery(ReplayMeta{Experiment: "twice", Seed: 1}, dir, 1)
+	_, err := SubmitJob(p, "boom/unit", func(context.Context) (int, error) {
+		panic("kaboom")
+	}).Result()
+	if err == nil {
+		t.Fatal("twice-panicking job returned nil error")
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("error %T is not a JobError", err)
+	}
+	if je.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", je.Attempts)
+	}
+	if len(je.PriorBundles) != 1 || je.ReplayPath == "" {
+		t.Fatalf("bundle paths incomplete: prior=%v final=%q", je.PriorBundles, je.ReplayPath)
+	}
+	if je.PriorBundles[0] == je.ReplayPath {
+		t.Fatal("prior and final bundle paths are the same file")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "attempts in order") ||
+		!strings.Contains(msg, je.PriorBundles[0]) || !strings.Contains(msg, je.ReplayPath) {
+		t.Fatalf("error text does not name both bundles: %q", msg)
+	}
+	// Oldest first: the first attempt's path precedes the final one.
+	if strings.Index(msg, je.PriorBundles[0]) > strings.Index(msg, je.ReplayPath) {
+		t.Fatalf("bundles out of order in %q", msg)
+	}
+	for _, path := range []string{je.PriorBundles[0], je.ReplayPath} {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("bundle missing: %v", err)
+		}
+		meta, derr := DecodeBundle(f)
+		f.Close()
+		if derr != nil || meta.Experiment != "twice" {
+			t.Fatalf("bundle %s does not decode: meta=%+v err=%v", path, meta, derr)
+		}
+	}
+	// A single-attempt panic keeps the old single-bundle phrasing.
+	q := NewPool(context.Background(), 1, nil, "once")
+	q.EnableRecovery(ReplayMeta{Experiment: "once", Seed: 1}, dir, 0)
+	_, err = SubmitJob(q, "boom2", func(context.Context) (int, error) { panic("x") }).Result()
+	if err == nil || !strings.Contains(err.Error(), "replay bundle: ") ||
+		strings.Contains(err.Error(), "attempts in order") {
+		t.Fatalf("single-attempt phrasing regressed: %v", err)
+	}
+}
+
 // TestDecodeBundleRejects covers the replay-bundle codec's refusals.
 func TestDecodeBundleRejects(t *testing.T) {
 	valid, err := json.Marshal(replayBundle{

@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"encoding/json"
+	"hash/fnv"
+
+	"repro/internal/harness"
+)
+
+// CellFingerprint content-hashes everything that determines a cell's
+// value: the result-shaping options (scale, accesses, seed, quick) and
+// the cell identity (experiment scope, submission seq, unit label).
+// Campaign composition is deliberately excluded — which other
+// experiments ride in the spec does not change this cell's result — so
+// identical cells dedup across campaigns that differ only in what else
+// they run.
+func CellFingerprint(s Spec, c harness.CellID) uint64 {
+	b, err := json.Marshal(struct {
+		Scale    int    `json:"scale"`
+		Accesses int    `json:"accesses"`
+		Seed     uint64 `json:"seed"`
+		Quick    bool   `json:"quick"`
+		Scope    string `json:"scope"`
+		Seq      int    `json:"seq"`
+		Unit     string `json:"unit"`
+	}{s.Scale, s.Accesses, s.Seed, s.Quick, c.Scope, c.Seq, c.Unit})
+	if err != nil {
+		// Plain data; Marshal cannot fail.
+		panic(err)
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// resultCache maps cell fingerprints to raw checkpoint cell records.
+// It is rebuilt from Done cells on state load, so cache hits survive
+// coordinator crashes. Callers hold the coordinator lock.
+type resultCache map[uint64]json.RawMessage
+
+func (rc resultCache) get(fp uint64) (json.RawMessage, bool) {
+	v, ok := rc[fp]
+	return v, ok
+}
+
+func (rc resultCache) put(fp uint64, v json.RawMessage) {
+	if _, ok := rc[fp]; !ok {
+		rc[fp] = v
+	}
+}

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// TestChaosScenarios drives the coordinator through hundreds of seeded
+// chaos scenarios — worker stalls, duplicated lease grants, stale
+// heartbeats, double-delivered results, random coordinator crashes —
+// asserting the full invariant set (exactly-once cell accounting
+// included) after every step, and at the end that every campaign
+// reached a terminal state with every non-degraded campaign's output
+// matching the deterministic expectation. Each scenario replays
+// identically from its seed: one seeded RNG drives the driver, and the
+// coordinator's own jitter and chaos draws are seeded from it.
+func TestChaosScenarios(t *testing.T) {
+	scenarios := 250
+	if testing.Short() {
+		scenarios = 40
+	}
+	for seed := 1; seed <= scenarios; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runChaosScenario(t, uint64(seed))
+		})
+	}
+}
+
+// chaosGrant is one simulated worker's view of a grant it holds.
+type chaosGrant struct {
+	g       *Grant
+	stalled bool // will never deliver in time; the lease must expire
+}
+
+func runChaosScenario(t *testing.T, seed uint64) {
+	rng := sim.NewRNG(seed).Fork(0xD21E)
+	clk := newClock()
+	chaos := faults.NewServiceChaos(seed)
+	statePath := filepath.Join(t.TempDir(), "state.json")
+
+	cells := 3 + rng.Intn(5) // 3..7 cells per campaign
+	cfg := fakeConfig(clk, cells)
+	cfg.Seed = seed
+	cfg.RetryBudget = 1 + rng.Intn(3) // 1..3
+	cfg.StatePath = statePath
+	cfg.Chaos = chaos
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1..3 campaigns; campaigns beyond the first may share the first's
+	// seed, exercising the cross-campaign result cache mid-chaos.
+	campaigns := 1 + rng.Intn(3)
+	ids := make([]string, 0, campaigns)
+	for i := 0; i < campaigns; i++ {
+		s := fakeSpec(uint64(1 + rng.Intn(2)))
+		sub, err := c.Submit(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, sub.ID)
+	}
+
+	check := func(step string) {
+		t.Helper()
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("after %s: invariant violated: %v", step, err)
+		}
+	}
+	check("submit")
+
+	held := []chaosGrant{} // grants "workers" currently hold, in grant order
+	deliver := func(cg chaosGrant, report bool) {
+		t.Helper()
+		req := CompleteRequest{
+			LeaseID: cg.g.LeaseID, Campaign: cg.g.Campaign,
+			Key: cg.g.Cell.Key(), Unit: cg.g.Cell.Unit,
+		}
+		if report {
+			req.Err = "chaos: injected execution failure"
+		} else {
+			req.Value = cellValue(cg.g.Cell, 1000+cg.g.Cell.Seq)
+		}
+		if _, err := c.Complete(req); err != nil {
+			t.Fatalf("complete %s: %v", cg.g.Cell, err)
+		}
+		check("complete")
+		if !report && chaos.Hit(faults.DoubleDelivery) {
+			if _, err := c.Complete(req); err != nil {
+				t.Fatalf("double delivery %s: %v", cg.g.Cell, err)
+			}
+			check("double delivery")
+		}
+	}
+
+	allTerminal := func() bool {
+		for _, id := range ids {
+			st, err := c.Status(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State == "running" {
+				return false
+			}
+		}
+		return true
+	}
+
+	const maxSteps = 4000
+	step := 0
+	for ; step < maxSteps && !allTerminal(); step++ {
+		switch act := rng.Intn(10); {
+		case act < 4: // try to lease
+			g, err := c.Lease(fmt.Sprintf("w%d", rng.Intn(4)))
+			if err != nil {
+				t.Fatalf("lease: %v", err)
+			}
+			check("lease")
+			if g != nil {
+				held = append(held, chaosGrant{g: g, stalled: chaos.Hit(faults.WorkerStall)})
+			}
+		case act < 6: // a held grant resolves
+			if len(held) == 0 {
+				clk.Advance(time.Second)
+				continue
+			}
+			i := rng.Intn(len(held))
+			cg := held[i]
+			held = append(held[:i], held[i+1:]...)
+			if cg.stalled {
+				// The worker sits on it; time passes, the lease expires.
+				clk.Advance(cfg.LeaseTTL + time.Second)
+				c.Sweep()
+				check("stall expiry")
+				if chaos.Hit(faults.StaleHeartbeat) {
+					err := c.Renew(cg.g.LeaseID)
+					if err == nil {
+						t.Fatalf("stale heartbeat on %s was accepted", cg.g.LeaseID)
+					}
+					check("stale heartbeat")
+				}
+				// Sometimes the stalled worker wakes up and delivers late.
+				if rng.Bool(0.5) {
+					deliver(cg, false)
+				}
+				continue
+			}
+			deliver(cg, rng.Bool(0.2)) // 20% of executions report failure
+		case act < 7: // heartbeat a held lease
+			if len(held) == 0 {
+				continue
+			}
+			cg := held[rng.Intn(len(held))]
+			_ = c.Renew(cg.g.LeaseID) // stale is legal here (dup-granted sibling may have finished the cell)
+			check("renew")
+		case act < 9: // time passes (backoff windows open, leases age)
+			clk.Advance(time.Duration(1+rng.Intn(12)) * time.Second)
+			c.Sweep()
+			check("sweep")
+		default: // coordinator crash + recovery
+			c.Kill()
+			r, err := New(cfg)
+			if err != nil {
+				t.Fatalf("step %d: successor failed to load state: %v", step, err)
+			}
+			c = r
+			check("coordinator restart")
+			// Grants issued by the dead incarnation are now stale; keep
+			// them held — late deliveries against the successor exercise
+			// the stale-accept path.
+		}
+	}
+	if !allTerminal() {
+		t.Fatalf("scenario did not terminate in %d steps (seed %d)", maxSteps, seed)
+	}
+	check("terminal")
+
+	// Exactly-once accounting at the end of the world: every campaign
+	// terminal, every complete campaign's output exactly the
+	// deterministic render, every degraded cell explained.
+	stats := c.StatsSnapshot()
+	var doneCells uint64
+	for _, id := range ids {
+		st, err := c.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done+st.Failed != st.Total {
+			t.Fatalf("campaign %s terminal but done %d + failed %d != total %d", id, st.Done, st.Failed, st.Total)
+		}
+		cm := c.campaigns[id]
+		for _, key := range cm.order {
+			cl := cm.cells[key]
+			if cl.phase == CellDone && !cl.fromCache {
+				doneCells++
+			}
+		}
+		switch st.State {
+		case "complete":
+			for i := 1; i <= st.Total; i++ {
+				want := fmt.Sprintf("u%d=%d\n", i, 1000+i)
+				if !strings.Contains(st.Output, want) {
+					t.Fatalf("campaign %s output missing %q:\n%s", id, want, st.Output)
+				}
+			}
+		case "degraded":
+			if len(st.Failures) != st.Failed {
+				t.Fatalf("campaign %s reports %d failures for %d failed cells", id, len(st.Failures), st.Failed)
+			}
+			for _, f := range st.Failures {
+				if !strings.Contains(f.Err, "attempt(s)") {
+					t.Fatalf("campaign %s failure %q does not name its attempts", id, f.Err)
+				}
+			}
+		default:
+			t.Fatalf("campaign %s in state %q at the end", id, st.State)
+		}
+	}
+	// Completed counts cells that were delivered (not cache-served) on
+	// THIS incarnation; across crashes the durable cells are what must
+	// reconcile: every executed Done cell was delivered exactly once to
+	// some incarnation, and duplicates were always counted separately.
+	if stats.Completed > doneCells {
+		t.Fatalf("this incarnation recorded %d completions for %d executed done cells", stats.Completed, doneCells)
+	}
+}
+
+// TestChaosScenarioReplaysDeterministically: the same seed must drive
+// the exact same scenario to the exact same end state — the property
+// that makes a chaos failure debuggable.
+func TestChaosScenarioReplaysDeterministically(t *testing.T) {
+	run := func() (string, Stats) {
+		clk := newClock()
+		chaos := faults.NewServiceChaos(99)
+		cfg := fakeConfig(clk, 4)
+		cfg.Seed = 99
+		cfg.Chaos = chaos
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := c.Submit(fakeSpec(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(99).Fork(0xD21E)
+		var held []*Grant
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				if g, _ := c.Lease("w"); g != nil {
+					held = append(held, g)
+				}
+			case 1:
+				if len(held) > 0 {
+					g := held[0]
+					held = held[1:]
+					_, _ = c.Complete(CompleteRequest{
+						LeaseID: g.LeaseID, Campaign: g.Campaign, Key: g.Cell.Key(),
+						Unit: g.Cell.Unit, Value: cellValue(g.Cell, g.Cell.Seq),
+					})
+				}
+			case 2:
+				clk.Advance(3 * time.Second)
+				c.Sweep()
+			case 3:
+				clk.Advance(11 * time.Second)
+				c.Sweep()
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := c.Status(sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%s|%s|%v", st.State, st.Output, st.Failures), c.StatsSnapshot()
+	}
+	o1, s1 := run()
+	o2, s2 := run()
+	if o1 != o2 || s1 != s2 {
+		t.Fatalf("same seed diverged:\n--- run 1 ---\n%s\n%+v\n--- run 2 ---\n%s\n%+v", o1, s1, o2, s2)
+	}
+}

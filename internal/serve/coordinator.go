@@ -1,0 +1,764 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrStaleLease: the lease expired or was superseded; renewals are
+	// refused (HTTP 410) so a stalled worker learns to abandon the cell.
+	ErrStaleLease = errors.New("serve: lease expired or superseded")
+	// ErrUnknownCampaign: no such campaign ID (HTTP 404).
+	ErrUnknownCampaign = errors.New("serve: unknown campaign")
+	// ErrDown: the coordinator was killed (tests simulate a crash this
+	// way); every API call answers 503 until a new coordinator loads the
+	// durable state.
+	ErrDown = errors.New("serve: coordinator is down")
+	// ErrPersist: the durable state could not be written (HTTP 500); the
+	// in-memory transition still happened and the next successful persist
+	// covers it.
+	ErrPersist = errors.New("serve: persisting state")
+)
+
+// cellPhase is the lease state machine's per-cell state.
+type cellPhase int
+
+const (
+	// CellPending: waiting for a grant (readyAt gates backoff).
+	CellPending cellPhase = iota
+	// CellLeased: at least one live lease; a worker is (nominally)
+	// computing the value.
+	CellLeased
+	// CellDone: a value is recorded; terminal.
+	CellDone
+	// CellFailed: the retry budget is exhausted; renders ERR; terminal.
+	CellFailed
+)
+
+func (p cellPhase) String() string {
+	switch p {
+	case CellPending:
+		return "pending"
+	case CellLeased:
+		return "leased"
+	case CellDone:
+		return "done"
+	case CellFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("cellPhase(%d)", int(p))
+}
+
+// cell is one schedulable unit of a campaign.
+type cell struct {
+	id harness.CellID
+	fp uint64 // content fingerprint for the cross-campaign result cache
+
+	phase    cellPhase
+	attempts int       // scheduling rounds granted (dup grants join the current round)
+	readyAt  time.Time // backoff gate while Pending
+	leases   int       // live leases (>1 only under dup-grant chaos)
+
+	value       json.RawMessage // raw checkpoint cell record once Done
+	errText     string          // degradation reason once Failed
+	completions int             // accepted value deliveries (exactly-once: <= 1)
+	dupResults  int             // deliveries counted-and-ignored
+	fromCache   bool            // value served by the result cache, never executed
+}
+
+// lease is one grant of a cell to a worker.
+type lease struct {
+	id      string
+	worker  string
+	camp    string
+	cellKey string
+	expires time.Time
+}
+
+// campaign is one submitted spec and its cell table.
+type campaign struct {
+	id        string
+	spec      Spec
+	order     []string // cell keys in plan order
+	cells     map[string]*cell
+	cacheHits int
+
+	rendered  bool // terminal output assembled
+	output    string
+	renderErr string
+}
+
+func (cm *campaign) counts() (done, failed, leased, pending int) {
+	for _, c := range cm.cells {
+		switch c.phase {
+		case CellDone:
+			done++
+		case CellFailed:
+			failed++
+		case CellLeased:
+			leased++
+		case CellPending:
+			pending++
+		}
+	}
+	return
+}
+
+func (cm *campaign) terminal() bool {
+	done, failed, _, _ := cm.counts()
+	return done+failed == len(cm.cells)
+}
+
+// Stats counts coordinator events for introspection and the chaos
+// harness's accounting.
+type Stats struct {
+	Granted         uint64 `json:"granted"`
+	DupGranted      uint64 `json:"dup_granted"`
+	Renewed         uint64 `json:"renewed"`
+	StaleHeartbeats uint64 `json:"stale_heartbeats"`
+	Expired         uint64 `json:"expired"`
+	Requeued        uint64 `json:"requeued"`
+	Degraded        uint64 `json:"degraded"`
+	Completed       uint64 `json:"completed"`
+	StaleAccepted   uint64 `json:"stale_accepted"`
+	DupResults      uint64 `json:"dup_results"`
+	FailedReports   uint64 `json:"failed_reports"`
+	CacheHits       uint64 `json:"cache_hits"`
+}
+
+// Coordinator owns the campaign and lease tables. All state lives
+// behind one mutex — the service is robustness-bound, not
+// throughput-bound (cells run for seconds; API calls are table edits).
+type Coordinator struct {
+	cfg     Config
+	planner Planner
+	now     func() time.Time
+
+	mu           sync.Mutex
+	rng          *sim.RNG // backoff jitter only
+	campaigns    map[string]*campaign
+	order        []string // campaign IDs in submission order
+	leases       map[string]*lease
+	cache        resultCache
+	nextCampaign int
+	nextLease    int
+	gen          int // coordinator incarnation; prefixes lease IDs
+	stats        Stats
+	down         bool
+}
+
+// New builds a coordinator; when cfg.StatePath names an existing state
+// file, the previous coordinator's durable state is loaded and cells
+// that were leased at the crash re-queue immediately.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:       cfg,
+		planner:   cfg.Planner,
+		now:       cfg.Clock,
+		rng:       sim.NewRNG(cfg.Seed).Fork(0xBACC0FF),
+		campaigns: make(map[string]*campaign),
+		leases:    make(map[string]*lease),
+		cache:     make(resultCache),
+		gen:       1,
+	}
+	if cfg.StatePath != "" {
+		if err := c.loadState(cfg.StatePath); err != nil {
+			return nil, err
+		}
+		// Persist immediately so this incarnation's generation is durable
+		// before any lease is granted under it.
+		if err := c.persistLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Kill marks the coordinator down: every subsequent API call fails with
+// ErrDown and nothing further persists. Tests use it to simulate a
+// coordinator crash without a process boundary — the durable state file
+// is exactly what a real crash would leave behind, and a fresh New on
+// the same StatePath resumes from it.
+func (c *Coordinator) Kill() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down = true
+}
+
+// Submit registers a campaign: the planner decomposes the spec into
+// cells, the result cache pre-fills any cell another campaign already
+// computed, and the cell table persists before the response is sent.
+func (c *Coordinator) Submit(s Spec) (SubmitResponse, error) {
+	grid, err := c.planner.Plan(s)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down {
+		return SubmitResponse{}, ErrDown
+	}
+	c.nextCampaign++
+	cm := &campaign{
+		id:    fmt.Sprintf("c%04d", c.nextCampaign),
+		spec:  s,
+		cells: make(map[string]*cell, len(grid)),
+	}
+	for _, id := range grid {
+		key := id.Key()
+		if _, dup := cm.cells[key]; dup {
+			return SubmitResponse{}, fmt.Errorf("serve: spec plans cell %s twice (an experiment is listed more than once?)", id)
+		}
+		cl := &cell{id: id, fp: CellFingerprint(s, id)}
+		if v, ok := c.cache.get(cl.fp); ok {
+			cl.phase = CellDone
+			cl.value = v
+			cl.fromCache = true
+			cm.cacheHits++
+			c.stats.CacheHits++
+		}
+		cm.cells[key] = cl
+		cm.order = append(cm.order, key)
+	}
+	c.campaigns[cm.id] = cm
+	c.order = append(c.order, cm.id)
+	c.finishIfDoneLocked(cm) // a fully cache-served campaign is born terminal
+	if err := c.persistLocked(); err != nil {
+		return SubmitResponse{}, err
+	}
+	return SubmitResponse{ID: cm.id, Cells: len(grid), CacheHits: cm.cacheHits}, nil
+}
+
+// Lease grants the next pending cell to a worker, or returns (nil, nil)
+// when no cell is ready. Expired leases are swept first, so a dead
+// worker's cell becomes grantable the moment its lease lapses. Under
+// dup-grant chaos, an already-leased cell may be granted a second,
+// concurrent lease instead — the delivery path must then deduplicate.
+func (c *Coordinator) Lease(worker string) (*Grant, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down {
+		return nil, ErrDown
+	}
+	c.sweepLocked()
+	if c.cfg.Chaos.Hit(faults.DupGrant) {
+		if g := c.grantLocked(worker, CellLeased); g != nil {
+			c.stats.DupGranted++
+			return g, nil
+		}
+	}
+	g := c.grantLocked(worker, CellPending)
+	if g != nil {
+		c.stats.Granted++
+		// Persist the attempt charge: a coordinator that crash-loops on a
+		// poison cell must not forget how many times it already tried.
+		if err := c.persistLocked(); err != nil {
+			return g, err
+		}
+	}
+	return g, nil
+}
+
+// grantLocked finds the first cell in submission order matching want
+// (Pending respecting its backoff gate) and leases it to the worker. A
+// grant on a Pending cell starts a new scheduling round (attempts++); a
+// grant on a Leased cell joins the current round.
+func (c *Coordinator) grantLocked(worker string, want cellPhase) *Grant {
+	now := c.now()
+	for _, cid := range c.order {
+		cm := c.campaigns[cid]
+		for _, key := range cm.order {
+			cl := cm.cells[key]
+			if cl.phase != want {
+				continue
+			}
+			if want == CellPending && now.Before(cl.readyAt) {
+				continue
+			}
+			if want == CellPending {
+				cl.attempts++
+				cl.phase = CellLeased
+			}
+			cl.leases++
+			c.nextLease++
+			l := &lease{
+				id:      fmt.Sprintf("l%d-%04d", c.gen, c.nextLease),
+				worker:  worker,
+				camp:    cm.id,
+				cellKey: key,
+				expires: now.Add(c.cfg.LeaseTTL),
+			}
+			c.leases[l.id] = l
+			return &Grant{
+				LeaseID:  l.id,
+				Campaign: cm.id,
+				Cell:     cl.id,
+				Spec:     cm.spec,
+				TTLMS:    c.cfg.LeaseTTL.Milliseconds(),
+			}
+		}
+	}
+	return nil
+}
+
+// Renew heartbeats a lease, extending it a full TTL. A renewal of an
+// expired or superseded lease fails with ErrStaleLease — the
+// coordinator never resurrects a lease it already re-queued, or the
+// cell could end up double-executing without the dedup accounting that
+// dup-grant chaos exercises.
+func (c *Coordinator) Renew(leaseID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down {
+		return ErrDown
+	}
+	c.sweepLocked()
+	l, ok := c.leases[leaseID]
+	if !ok {
+		c.stats.StaleHeartbeats++
+		return fmt.Errorf("%w: %s", ErrStaleLease, leaseID)
+	}
+	l.expires = c.now().Add(c.cfg.LeaseTTL)
+	c.stats.Renewed++
+	return nil
+}
+
+// Complete records a cell outcome. Value deliveries are exactly-once:
+// the first accepted delivery marks the cell Done and every later one —
+// duplicate, late, or raced by a dup-granted sibling — is counted and
+// ignored. A delivery under an expired lease is still accepted when the
+// cell has no result yet: cell values are pure functions of the spec
+// and cell identity, so a late worker's answer is as good as any.
+// Failure reports consume the reporting lease and re-queue the cell
+// under backoff, degrading it to a Failed (ERR) cell once the retry
+// budget is spent.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down {
+		return "", ErrDown
+	}
+	c.sweepLocked()
+	cm, ok := c.campaigns[req.Campaign]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownCampaign, req.Campaign)
+	}
+	cl, ok := cm.cells[req.Key]
+	if !ok {
+		return "", fmt.Errorf("serve: campaign %s has no cell %q", req.Campaign, req.Key)
+	}
+	l, live := c.leases[req.LeaseID]
+	live = live && l.camp == req.Campaign && l.cellKey == req.Key
+
+	if req.Err != "" {
+		return c.completeFailureLocked(cm, cl, req, live)
+	}
+	return c.completeValueLocked(cm, cl, req, live)
+}
+
+func (c *Coordinator) completeValueLocked(cm *campaign, cl *cell, req CompleteRequest, live bool) (CompleteStatus, error) {
+	switch cl.phase {
+	case CellDone:
+		cl.dupResults++
+		c.stats.DupResults++
+		if live {
+			c.dropLeaseLocked(req.LeaseID)
+		}
+		return CompleteDuplicate, nil
+	case CellFailed:
+		// Terminal: the campaign may already have rendered this cell as
+		// ERR; resurrecting it would fork the output.
+		return CompleteIgnored, nil
+	}
+	if len(req.Value) == 0 {
+		return "", fmt.Errorf("serve: completion for cell %s carries neither value nor error", cl.id)
+	}
+	cl.phase = CellDone
+	cl.value = req.Value
+	cl.completions++
+	c.cache.put(cl.fp, req.Value)
+	c.stats.Completed++
+	status := CompleteRecorded
+	if !live {
+		c.stats.StaleAccepted++
+		status = CompleteStaleRecorded
+	}
+	// Every other lease on this cell (dup grants, the expired original)
+	// is now pointless; drop them so their expiry cannot re-queue a
+	// finished cell.
+	c.dropCellLeasesLocked(cm.id, cl)
+	c.finishIfDoneLocked(cm)
+	if err := c.persistLocked(); err != nil {
+		return "", err
+	}
+	return status, nil
+}
+
+func (c *Coordinator) completeFailureLocked(cm *campaign, cl *cell, req CompleteRequest, live bool) (CompleteStatus, error) {
+	c.stats.FailedReports++
+	if cl.phase == CellDone || cl.phase == CellFailed {
+		return CompleteIgnored, nil
+	}
+	if !live {
+		// The lease already expired: its expiry re-queued (or degraded)
+		// the cell, so this report carries no new information.
+		return CompleteIgnored, nil
+	}
+	c.dropLeaseLocked(req.LeaseID)
+	cl.leases--
+	if cl.leases > 0 {
+		// A dup-granted sibling is still working the cell; let it finish.
+		return CompleteRetried, nil
+	}
+	c.requeueLocked(cl, req.Err)
+	status := CompleteRetried
+	if cl.phase == CellFailed {
+		status = CompleteDegraded
+		c.finishIfDoneLocked(cm)
+		if err := c.persistLocked(); err != nil {
+			return "", err
+		}
+	}
+	return status, nil
+}
+
+// dropLeaseLocked removes one lease without touching its cell's count.
+func (c *Coordinator) dropLeaseLocked(id string) {
+	delete(c.leases, id)
+}
+
+// dropCellLeasesLocked removes every live lease on a cell.
+func (c *Coordinator) dropCellLeasesLocked(campID string, cl *cell) {
+	for id, l := range c.leases {
+		if l.camp == campID && l.cellKey == cl.id.Key() {
+			delete(c.leases, id)
+		}
+	}
+	cl.leases = 0
+}
+
+// Sweep expires lapsed leases, re-queueing (or degrading) their cells.
+// The HTTP handlers sweep on every call; StartSweeper adds a background
+// cadence so expiry is not gated on traffic.
+func (c *Coordinator) Sweep() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down {
+		return
+	}
+	c.sweepLocked()
+}
+
+// sweepLocked walks leases in sorted ID order — map order would make
+// the jitter RNG stream, and therefore chaos scenarios, irreproducible.
+// Degradations are durable, so a sweep that degrades persists before
+// returning; requeues are not (a crash just re-queues leased cells
+// anyway).
+func (c *Coordinator) sweepLocked() {
+	before := c.stats.Degraded
+	defer func() {
+		if c.stats.Degraded != before {
+			_ = c.persistLocked()
+		}
+	}()
+	now := c.now()
+	var expired []string
+	for id, l := range c.leases {
+		if !l.expires.After(now) {
+			expired = append(expired, id)
+		}
+	}
+	sort.Strings(expired)
+	for _, id := range expired {
+		l := c.leases[id]
+		delete(c.leases, id)
+		c.stats.Expired++
+		cl := c.campaigns[l.camp].cells[l.cellKey]
+		if cl.phase != CellLeased {
+			continue // a racing delivery already finished the cell
+		}
+		cl.leases--
+		if cl.leases > 0 {
+			continue // a dup-granted sibling still holds it
+		}
+		c.requeueLocked(cl, "lease expired (worker presumed dead)")
+		if cl.phase == CellFailed {
+			// Degrading the last outstanding cell finishes the campaign.
+			c.finishIfDoneLocked(c.campaigns[l.camp])
+		}
+	}
+}
+
+// requeueLocked returns a cell whose last lease died to Pending under
+// exponential backoff, or degrades it to Failed once its attempts
+// exceed the retry budget. The ERR text names the attempt count and the
+// final reason so the rendered table explains itself.
+func (c *Coordinator) requeueLocked(cl *cell, reason string) {
+	if cl.attempts > c.cfg.RetryBudget {
+		cl.phase = CellFailed
+		cl.errText = fmt.Sprintf("cell %s failed after %d attempt(s): %s", cl.id, cl.attempts, reason)
+		c.stats.Degraded++
+		return
+	}
+	cl.phase = CellPending
+	cl.readyAt = c.now().Add(c.backoff(cl.attempts))
+	c.stats.Requeued++
+}
+
+// backoff returns min(base<<(n-1), max) plus jitter in [0, base/2),
+// drawn from the coordinator's seeded RNG so re-queue schedules
+// replay under a fixed seed.
+func (c *Coordinator) backoff(n int) time.Duration {
+	d := c.cfg.BackoffMax
+	if shift := n - 1; shift < 63 {
+		if v := c.cfg.BackoffBase << shift; v > 0 && v < d {
+			d = v
+		}
+	}
+	if half := int64(c.cfg.BackoffBase / 2); half > 0 {
+		d += time.Duration(c.rng.Uint64() % uint64(half))
+	}
+	return d
+}
+
+// finishIfDoneLocked assembles the campaign output once every cell is
+// terminal. Assembly replays recorded cells (no simulation), stubbing
+// Failed cells so they render as ERR exactly where a serial run's
+// failed jobs would.
+func (c *Coordinator) finishIfDoneLocked(cm *campaign) {
+	if cm.rendered || !cm.terminal() {
+		return
+	}
+	cm.rendered = true
+	cs := harness.NewCheckpoint(harness.CheckpointKey{
+		Kind: "serve", IDs: cm.spec.Experiments,
+		Scale: cm.spec.Scale, Accesses: cm.spec.Accesses,
+		Seed: cm.spec.Seed, Quick: cm.spec.Quick,
+	})
+	raw := make(map[string]json.RawMessage)
+	stub := make(map[string]string)
+	for key, cl := range cm.cells {
+		switch cl.phase {
+		case CellDone:
+			raw[key] = cl.value
+		case CellFailed:
+			stub[key] = cl.errText
+		}
+	}
+	cs.Merge(raw)
+	var buf bytes.Buffer
+	if err := c.planner.Assemble(cm.spec, cs, stub, &buf); err != nil {
+		cm.renderErr = err.Error()
+	}
+	cm.output = buf.String()
+}
+
+// Status reports a campaign's progress; terminal campaigns include the
+// assembled output.
+func (c *Coordinator) Status(id string) (CampaignStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down {
+		return CampaignStatus{}, ErrDown
+	}
+	c.sweepLocked()
+	cm, ok := c.campaigns[id]
+	if !ok {
+		return CampaignStatus{}, fmt.Errorf("%w: %s", ErrUnknownCampaign, id)
+	}
+	return c.statusLocked(cm), nil
+}
+
+func (c *Coordinator) statusLocked(cm *campaign) CampaignStatus {
+	done, failed, leased, pending := cm.counts()
+	st := CampaignStatus{
+		ID: cm.id, Spec: cm.spec,
+		Total: len(cm.cells), Done: done, Failed: failed,
+		Leased: leased, Pending: pending, CacheHits: cm.cacheHits,
+	}
+	switch {
+	case !cm.terminal():
+		st.State = "running"
+	case failed > 0:
+		st.State = "degraded"
+	default:
+		st.State = "complete"
+	}
+	for _, key := range cm.order {
+		cl := cm.cells[key]
+		if cl.phase == CellFailed {
+			st.Failures = append(st.Failures, CellFailure{Cell: key, Unit: cl.id.Unit, Err: cl.errText})
+		}
+	}
+	if cm.rendered {
+		st.Output = cm.output
+		if cm.renderErr != "" && st.State == "complete" {
+			st.State = "degraded"
+		}
+	}
+	return st
+}
+
+// StatsSnapshot returns a copy of the event counters.
+func (c *Coordinator) StatsSnapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// StartSweeper expires leases on a fixed cadence until ctx is done, so
+// worker death is detected even when no worker is polling.
+func (c *Coordinator) StartSweeper(ctx context.Context, every time.Duration) {
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				c.Sweep()
+			}
+		}
+	}()
+}
+
+// WriteJobs renders the job table for GET /v1/jobs: every campaign,
+// every cell's phase and attempts, and the coordinator's event
+// counters. The format is deliberately timestamp-free so introspection
+// output is golden-testable.
+func (c *Coordinator) WriteJobs(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked()
+	if len(c.order) == 0 {
+		fmt.Fprintln(w, "no campaigns")
+		return
+	}
+	for _, cid := range c.order {
+		cm := c.campaigns[cid]
+		done, failed, leased, pending := cm.counts()
+		state := "running"
+		switch {
+		case !cm.terminal():
+		case failed > 0 || cm.renderErr != "":
+			state = "degraded"
+		default:
+			state = "complete"
+		}
+		fmt.Fprintf(w, "campaign %s: %s — %s (done %d, failed %d, leased %d, pending %d, cache hits %d)\n",
+			cm.id, cm.spec, state, done, failed, leased, pending, cm.cacheHits)
+		for _, key := range cm.order {
+			cl := cm.cells[key]
+			detail := ""
+			switch {
+			case cl.fromCache:
+				detail = " (cache)"
+			case cl.phase == CellLeased:
+				detail = fmt.Sprintf(" (attempt %d, %d lease(s))", cl.attempts, cl.leases)
+			case cl.phase == CellPending && cl.attempts > 0:
+				detail = fmt.Sprintf(" (retry, %d attempt(s) so far)", cl.attempts)
+			case cl.phase == CellFailed:
+				detail = fmt.Sprintf(" (%s)", cl.errText)
+			}
+			fmt.Fprintf(w, "  %-24s %-8s%s\n", cl.id, cl.phase, detail)
+		}
+	}
+	s := c.stats
+	fmt.Fprintf(w, "leases: granted %d (dup %d), renewed %d, stale heartbeats %d, expired %d\n",
+		s.Granted, s.DupGranted, s.Renewed, s.StaleHeartbeats, s.Expired)
+	fmt.Fprintf(w, "cells: completed %d (stale-accepted %d, dup results %d), requeued %d, degraded %d, failed reports %d, cache hits %d\n",
+		s.Completed, s.StaleAccepted, s.DupResults, s.Requeued, s.Degraded, s.FailedReports, s.CacheHits)
+}
+
+// CheckInvariants verifies the exactly-once accounting and lease/cell
+// consistency the chaos harness asserts after every scenario step:
+//
+//   - Done cells hold a value and were delivered exactly once (or came
+//     from the cache and were never delivered);
+//   - Failed cells carry a reason and hold no leases;
+//   - Pending cells hold no leases and no value;
+//   - Leased cells hold at least one lease, and per-cell lease counts
+//     match the live lease table;
+//   - every live lease points at a Leased cell of a known campaign;
+//   - rendered campaigns are terminal.
+func (c *Coordinator) CheckInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	liveCount := make(map[string]int)
+	for id, l := range c.leases {
+		cm, ok := c.campaigns[l.camp]
+		if !ok {
+			return fmt.Errorf("lease %s references unknown campaign %s", id, l.camp)
+		}
+		cl, ok := cm.cells[l.cellKey]
+		if !ok {
+			return fmt.Errorf("lease %s references unknown cell %s/%s", id, l.camp, l.cellKey)
+		}
+		if cl.phase != CellLeased {
+			return fmt.Errorf("lease %s live on %s cell %s", id, cl.phase, cl.id)
+		}
+		liveCount[l.camp+"/"+l.cellKey]++
+	}
+	for _, cid := range c.order {
+		cm := c.campaigns[cid]
+		for _, key := range cm.order {
+			cl := cm.cells[key]
+			live := liveCount[cid+"/"+key]
+			switch cl.phase {
+			case CellDone:
+				if len(cl.value) == 0 {
+					return fmt.Errorf("done cell %s has no value", cl.id)
+				}
+				if cl.fromCache && cl.completions != 0 {
+					return fmt.Errorf("cache-served cell %s counts %d completions", cl.id, cl.completions)
+				}
+				if !cl.fromCache && cl.completions != 1 {
+					return fmt.Errorf("done cell %s counts %d completions, want exactly 1", cl.id, cl.completions)
+				}
+			case CellFailed:
+				if cl.errText == "" {
+					return fmt.Errorf("failed cell %s has no reason", cl.id)
+				}
+				if cl.leases != 0 || live != 0 {
+					return fmt.Errorf("failed cell %s still holds leases", cl.id)
+				}
+			case CellPending:
+				if cl.leases != 0 || live != 0 {
+					return fmt.Errorf("pending cell %s holds leases", cl.id)
+				}
+				if cl.completions != 0 || len(cl.value) != 0 {
+					return fmt.Errorf("pending cell %s holds a value", cl.id)
+				}
+			case CellLeased:
+				if cl.leases < 1 {
+					return fmt.Errorf("leased cell %s counts %d leases", cl.id, cl.leases)
+				}
+				if cl.leases != live {
+					return fmt.Errorf("cell %s counts %d leases but %d are live", cl.id, cl.leases, live)
+				}
+			}
+			if cl.completions > 1 {
+				return fmt.Errorf("cell %s delivered %d times (exactly-once violated)", cl.id, cl.completions)
+			}
+		}
+		if cm.rendered && !cm.terminal() {
+			return fmt.Errorf("campaign %s rendered before terminal", cid)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// fakeClock steps lease expiry deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000_000, 0).UTC()}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// fakePlanner drives the lease machinery over a synthetic grid — no
+// simulation, so chaos scenarios run by the hundreds. The grid is
+// `cells` cells scoped under the spec's first experiment name; assembly
+// prints one "unit=value" line per cell in order, rendering degraded
+// cells as ERR with their recorded reason.
+type fakePlanner struct{ cells int }
+
+func (f fakePlanner) Plan(s Spec) ([]harness.CellID, error) {
+	if len(s.Experiments) == 0 {
+		return nil, fmt.Errorf("fake: spec names no experiments")
+	}
+	grid := make([]harness.CellID, f.cells)
+	for i := range grid {
+		grid[i] = harness.CellID{Scope: s.Experiments[0], Seq: i + 1, Unit: fmt.Sprintf("u%d", i+1)}
+	}
+	return grid, nil
+}
+
+func (f fakePlanner) Assemble(s Spec, cs *harness.CheckpointState, stub map[string]string, w io.Writer) error {
+	grid, err := f.Plan(s)
+	if err != nil {
+		return err
+	}
+	cells := cs.Export()
+	var firstErr error
+	for _, c := range grid {
+		if msg, ok := stub[c.Key()]; ok {
+			fmt.Fprintf(w, "%s=ERR(%s)\n", c.Unit, msg)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("fake: cell %s degraded", c)
+			}
+			continue
+		}
+		raw, ok := cells[c.Key()]
+		if !ok {
+			return fmt.Errorf("fake: cell %s has no recorded result", c)
+		}
+		var rec struct {
+			Unit  string          `json:"unit"`
+			Value json.RawMessage `json:"value"`
+		}
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("fake: cell %s record: %w", c, err)
+		}
+		fmt.Fprintf(w, "%s=%s\n", c.Unit, rec.Value)
+	}
+	return firstErr
+}
+
+// cellValue fabricates the raw checkpoint cell record a worker would
+// export for a cell.
+func cellValue(c harness.CellID, v int) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{"unit":%q,"value":%d}`, c.Unit, v))
+}
+
+// fakeSpec is a synthetic campaign spec for fakePlanner coordinators.
+func fakeSpec(seed uint64) Spec {
+	return Spec{Experiments: []string{"t1"}, Scale: 8, Accesses: 100, Seed: seed}
+}
+
+// fakeConfig is the standard test policy: short deterministic windows
+// under a fake clock.
+func fakeConfig(clk *fakeClock, cells int) Config {
+	return Config{
+		LeaseTTL:    10 * time.Second,
+		RetryBudget: 3,
+		BackoffBase: time.Second,
+		BackoffMax:  8 * time.Second,
+		Seed:        42,
+		Clock:       clk.Now,
+		Planner:     fakePlanner{cells: cells},
+	}
+}
+
+// mustInvariants fails the test on any accounting violation.
+func mustInvariants(t *testing.T, c *Coordinator) {
+	t.Helper()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariant violated: %v", err)
+	}
+}
+
+// completeValue delivers a fabricated value for a grant.
+func completeValue(t *testing.T, c *Coordinator, g *Grant, v int) CompleteStatus {
+	t.Helper()
+	st, err := c.Complete(CompleteRequest{
+		LeaseID: g.LeaseID, Campaign: g.Campaign,
+		Key: g.Cell.Key(), Unit: g.Cell.Unit,
+		Value: cellValue(g.Cell, v),
+	})
+	if err != nil {
+		t.Fatalf("complete %s: %v", g.Cell, err)
+	}
+	return st
+}
+
+// mustLease grants a cell or fails the test.
+func mustLease(t *testing.T, c *Coordinator, worker string) *Grant {
+	t.Helper()
+	g, err := c.Lease(worker)
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	if g == nil {
+		t.Fatal("no cell was grantable")
+	}
+	return g
+}
+
+// mustNoLease asserts no cell is grantable right now.
+func mustNoLease(t *testing.T, c *Coordinator, worker string) {
+	t.Helper()
+	g, err := c.Lease(worker)
+	if err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	if g != nil {
+		t.Fatalf("unexpected grant of %s", g.Cell)
+	}
+}

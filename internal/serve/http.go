@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler exposes the coordinator over HTTP/JSON:
+//
+//	POST /v1/campaigns          submit a Spec            -> SubmitResponse
+//	GET  /v1/campaigns/{id}     campaign progress        -> CampaignStatus
+//	GET  /v1/jobs               job table (text)         -> WriteJobs output
+//	POST /v1/lease              request work             -> Grant | 204
+//	POST /v1/lease/renew        heartbeat a lease        -> 204 | 410
+//	POST /v1/lease/complete     deliver a cell outcome   -> CompleteResponse
+//
+// Error mapping: invalid requests 400, unknown campaigns 404, stale
+// leases 410 (the worker must abandon the cell), a killed coordinator
+// 503, persistence failures 500.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		var s Spec
+		if !decode(w, r, &s) {
+			return
+		}
+		resp, err := c.Submit(s)
+		if err != nil {
+			// Anything that is not a down coordinator or a persistence
+			// failure is the client's fault: a spec the planner refused.
+			httpError(w, statusCode(err, http.StatusBadRequest), err)
+			return
+		}
+		reply(w, http.StatusCreated, resp)
+	})
+	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := c.Status(r.PathValue("id"))
+		if err != nil {
+			httpError(w, statusCode(err, http.StatusNotFound), err)
+			return
+		}
+		reply(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		c.mu.Lock()
+		down := c.down
+		c.mu.Unlock()
+		if down {
+			httpError(w, http.StatusServiceUnavailable, ErrDown)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		c.WriteJobs(w)
+	})
+	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		g, err := c.Lease(req.Worker)
+		if err != nil {
+			httpError(w, statusCode(err, http.StatusInternalServerError), err)
+			return
+		}
+		if g == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		reply(w, http.StatusOK, g)
+	})
+	mux.HandleFunc("POST /v1/lease/renew", func(w http.ResponseWriter, r *http.Request) {
+		var req RenewRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := c.Renew(req.LeaseID); err != nil {
+			httpError(w, statusCode(err, http.StatusInternalServerError), err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/lease/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		st, err := c.Complete(req)
+		if err != nil {
+			httpError(w, statusCode(err, http.StatusBadRequest), err)
+			return
+		}
+		reply(w, http.StatusOK, CompleteResponse{Status: st})
+	})
+	return mux
+}
+
+// statusCode maps sentinel errors; fallback covers everything else.
+func statusCode(err error, fallback int) int {
+	switch {
+	case errors.Is(err, ErrDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrStaleLease):
+		return http.StatusGone
+	case errors.Is(err, ErrUnknownCampaign):
+		return http.StatusNotFound
+	case errors.Is(err, ErrPersist):
+		return http.StatusInternalServerError
+	}
+	return fallback
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func reply(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,506 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLeaseExpiryBackoffRetryBudget is the lease state machine's
+// acceptance table: at every retry budget, a cell whose leases keep
+// expiring is granted exactly budget+1 times — each re-queue gated by
+// exponential backoff — and then degrades to a Failed (ERR) cell whose
+// reason names the attempt count.
+func TestLeaseExpiryBackoffRetryBudget(t *testing.T) {
+	for _, budget := range []int{0, 1, 3} {
+		budget := budget
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			clk := newClock()
+			cfg := fakeConfig(clk, 1)
+			cfg.RetryBudget = budget
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Submit(fakeSpec(1)); err != nil {
+				t.Fatal(err)
+			}
+			grants := 0
+			for i := 0; i <= budget; i++ {
+				// Before the backoff window closes the cell must not be
+				// grantable (first grant has no backoff window).
+				g := mustLease(t, c, "w")
+				grants++
+				mustInvariants(t, c)
+				mustNoLease(t, c, "w") // single cell, already leased
+				clk.Advance(cfg.LeaseTTL + time.Second)
+				c.Sweep()
+				mustInvariants(t, c)
+				if i < budget {
+					// Re-queued under backoff: not grantable yet...
+					mustNoLease(t, c, "w")
+					// ...but grantable once the (capped, jittered) window passes.
+					clk.Advance(cfg.BackoffMax + cfg.BackoffBase)
+				}
+				_ = g
+			}
+			if grants != budget+1 {
+				t.Fatalf("granted %d times, want %d", grants, budget+1)
+			}
+			mustNoLease(t, c, "w") // degraded, never grantable again
+			st, err := c.Status("c0001")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State != "degraded" || st.Failed != 1 {
+				t.Fatalf("status = %q failed=%d, want degraded/1", st.State, st.Failed)
+			}
+			want := fmt.Sprintf("failed after %d attempt(s)", budget+1)
+			if len(st.Failures) != 1 || !strings.Contains(st.Failures[0].Err, want) ||
+				!strings.Contains(st.Failures[0].Err, "lease expired") {
+				t.Fatalf("failure text %+v does not explain itself (want %q)", st.Failures, want)
+			}
+			if !strings.Contains(st.Output, "ERR(") {
+				t.Fatalf("degraded campaign output lacks an ERR cell:\n%s", st.Output)
+			}
+			s := c.StatsSnapshot()
+			if s.Expired != uint64(budget+1) || s.Requeued != uint64(budget) || s.Degraded != 1 {
+				t.Fatalf("stats = %+v, want expired=%d requeued=%d degraded=1", s, budget+1, budget)
+			}
+		})
+	}
+}
+
+// TestBackoffGrowsExponentiallyWithJitter pins the re-queue schedule:
+// attempt n waits min(base<<(n-1), max) plus jitter in [0, base/2),
+// read straight off the cell's readyAt gate.
+func TestBackoffGrowsExponentiallyWithJitter(t *testing.T) {
+	clk := newClock()
+	cfg := fakeConfig(clk, 1)
+	cfg.RetryBudget = 4
+	cfg.BackoffBase = time.Second
+	cfg.BackoffMax = 4 * time.Second
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(fakeSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	wantFloor := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 4 * time.Second}
+	for n := 1; n <= 4; n++ {
+		mustLease(t, c, "w")
+		clk.Advance(cfg.LeaseTTL + time.Second)
+		c.Sweep()
+		cl := c.campaigns["c0001"].cells["t1#1"]
+		if cl.phase != CellPending {
+			t.Fatalf("after expiry %d phase = %s, want pending", n, cl.phase)
+		}
+		gap := cl.readyAt.Sub(clk.Now())
+		floor := wantFloor[n-1]
+		ceil := floor + cfg.BackoffBase/2
+		if gap < floor || gap >= ceil {
+			t.Fatalf("attempt %d backoff = %v, want [%v, %v)", n, gap, floor, ceil)
+		}
+		clk.Advance(ceil)
+	}
+}
+
+// TestRenewExtendsAndStaleHeartbeatRefused: heartbeats extend a live
+// lease a full TTL each time; a heartbeat after expiry is refused with
+// ErrStaleLease (HTTP 410) and never resurrects the lease.
+func TestRenewExtendsAndStaleHeartbeatRefused(t *testing.T) {
+	clk := newClock()
+	c, err := New(fakeConfig(clk, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(fakeSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	g := mustLease(t, c, "w1")
+	// Renewed at 6s and 12s: alive at 15s even though TTL is 10s.
+	clk.Advance(6 * time.Second)
+	if err := c.Renew(g.LeaseID); err != nil {
+		t.Fatalf("renew at 6s: %v", err)
+	}
+	clk.Advance(6 * time.Second)
+	if err := c.Renew(g.LeaseID); err != nil {
+		t.Fatalf("renew at 12s: %v", err)
+	}
+	mustInvariants(t, c)
+	// Now stall past the renewed TTL: the lease dies and stays dead.
+	clk.Advance(11 * time.Second)
+	if err := c.Renew(g.LeaseID); !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("stale renew err = %v, want ErrStaleLease", err)
+	}
+	if err := c.Renew("l9-9999"); !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("unknown lease renew err = %v, want ErrStaleLease", err)
+	}
+	s := c.StatsSnapshot()
+	if s.Renewed != 2 || s.StaleHeartbeats != 2 {
+		t.Fatalf("stats = %+v, want renewed=2 stale=2", s)
+	}
+	// The cell re-queued; a fresh grant goes to another worker and the
+	// original lease is still refused.
+	clk.Advance(2 * time.Second)
+	g2 := mustLease(t, c, "w2")
+	if g2.LeaseID == g.LeaseID {
+		t.Fatal("expired lease ID was reissued")
+	}
+	if err := c.Renew(g.LeaseID); !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("old lease renewed after regrant: %v", err)
+	}
+	mustInvariants(t, c)
+}
+
+// TestFailureReportsConsumeRetryBudget: worker-reported failures walk
+// the same backoff/budget path as expiries, and the final report's
+// message surfaces in the degraded cell's ERR text.
+func TestFailureReportsConsumeRetryBudget(t *testing.T) {
+	clk := newClock()
+	cfg := fakeConfig(clk, 1)
+	cfg.RetryBudget = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(fakeSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	g := mustLease(t, c, "w")
+	st, err := c.Complete(CompleteRequest{
+		LeaseID: g.LeaseID, Campaign: g.Campaign, Key: g.Cell.Key(),
+		Unit: g.Cell.Unit, Err: "synthetic panic in cell",
+	})
+	if err != nil || st != CompleteRetried {
+		t.Fatalf("first failure report: status=%q err=%v, want retried", st, err)
+	}
+	mustInvariants(t, c)
+	clk.Advance(cfg.BackoffMax + cfg.BackoffBase)
+	g = mustLease(t, c, "w")
+	st, err = c.Complete(CompleteRequest{
+		LeaseID: g.LeaseID, Campaign: g.Campaign, Key: g.Cell.Key(),
+		Unit: g.Cell.Unit, Err: "synthetic panic in cell",
+	})
+	if err != nil || st != CompleteDegraded {
+		t.Fatalf("second failure report: status=%q err=%v, want degraded", st, err)
+	}
+	mustInvariants(t, c)
+	cs, err := c.Status(g.Campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.State != "degraded" || !strings.Contains(cs.Output, "synthetic panic in cell") {
+		t.Fatalf("degraded output does not carry the reported reason:\n%s", cs.Output)
+	}
+}
+
+// TestDuplicateAndStaleDeliveries: the exactly-once rules — first
+// delivery wins, duplicates are counted and ignored, and a delivery
+// under an expired lease is still credited when the cell lacks a
+// result.
+func TestDuplicateAndStaleDeliveries(t *testing.T) {
+	t.Run("duplicate", func(t *testing.T) {
+		clk := newClock()
+		c, err := New(fakeConfig(clk, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Submit(fakeSpec(1)); err != nil {
+			t.Fatal(err)
+		}
+		g := mustLease(t, c, "w")
+		if st := completeValue(t, c, g, 11); st != CompleteRecorded {
+			t.Fatalf("first delivery status = %q", st)
+		}
+		if st := completeValue(t, c, g, 11); st != CompleteDuplicate {
+			t.Fatalf("second delivery status = %q, want duplicate", st)
+		}
+		mustInvariants(t, c)
+		s := c.StatsSnapshot()
+		if s.Completed != 1 || s.DupResults != 1 {
+			t.Fatalf("stats = %+v, want completed=1 dup=1", s)
+		}
+		st, err := c.Status(g.Campaign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "complete" || st.Output != "u1=11\n" {
+			t.Fatalf("campaign = %q / %q", st.State, st.Output)
+		}
+	})
+
+	t.Run("stale-accepted-then-duplicate", func(t *testing.T) {
+		clk := newClock()
+		c, err := New(fakeConfig(clk, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Submit(fakeSpec(1)); err != nil {
+			t.Fatal(err)
+		}
+		// w1 stalls; the lease expires and the cell regrants to w2.
+		g1 := mustLease(t, c, "w1")
+		clk.Advance(11 * time.Second)
+		c.Sweep()
+		clk.Advance(10 * time.Second)
+		g2 := mustLease(t, c, "w2")
+		// w1 wakes up and delivers late: the value is deterministic, so
+		// it is accepted, and w2's later delivery becomes the duplicate.
+		if st := completeValue(t, c, g1, 7); st != CompleteStaleRecorded {
+			t.Fatalf("late delivery status = %q, want stale-recorded", st)
+		}
+		mustInvariants(t, c)
+		if st := completeValue(t, c, g2, 7); st != CompleteDuplicate {
+			t.Fatalf("superseded delivery status = %q, want duplicate", st)
+		}
+		mustInvariants(t, c)
+		s := c.StatsSnapshot()
+		if s.Completed != 1 || s.StaleAccepted != 1 || s.DupResults != 1 {
+			t.Fatalf("stats = %+v, want completed=1 stale=1 dup=1", s)
+		}
+	})
+}
+
+// TestResultCacheDedupAcrossCampaigns: identical (config, seed) cells
+// are served from the result cache without re-running, a campaign that
+// is fully cached is born terminal with identical output, and a
+// different seed misses.
+func TestResultCacheDedupAcrossCampaigns(t *testing.T) {
+	clk := newClock()
+	c, err := New(fakeConfig(clk, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Submit(fakeSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.CacheHits != 0 {
+		t.Fatalf("fresh campaign reports %d cache hits", sub.CacheHits)
+	}
+	for i := 0; i < 3; i++ {
+		g := mustLease(t, c, "w")
+		completeValue(t, c, g, 100+g.Cell.Seq)
+	}
+	first, err := c.Status(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.State != "complete" {
+		t.Fatalf("first campaign state = %q", first.State)
+	}
+
+	sub2, err := c.Submit(fakeSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub2.CacheHits != 3 {
+		t.Fatalf("identical spec hit cache %d times, want 3", sub2.CacheHits)
+	}
+	mustNoLease(t, c, "w") // nothing left to execute
+	second, err := c.Status(sub2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.State != "complete" || second.Output != first.Output {
+		t.Fatalf("cached campaign output differs:\n--- first ---\n%s--- second ---\n%s", first.Output, second.Output)
+	}
+	mustInvariants(t, c)
+
+	// A different seed shapes different cell values: no hits.
+	sub3, err := c.Submit(fakeSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub3.CacheHits != 0 {
+		t.Fatalf("different-seed spec hit cache %d times", sub3.CacheHits)
+	}
+	if g := mustLease(t, c, "w"); g.Campaign != sub3.ID {
+		t.Fatalf("grant for %s, want the uncached campaign %s", g.Campaign, sub3.ID)
+	}
+	mustInvariants(t, c)
+}
+
+// TestCoordinatorCrashResume: kill the coordinator mid-campaign and
+// start a successor on the same state file — done cells survive with
+// their values, leased cells re-queue with attempts preserved, the
+// result cache rebuilds, and the finished campaign's output matches
+// what an unkilled coordinator produces.
+func TestCoordinatorCrashResume(t *testing.T) {
+	clk := newClock()
+	path := filepath.Join(t.TempDir(), "state.json")
+	cfg := fakeConfig(clk, 3)
+	cfg.StatePath = path
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := c.Submit(fakeSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := mustLease(t, c, "w1")
+	completeValue(t, c, g1, 101)
+	g2 := mustLease(t, c, "w2") // in flight at the crash
+	c.Kill()
+	if _, err := c.Lease("w1"); !errors.Is(err, ErrDown) {
+		t.Fatalf("killed coordinator leased: %v", err)
+	}
+	if _, err := c.Status(sub.ID); !errors.Is(err, ErrDown) {
+		t.Fatalf("killed coordinator answered status: %v", err)
+	}
+
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatalf("successor failed to load state: %v", err)
+	}
+	mustInvariants(t, r)
+	st, err := r.Status(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 1 || st.Pending != 2 || st.Leased != 0 {
+		t.Fatalf("resumed status = done %d / pending %d / leased %d, want 1/2/0", st.Done, st.Pending, st.Leased)
+	}
+	// The in-flight cell's attempt is preserved, not reset: its lease
+	// died with the old coordinator but the work was still charged.
+	if got := r.campaigns[sub.ID].cells[g2.Cell.Key()].attempts; got != 1 {
+		t.Fatalf("resumed attempts = %d, want 1", got)
+	}
+	// The dead incarnation's lease is refused by the successor.
+	if err := r.Renew(g2.LeaseID); !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("dead coordinator's lease renewed by successor: %v", err)
+	}
+	// Finish on the successor; the late delivery for g2's cell arrives
+	// under the dead lease and is still credited.
+	stx, err := r.Complete(CompleteRequest{
+		LeaseID: g2.LeaseID, Campaign: g2.Campaign, Key: g2.Cell.Key(),
+		Unit: g2.Cell.Unit, Value: cellValue(g2.Cell, 102),
+	})
+	if err != nil || stx != CompleteStaleRecorded {
+		t.Fatalf("late delivery to successor: status=%q err=%v", stx, err)
+	}
+	g3 := mustLease(t, r, "w3")
+	completeValue(t, r, g3, 103)
+	mustInvariants(t, r)
+	final, err := r.Status(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "complete" || final.Output != "u1=101\nu2=102\nu3=103\n" {
+		t.Fatalf("resumed campaign finished %q with output:\n%s", final.State, final.Output)
+	}
+	// The cache rebuilt from durable state: the same spec re-submitted
+	// to the successor is fully served without execution.
+	sub2, err := r.Submit(fakeSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub2.CacheHits != 3 {
+		t.Fatalf("successor cache hits = %d, want 3", sub2.CacheHits)
+	}
+}
+
+// TestStateFileRefusals: a successor refuses — naming the mismatch —
+// state files of the wrong version, torn or edited content, garbage,
+// and unknown fields, rather than resuming from a file it might
+// misread.
+func TestStateFileRefusals(t *testing.T) {
+	dir := t.TempDir()
+	clk := newClock()
+
+	// A valid file to mutate: one campaign, one completed cell.
+	good := filepath.Join(dir, "good.json")
+	cfg := fakeConfig(clk, 1)
+	cfg.StatePath = good
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(fakeSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	completeValue(t, c, mustLease(t, c, "w"), 5)
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	load := func(t *testing.T, name, content string) error {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lc := fakeConfig(clk, 1)
+		lc.StatePath = p
+		_, err := New(lc)
+		return err
+	}
+
+	t.Run("garbage", func(t *testing.T) {
+		err := load(t, "garbage.json", "not json at all")
+		if err == nil || !strings.Contains(err.Error(), "is not a coordinator state file") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("version", func(t *testing.T) {
+		err := load(t, "v9.json", `{"version":9}`)
+		if err == nil || !strings.Contains(err.Error(), "version 9, this build reads 1") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("torn", func(t *testing.T) {
+		edited := strings.Replace(string(raw), `"value": 5`, `"value": 6`, 1)
+		if edited == string(raw) {
+			t.Fatal("mutation did not apply")
+		}
+		err := load(t, "torn.json", edited)
+		if err == nil || !strings.Contains(err.Error(), "torn or was edited") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("unknown-field", func(t *testing.T) {
+		var f map[string]any
+		if err := json.Unmarshal(raw, &f); err != nil {
+			t.Fatal(err)
+		}
+		f["surprise"] = true
+		b, _ := json.Marshal(f)
+		err := load(t, "extra.json", string(b))
+		if err == nil || !strings.Contains(err.Error(), "decoding state file") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("unknown-phase", func(t *testing.T) {
+		edited := strings.Replace(string(raw), `"phase": "done"`, `"phase": "zombie"`, 1)
+		if edited == string(raw) {
+			t.Fatal("mutation did not apply")
+		}
+		// Re-sum so the phase refusal, not the content hash, fires.
+		var f stateFile
+		if err := json.Unmarshal([]byte(edited), &f); err != nil {
+			t.Fatal(err)
+		}
+		f.Sum = stateSum(f.Campaigns)
+		b, _ := json.MarshalIndent(f, "", "  ")
+		err := load(t, "zombie.json", string(b))
+		if err == nil || !strings.Contains(err.Error(), `unknown phase "zombie"`) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("missing-is-fresh-start", func(t *testing.T) {
+		lc := fakeConfig(clk, 1)
+		lc.StatePath = filepath.Join(dir, "does-not-exist.json")
+		if _, err := New(lc); err != nil {
+			t.Fatalf("missing state file refused: %v", err)
+		}
+	})
+}

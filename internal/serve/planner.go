@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+// Planner decomposes a campaign spec into cells and assembles the final
+// output from completed cells. The coordinator's lease machinery is
+// written entirely against this seam: the production planner delegates
+// to the harness, and the chaos tests substitute a synthetic grid so
+// hundreds of seeded scenarios run without touching the simulator.
+type Planner interface {
+	// Plan enumerates the campaign's cell grid in execution order.
+	Plan(s Spec) ([]harness.CellID, error)
+	// Assemble renders the campaign output from recorded cells. Cells
+	// listed in stub (keyed by CellID.Key) degraded to failures; their
+	// messages render as ERR cells. Assemble must not execute work: every
+	// value comes from cs or stub.
+	Assemble(s Spec, cs *harness.CheckpointState, stub map[string]string, w io.Writer) error
+}
+
+// HarnessPlanner is the production planner: cell grids from
+// harness.Experiment.Cells, assembly via RenderFromCheckpoint. The
+// assembled output matches a serial `zerodev run` byte for byte — run
+// prints each experiment's output followed by a blank line, and so does
+// Assemble.
+type HarnessPlanner struct{}
+
+// Plan validates the spec, then concatenates each named experiment's
+// grid in spec order.
+func (HarnessPlanner) Plan(s Spec) ([]harness.CellID, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var grid []harness.CellID
+	for _, id := range s.Experiments {
+		e, err := harness.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		cells, err := e.Cells(s.Options())
+		if err != nil {
+			return nil, err
+		}
+		grid = append(grid, cells...)
+	}
+	return grid, nil
+}
+
+// Assemble replays each experiment from the recorded cells, writing the
+// same experiment-plus-blank-line sequence `zerodev run` writes. An
+// assembly error (a missing cell, a stubbed ERR cell surfacing through
+// FailureSummary) is returned after rendering finishes so degraded
+// campaigns still produce their partial output.
+func (HarnessPlanner) Assemble(s Spec, cs *harness.CheckpointState, stub map[string]string, w io.Writer) error {
+	var errs []string
+	for _, id := range s.Experiments {
+		e, err := harness.Get(id)
+		if err != nil {
+			return err
+		}
+		if err := e.RenderFromCheckpoint(s.Options(), cs, stub, w); err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", id, err))
+		}
+		fmt.Fprintln(w)
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("serve: assembling campaign: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}

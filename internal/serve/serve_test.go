@@ -1,0 +1,435 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// golden compares got against testdata/<name>.golden, rewriting the
+// file under -update (same idiom as cmd/zerodev).
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/serve -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (run `go test ./internal/serve -update` after intended changes)\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// postJSON is a bare test client for the coordinator API.
+func postJSON(t *testing.T, url string, in, out any) int {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getStatus(t *testing.T, base, id string) CampaignStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET campaign %s: status %d", id, resp.StatusCode)
+	}
+	var st CampaignStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestServeKillRecoverEquivalence is the tentpole proof: one campaign
+// sharded across N workers over real HTTP, with a worker killed mid-cell
+// (N>1) and the coordinator killed and resumed from its state file
+// mid-campaign, must assemble output byte-identical to a serial
+// `zerodev run` of the same spec. Run under -race in CI.
+func TestServeKillRecoverEquivalence(t *testing.T) {
+	spec := Spec{Experiments: []string{"fig4"}, Scale: 32, Accesses: 1000, Seed: 7, Quick: true}
+
+	// Serial reference: exactly what `zerodev run` prints for this spec —
+	// the experiment's own output followed by a blank separator line.
+	e, err := harness.Get("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	ro := spec.Options()
+	ro.CrashDir = ""
+	if _, err := e.Execute(context.Background(), ro, &want); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&want)
+
+	for _, n := range []int{1, 2, 4} {
+		n := n
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			cfg := Config{
+				LeaseTTL:    500 * time.Millisecond,
+				RetryBudget: 8, // killed workers and coordinator restarts burn attempts
+				BackoffBase: 20 * time.Millisecond,
+				BackoffMax:  100 * time.Millisecond,
+				Seed:        uint64(n),
+				StatePath:   filepath.Join(t.TempDir(), "state.json"),
+			}
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cur atomic.Pointer[Coordinator]
+			cur.Store(c)
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				cur.Load().Handler().ServeHTTP(w, r)
+			}))
+			defer srv.Close()
+
+			var sub SubmitResponse
+			if code := postJSON(t, srv.URL+"/v1/campaigns", spec, &sub); code != http.StatusCreated {
+				t.Fatalf("submit: status %d", code)
+			}
+			if sub.Cells < 2 {
+				t.Fatalf("campaign has %d cells; sharding needs at least 2", sub.Cells)
+			}
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var wg sync.WaitGroup
+			var killedOnce atomic.Bool
+			for i := 0; i < n; i++ {
+				w := &Worker{
+					Base:      srv.URL,
+					ID:        fmt.Sprintf("w%d", i),
+					Poll:      5 * time.Millisecond,
+					Heartbeat: 100 * time.Millisecond,
+				}
+				wctx := ctx
+				if n > 1 && i == 0 {
+					// Worker 0 dies the moment it is granted its first cell:
+					// no delivery, no release — only lease expiry gets the
+					// cell back.
+					dctx, die := context.WithCancel(ctx)
+					wctx = dctx
+					w.OnLease = func(Grant) {
+						if killedOnce.CompareAndSwap(false, true) {
+							die()
+						}
+					}
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_ = w.Run(wctx)
+				}()
+			}
+
+			// Kill the coordinator once the campaign is genuinely mid-flight
+			// (at least one cell done, not all), and hand the workers a
+			// successor resumed from the state file.
+			restarted := false
+			deadline := time.Now().Add(2 * time.Minute)
+			var st CampaignStatus
+			for {
+				if time.Now().After(deadline) {
+					t.Fatalf("campaign did not finish: %+v", st)
+				}
+				st = getStatus(t, srv.URL, sub.ID)
+				if !restarted && st.Done >= 1 && st.Done < st.Total {
+					old := cur.Load()
+					old.Kill()
+					succ, err := New(cfg)
+					if err != nil {
+						t.Fatalf("successor failed to resume: %v", err)
+					}
+					cur.Store(succ)
+					restarted = true
+					continue
+				}
+				if st.State != "running" && restarted {
+					break
+				}
+				if st.State != "running" && !restarted {
+					// Too fast to interrupt mid-flight: restart after the
+					// fact anyway — the successor must re-render the same
+					// bytes purely from durable state.
+					old := cur.Load()
+					old.Kill()
+					succ, err := New(cfg)
+					if err != nil {
+						t.Fatalf("successor failed to resume: %v", err)
+					}
+					cur.Store(succ)
+					restarted = true
+					st = getStatus(t, srv.URL, sub.ID)
+					break
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			cancel()
+			wg.Wait()
+
+			if st.State != "complete" {
+				t.Fatalf("campaign ended %q, failures: %+v", st.State, st.Failures)
+			}
+			if st.Output != want.String() {
+				t.Errorf("assembled output differs from serial run\n--- serve ---\n%s\n--- serial ---\n%s", st.Output, want.String())
+			}
+			if err := cur.Load().CheckInvariants(); err != nil {
+				t.Errorf("invariants after campaign: %v", err)
+			}
+		})
+	}
+}
+
+// TestServeDegradedCampaignRendersERR: a worker-reported failure with no
+// retry budget left degrades the cell, and the assembled campaign still
+// renders — with the failed cell as ERR and the failure surfaced in the
+// status — instead of vanishing.
+func TestServeDegradedCampaignRendersERR(t *testing.T) {
+	clk := newClock()
+	cfg := fakeConfig(clk, 2)
+	cfg.RetryBudget = 0
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	var sub SubmitResponse
+	if code := postJSON(t, srv.URL+"/v1/campaigns", fakeSpec(1), &sub); code != http.StatusCreated {
+		t.Fatalf("submit: status %d", code)
+	}
+
+	var g Grant
+	if code := postJSON(t, srv.URL+"/v1/lease", LeaseRequest{Worker: "w"}, &g); code != http.StatusOK {
+		t.Fatalf("lease: status %d", code)
+	}
+	var cr CompleteResponse
+	code := postJSON(t, srv.URL+"/v1/lease/complete", CompleteRequest{
+		LeaseID: g.LeaseID, Campaign: g.Campaign, Key: g.Cell.Key(), Unit: g.Cell.Unit,
+		Err: "simulated worker panic",
+	}, &cr)
+	if code != http.StatusOK || cr.Status != CompleteDegraded {
+		t.Fatalf("failure report: status %d, %q", code, cr.Status)
+	}
+
+	if code := postJSON(t, srv.URL+"/v1/lease", LeaseRequest{Worker: "w"}, &g); code != http.StatusOK {
+		t.Fatalf("lease 2: status %d", code)
+	}
+	postJSON(t, srv.URL+"/v1/lease/complete", CompleteRequest{
+		LeaseID: g.LeaseID, Campaign: g.Campaign, Key: g.Cell.Key(), Unit: g.Cell.Unit,
+		Value: cellValue(g.Cell, 7),
+	}, &cr)
+
+	st := getStatus(t, srv.URL, sub.ID)
+	if st.State != "degraded" {
+		t.Fatalf("state %q, want degraded", st.State)
+	}
+	if !strings.Contains(st.Output, "u1=ERR(") || !strings.Contains(st.Output, "simulated worker panic") {
+		t.Errorf("degraded output does not render the failure:\n%s", st.Output)
+	}
+	if len(st.Failures) != 1 || !strings.Contains(st.Failures[0].Err, "simulated worker panic") {
+		t.Errorf("failures not surfaced: %+v", st.Failures)
+	}
+	mustInvariants(t, c)
+}
+
+// TestServeResubmitServedFromCache: resubmitting a finished campaign's
+// spec over the API is answered entirely from the result cache — born
+// terminal, zero leases, identical output.
+func TestServeResubmitServedFromCache(t *testing.T) {
+	clk := newClock()
+	c, err := New(fakeConfig(clk, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	var first SubmitResponse
+	postJSON(t, srv.URL+"/v1/campaigns", fakeSpec(1), &first)
+	for {
+		var g Grant
+		code := postJSON(t, srv.URL+"/v1/lease", LeaseRequest{Worker: "w"}, &g)
+		if code == http.StatusNoContent {
+			break
+		}
+		if code != http.StatusOK {
+			t.Fatalf("lease: status %d", code)
+		}
+		var cr CompleteResponse
+		postJSON(t, srv.URL+"/v1/lease/complete", CompleteRequest{
+			LeaseID: g.LeaseID, Campaign: g.Campaign, Key: g.Cell.Key(), Unit: g.Cell.Unit,
+			Value: cellValue(g.Cell, 100+g.Cell.Seq),
+		}, &cr)
+	}
+	st1 := getStatus(t, srv.URL, first.ID)
+	if st1.State != "complete" {
+		t.Fatalf("first campaign ended %q", st1.State)
+	}
+
+	var again SubmitResponse
+	postJSON(t, srv.URL+"/v1/campaigns", fakeSpec(1), &again)
+	if again.CacheHits != 3 {
+		t.Fatalf("resubmit hit cache %d times, want 3", again.CacheHits)
+	}
+	st2 := getStatus(t, srv.URL, again.ID)
+	if st2.State != "complete" || st2.Output != st1.Output {
+		t.Fatalf("cached campaign: state %q\n--- cached ---\n%s--- original ---\n%s", st2.State, st2.Output, st1.Output)
+	}
+	mustInvariants(t, c)
+}
+
+// TestServeHTTPStatusMapping pins the error surface workers depend on:
+// 400 for garbage, 404 for unknown campaigns, 410 for stale leases,
+// 503 once the coordinator is down.
+func TestServeHTTPStatusMapping(t *testing.T) {
+	clk := newClock()
+	c, err := New(fakeConfig(clk, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/campaigns", "application/json", strings.NewReader(`{"experiments": ["t1"], "bogus": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/campaigns/c9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown campaign: status %d, want 404", resp.StatusCode)
+	}
+
+	if code := postJSON(t, srv.URL+"/v1/lease/renew", RenewRequest{LeaseID: "l1-0000"}, nil); code != http.StatusGone {
+		t.Errorf("stale renew: status %d, want 410", code)
+	}
+
+	c.Kill()
+	if code := postJSON(t, srv.URL+"/v1/lease", LeaseRequest{Worker: "w"}, nil); code != http.StatusServiceUnavailable {
+		t.Errorf("down coordinator: status %d, want 503", code)
+	}
+	resp, err = http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("jobs on down coordinator: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestJobsEndpointGolden pins the GET /v1/jobs introspection table: a
+// deterministic scenario (fixed clock, fixed seeds) exercising every
+// cell detail the table prints — done, cached, leased, backing off,
+// degraded — compared byte-for-byte against testdata/jobs.golden.
+func TestJobsEndpointGolden(t *testing.T) {
+	clk := newClock()
+	cfg := fakeConfig(clk, 3)
+	cfg.RetryBudget = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	var c1 SubmitResponse
+	postJSON(t, srv.URL+"/v1/campaigns", fakeSpec(1), &c1)
+
+	// Cell 1: done.
+	var g Grant
+	postJSON(t, srv.URL+"/v1/lease", LeaseRequest{Worker: "alice"}, &g)
+	var cr CompleteResponse
+	postJSON(t, srv.URL+"/v1/lease/complete", CompleteRequest{
+		LeaseID: g.LeaseID, Campaign: g.Campaign, Key: g.Cell.Key(), Unit: g.Cell.Unit,
+		Value: cellValue(g.Cell, 101),
+	}, &cr)
+
+	// Cell 2: failed once (budget 1), now waiting out its backoff.
+	postJSON(t, srv.URL+"/v1/lease", LeaseRequest{Worker: "bob"}, &g)
+	postJSON(t, srv.URL+"/v1/lease/complete", CompleteRequest{
+		LeaseID: g.LeaseID, Campaign: g.Campaign, Key: g.Cell.Key(), Unit: g.Cell.Unit,
+		Err: "transient fault",
+	}, &cr)
+
+	// Cell 3: leased right now, first attempt.
+	postJSON(t, srv.URL+"/v1/lease", LeaseRequest{Worker: "alice"}, &g)
+
+	// A second campaign with the same seed picks cell 1 up from the
+	// result cache at submission.
+	var c2 SubmitResponse
+	postJSON(t, srv.URL+"/v1/campaigns", fakeSpec(1), &c2)
+	if c2.CacheHits != 1 {
+		t.Fatalf("second campaign hit cache %d times, want 1", c2.CacheHits)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("jobs content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "jobs", buf.Bytes())
+}

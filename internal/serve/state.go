@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+
+	"repro/internal/atomicio"
+	"repro/internal/harness"
+)
+
+// StateVersion stamps coordinator state files; bump on incompatible
+// format changes so a stale file is refused by name, never misdecoded.
+const StateVersion = 1
+
+// stateFile is the durable coordinator state: everything needed to
+// resume a campaign after a coordinator crash. Leases are deliberately
+// absent — they are promises to the dead coordinator, worthless to its
+// successor — so cells persisted while leased reload as pending and
+// simply re-queue. The content sum guards against torn or edited files,
+// mirroring the checkpoint format's discipline.
+type stateFile struct {
+	Version      int `json:"version"`
+	NextCampaign int `json:"next_campaign"`
+	// Generation increments at every coordinator start and prefixes
+	// lease IDs, so a lease granted by a dead incarnation can never be
+	// renewed against its successor by ID collision.
+	Generation int             `json:"generation"`
+	Campaigns  []campaignState `json:"campaigns"`
+	Sum        uint64          `json:"sum"`
+}
+
+type campaignState struct {
+	ID        string      `json:"id"`
+	Spec      Spec        `json:"spec"`
+	Cells     []cellState `json:"cells"`
+	Rendered  bool        `json:"rendered,omitempty"`
+	Output    string      `json:"output,omitempty"`
+	RenderErr string      `json:"render_err,omitempty"`
+}
+
+type cellState struct {
+	Scope     string          `json:"scope"`
+	Seq       int             `json:"seq"`
+	Unit      string          `json:"unit"`
+	Phase     string          `json:"phase"`
+	Attempts  int             `json:"attempts,omitempty"`
+	Value     json.RawMessage `json:"value,omitempty"`
+	Err       string          `json:"err,omitempty"`
+	FromCache bool            `json:"from_cache,omitempty"`
+}
+
+// stateSum hashes the campaign payload (canonical JSON) with FNV-64a.
+func stateSum(campaigns []campaignState) uint64 {
+	b, err := json.Marshal(campaigns)
+	if err != nil {
+		panic(err) // plain data; cannot fail
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// persistLocked writes the durable state atomically. Called on every
+// durable transition (campaign submitted, cell done or degraded,
+// output assembled); requeues and lease churn are volatile by design.
+func (c *Coordinator) persistLocked() error {
+	if c.cfg.StatePath == "" || c.down {
+		return nil
+	}
+	f := stateFile{Version: StateVersion, NextCampaign: c.nextCampaign, Generation: c.gen}
+	for _, cid := range c.order {
+		cm := c.campaigns[cid]
+		cs := campaignState{
+			ID: cm.id, Spec: cm.spec,
+			Rendered: cm.rendered, Output: cm.output, RenderErr: cm.renderErr,
+		}
+		for _, key := range cm.order {
+			cl := cm.cells[key]
+			cs.Cells = append(cs.Cells, cellState{
+				Scope: cl.id.Scope, Seq: cl.id.Seq, Unit: cl.id.Unit,
+				Phase: cl.phase.String(), Attempts: cl.attempts,
+				Value: cl.value, Err: cl.errText, FromCache: cl.fromCache,
+			})
+		}
+		f.Campaigns = append(f.Campaigns, cs)
+	}
+	f.Sum = stateSum(f.Campaigns)
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: encoding state: %w", err)
+	}
+	if err := atomicio.WriteFile(c.cfg.StatePath, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	return nil
+}
+
+// loadState resumes from a previous coordinator's state file. A missing
+// file is a fresh start; a present file must validate — version, shape,
+// and content sum — or the coordinator refuses to start rather than
+// resume from a file it might misread. Cells persisted as leased reload
+// as pending (immediately grantable): their leases died with the old
+// coordinator. The result cache rebuilds from done cells so
+// cross-campaign dedup survives the crash.
+func (c *Coordinator) loadState(path string) error {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("serve: reading state: %w", err)
+	}
+	var head struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(buf, &head); err != nil {
+		return fmt.Errorf("serve: %s is not a coordinator state file: %w", path, err)
+	}
+	if head.Version != StateVersion {
+		return fmt.Errorf("serve: state file %s has version %d, this build reads %d", path, head.Version, StateVersion)
+	}
+	var f stateFile
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("serve: decoding state file %s: %w", path, err)
+	}
+	if got := stateSum(f.Campaigns); got != f.Sum {
+		return fmt.Errorf("serve: state file %s failed its content hash (stored %016x, computed %016x): file is torn or was edited", path, f.Sum, got)
+	}
+	c.nextCampaign = f.NextCampaign
+	c.gen = f.Generation + 1
+	for _, cs := range f.Campaigns {
+		cm := &campaign{
+			id: cs.ID, spec: cs.Spec,
+			cells:    make(map[string]*cell, len(cs.Cells)),
+			rendered: cs.Rendered, output: cs.Output, renderErr: cs.RenderErr,
+		}
+		for _, s := range cs.Cells {
+			id := harness.CellID{Scope: s.Scope, Seq: s.Seq, Unit: s.Unit}
+			cl := &cell{
+				id: id, fp: CellFingerprint(cs.Spec, id),
+				attempts: s.Attempts, value: s.Value, errText: s.Err,
+				fromCache: s.FromCache,
+			}
+			switch s.Phase {
+			case "done":
+				cl.phase = CellDone
+				if !s.FromCache {
+					cl.completions = 1
+				}
+				c.cache.put(cl.fp, cl.value)
+			case "failed":
+				cl.phase = CellFailed
+			case "pending", "leased":
+				// Leased cells lost their coordinator; re-queue immediately.
+				cl.phase = CellPending
+				cl.value = nil
+			default:
+				return fmt.Errorf("serve: state file %s: cell %s has unknown phase %q", path, id, s.Phase)
+			}
+			key := id.Key()
+			if _, dup := cm.cells[key]; dup {
+				return fmt.Errorf("serve: state file %s: campaign %s lists cell %s twice", path, cs.ID, id)
+			}
+			cm.cells[key] = cl
+			cm.order = append(cm.order, key)
+			if cl.fromCache {
+				cm.cacheHits++
+			}
+		}
+		c.campaigns[cm.id] = cm
+		c.order = append(c.order, cm.id)
+	}
+	// Sort campaigns by ID: IDs are zero-padded sequence numbers, so
+	// lexical order is submission order even if the file was reordered.
+	sort.Strings(c.order)
+	return nil
+}

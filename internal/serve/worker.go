@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// Worker polls a coordinator for leased cells, executes each with the
+// harness (exactly the code path a serial run uses, confined to the one
+// granted cell), heartbeats the lease while computing, and delivers the
+// raw checkpoint cell record back. Workers are stateless: everything a
+// cell needs rides in the Grant, so a worker that dies mid-cell simply
+// lets its lease expire and the coordinator re-queues the work.
+type Worker struct {
+	// Base is the coordinator URL (e.g. "http://127.0.0.1:8080").
+	Base string
+	// ID names the worker in lease records and logs.
+	ID string
+	// Client is the HTTP client (nil = http.DefaultClient).
+	Client *http.Client
+	// Poll is how long to idle when the coordinator has no work
+	// (0 = 500ms; tests shrink it).
+	Poll time.Duration
+	// Heartbeat is the lease renewal cadence while computing
+	// (0 = a third of the granted TTL).
+	Heartbeat time.Duration
+	// Log receives one line per grant/delivery when non-nil.
+	Log io.Writer
+	// OnLease, when non-nil, runs before executing each grant — the
+	// kill/recover tests use it to die mid-cell at a chosen point.
+	OnLease func(Grant)
+}
+
+// Run polls for work until ctx is done. Transport errors back off at
+// the poll interval and retry: a worker outliving a coordinator crash
+// reconnects to the successor on its own.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		g, err := w.lease(ctx)
+		if err != nil || g == nil {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(w.poll()):
+			}
+			continue
+		}
+		w.logf("worker %s: leased %s of %s (lease %s)", w.ID, g.Cell, g.Campaign, g.LeaseID)
+		if w.OnLease != nil {
+			w.OnLease(*g)
+		}
+		value, execErr := w.executeCell(ctx, *g)
+		req := CompleteRequest{
+			LeaseID:  g.LeaseID,
+			Campaign: g.Campaign,
+			Key:      g.Cell.Key(),
+			Unit:     g.Cell.Unit,
+		}
+		if execErr != nil {
+			if ctx.Err() != nil {
+				// Dying mid-cell: deliver nothing; the lease will expire
+				// and the coordinator re-queues the cell.
+				return nil
+			}
+			req.Err = execErr.Error()
+		} else {
+			req.Value = value
+		}
+		w.deliver(ctx, req)
+	}
+}
+
+// executeCell runs exactly one cell of the granted experiment,
+// heartbeating the lease while it computes. A refused heartbeat (the
+// lease expired or was superseded) cancels the execution: the
+// coordinator has already re-queued the cell, so finishing would only
+// produce a stale delivery.
+func (w *Worker) executeCell(ctx context.Context, g Grant) (json.RawMessage, error) {
+	e, err := harness.Get(g.Cell.Scope)
+	if err != nil {
+		return nil, err
+	}
+	cs := harness.NewCheckpoint(harness.CheckpointKey{
+		Kind: "serve", IDs: []string{g.Cell.Scope},
+		Scale: g.Spec.Scale, Accesses: g.Spec.Accesses,
+		Seed: g.Spec.Seed, Quick: g.Spec.Quick,
+	})
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		hb := w.Heartbeat
+		if hb <= 0 {
+			hb = time.Duration(g.TTLMS) * time.Millisecond / 3
+		}
+		if hb <= 0 {
+			hb = time.Second
+		}
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-t.C:
+				if stale, err := w.renew(runCtx, g.LeaseID); err == nil && stale {
+					w.logf("worker %s: lease %s refused, abandoning %s", w.ID, g.LeaseID, g.Cell)
+					cancel()
+					return
+				}
+				// Transport errors are not staleness: keep computing and
+				// keep trying — the coordinator may be restarting.
+			}
+		}
+	}()
+	o := g.Spec.Options()
+	o.CrashDir = "" // panics surface as JobErrors in the failure summary
+	execErr := e.ExecuteSelected(runCtx, o, func(c harness.CellID) bool { return c == g.Cell }, cs)
+	cancel()
+	<-hbDone
+	if execErr != nil {
+		return nil, execErr
+	}
+	raw, ok := cs.Export()[g.Cell.Key()]
+	if !ok {
+		return nil, fmt.Errorf("worker executed %s but recorded no cell (grid drift between worker and coordinator builds?)", g.Cell)
+	}
+	return raw, nil
+}
+
+// deliver posts the completion, retrying a few times on transport
+// errors: completion is idempotent server-side (duplicates are counted
+// and ignored), so retrying is always safe.
+func (w *Worker) deliver(ctx context.Context, req CompleteRequest) {
+	for attempt := 0; attempt < 3; attempt++ {
+		var resp CompleteResponse
+		code, err := w.post(ctx, "/v1/lease/complete", req, &resp)
+		if err == nil && code < 500 {
+			w.logf("worker %s: delivered %s (%s)", w.ID, req.Key, resp.Status)
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(w.poll()):
+		}
+	}
+	w.logf("worker %s: giving up delivering %s; the lease will expire", w.ID, req.Key)
+}
+
+// lease asks for work; (nil, nil) means none is ready.
+func (w *Worker) lease(ctx context.Context) (*Grant, error) {
+	var g Grant
+	code, err := w.post(ctx, "/v1/lease", LeaseRequest{Worker: w.ID}, &g)
+	if err != nil {
+		return nil, err
+	}
+	switch code {
+	case http.StatusOK:
+		return &g, nil
+	case http.StatusNoContent:
+		return nil, nil
+	}
+	return nil, fmt.Errorf("serve: lease request answered %d", code)
+}
+
+// renew heartbeats; stale=true means the lease is gone for good.
+func (w *Worker) renew(ctx context.Context, leaseID string) (stale bool, err error) {
+	code, err := w.post(ctx, "/v1/lease/renew", RenewRequest{LeaseID: leaseID}, nil)
+	if err != nil {
+		return false, err
+	}
+	return code == http.StatusGone, nil
+}
+
+func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := w.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, nil
+}
+
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 500 * time.Millisecond
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		fmt.Fprintf(w.Log, format+"\n", args...)
+	}
+}
