@@ -37,6 +37,7 @@ func auditCmd(ctx context.Context, args []string) int {
 	auditEvery := fs.Int("audit-every", 1000, "run the invariant auditor every N scheduler steps (0 = only at completion)")
 	failFast := fs.Bool("fail-fast", false, "stop the campaign at the first failing cell")
 	campaigns := fs.String("campaigns", "all", "comma-separated campaign cells (see -list)")
+	fs.StringVar(&o.Backends, "backend", "all", "comma-separated protocol backends to audit (see -list)")
 	rateScale := fs.Float64("rate-scale", 1, "multiply every injector's default rate")
 	list := fs.Bool("list", false, "describe injectors and campaign cells, then exit")
 	prof := addProfFlags(fs)
@@ -81,6 +82,11 @@ func auditCmd(ctx context.Context, args []string) int {
 	cells, err := faults.SelectCampaigns(*campaigns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "audit:", err)
+		return 2
+	}
+	cells = faults.FilterByBackend(cells, o.BackendIDs())
+	if len(cells) == 0 {
+		fmt.Fprintln(os.Stderr, "audit: the -campaigns/-backend selection leaves no cells to run")
 		return 2
 	}
 	var ids []string

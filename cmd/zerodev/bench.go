@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/atomicio"
+	"repro/internal/backend"
 	"repro/internal/harness"
 	"repro/internal/stats"
 )
@@ -38,7 +39,12 @@ var (
 // raw samples are kept so any other statistic can be recomputed).
 type benchEntry struct {
 	Experiment string `json:"experiment"`
-	Workers    int    `json:"workers"`
+	// Backend tags entries from the per-backend sweep (the figbackends
+	// experiment restricted to one protocol backend); omitted for the
+	// classic whole-experiment entries, so pre-backend baselines stay
+	// comparable entry for entry.
+	Backend string `json:"backend,omitempty"`
+	Workers int    `json:"workers"`
 	// DomainWorkers is the intra-run epoch-scheduler worker count
 	// (harness.Options.DomainWorkers); omitted for serial stepping.
 	DomainWorkers int     `json:"domain_workers,omitempty"`
@@ -115,6 +121,8 @@ func benchCmd(ctx context.Context, args []string) int {
 		"comma-separated experiments to additionally benchmark under the epoch-barrier domain scheduler (\"\" disables)")
 	domWorkers := fs.String("domain-workers", "2,4",
 		"comma-separated intra-run domain-worker counts for the -domain runs (\"\" disables)")
+	backendsFlag := fs.String("backends", "all",
+		"comma-separated protocol backends to benchmark individually (each a figbackends run restricted to one backend; \"\" disables)")
 	count := fs.Int("count", 3, "runs per benchmark; ns/op is the fastest run")
 	out := fs.String("o", fmt.Sprintf("BENCH_%d.json", BenchFileVersion),
 		"output file; an existing file's pre_change block is carried forward")
@@ -213,6 +221,35 @@ func benchCmd(ctx context.Context, args []string) int {
 				id, dw, ent.NsPerOp, ent.BytesPerOp, ent.AllocsPerOp)
 		}
 	}
+	if *backendsFlag != "" {
+		bids, err := backend.ParseList(*backendsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: -backends:", err)
+			return 2
+		}
+		for _, bid := range bids {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "bench: interrupted")
+				return harness.ExitInterrupted
+			}
+			bo := o
+			bo.Backends = string(bid)
+			ent, err := measureBest(ctx, "figbackends", bo, 1, 1, *count)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				return 1
+			}
+			ent.Backend = string(bid)
+			bf.Results = append(bf.Results, ent)
+			fmt.Printf("%-14s backend=%-13s %10d ns/op  %9d B/op  %7d allocs/op\n",
+				"figbackends", bid, ent.NsPerOp, ent.BytesPerOp, ent.AllocsPerOp)
+		}
+		if len(bids) > 0 {
+			bf.Notes = append(bf.Notes,
+				"backend entries are the figbackends sweep restricted to one protocol backend each, measured serially (workers=1); they compare protocol cost, not host parallelism")
+		}
+	}
+
 	if len(domain) > 0 && len(dwCounts) > 0 && runtime.GOMAXPROCS(0) == 1 {
 		bf.Notes = append(bf.Notes,
 			"domain-worker entries were measured with GOMAXPROCS=1: they show the epoch scheduler's bookkeeping overhead, not a wall-clock speedup; byte-identical output is enforced by the harness serial-equivalence suite")
@@ -365,9 +402,16 @@ func fastest(a, b benchEntry) benchEntry {
 }
 
 func (f *benchFile) find(id string, workers, dw int) *benchEntry {
+	return f.findBackend(id, "", workers, dw)
+}
+
+// findBackend locates one entry by its full identity, including the
+// backend tag ("" matches the classic untagged entries, which is what
+// keeps pre-backend baselines comparable).
+func (f *benchFile) findBackend(id, backendID string, workers, dw int) *benchEntry {
 	for i := range f.Results {
 		e := &f.Results[i]
-		if e.Experiment == id && e.Workers == workers && e.DomainWorkers == dw {
+		if e.Experiment == id && e.Backend == backendID && e.Workers == workers && e.DomainWorkers == dw {
 			return e
 		}
 	}
@@ -413,8 +457,11 @@ func compareBench(cur benchFile, baselinePath string, maxRegress float64) error 
 			ErrBaselineVersion, baselinePath, base.Version, cur.Version)
 	}
 	for _, b := range base.Results {
-		if c := cur.find(b.Experiment, b.Workers, b.DomainWorkers); c != nil && b.NsPerOp > 0 {
+		if c := cur.findBackend(b.Experiment, b.Backend, b.Workers, b.DomainWorkers); c != nil && b.NsPerOp > 0 {
 			label := fmt.Sprintf("workers=%d", b.Workers)
+			if b.Backend != "" {
+				label = "backend=" + b.Backend + " " + label
+			}
 			if b.DomainWorkers > 0 {
 				label += fmt.Sprintf(" domain-workers=%d", b.DomainWorkers)
 			}

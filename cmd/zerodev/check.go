@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/atomicio"
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/mcheck"
@@ -24,7 +25,8 @@ func checkCmd(ctx context.Context, args []string) int {
 	cores := fs.Int("cores", 2, fmt.Sprintf("core count (2..%d)", mcheck.MaxCores))
 	addrs := fs.Int("addrs", 2, fmt.Sprintf("distinct block addresses in the op alphabet (1..%d)", mcheck.MaxAddrs))
 	depth := fs.Int("depth", 6, "explore every op sequence up to this length")
-	policies := fs.String("policies", "all", "comma-separated DE policies (spillall,fpss,fuseall) or all")
+	policies := fs.String("policies", "all", "comma-separated DE policies (spillall,fpss,fuseall) or all; zerodev only")
+	backends := fs.String("backends", "zerodev", "comma-separated protocol backends to check, or all; backends that do not claim zero-DEV get an extra differentiator pass that forces the assertion and must find a counterexample")
 	dirEntries := fs.Int("dir", 0, "replacement-disabled sparse directory entries (0 = none: every entry housed in the LLC)")
 	workers := fs.Int("workers", harness.DefaultOptions().Workers,
 		"parallel frontier expansion workers (results are identical at any value)")
@@ -60,24 +62,34 @@ func checkCmd(ctx context.Context, args []string) int {
 		fmt.Fprintln(os.Stderr, "check:", err)
 		return 2
 	}
+	ids, err := backend.ParseList(*backends)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "check: -backends:", err)
+		return 2
+	}
+	jobs, err := checkJobs(ids, pols, *cores, *addrs, *depth, *dirEntries, *broken, *workers, *jobTimeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "check:", err)
+		return 2
+	}
 	var progress io.Writer
 	if !*quiet {
 		progress = os.Stderr
 	}
 	start := time.Now()
 	violations := 0
-	for _, pol := range pols {
-		cfg := mcheck.Config{
-			Cores: *cores, Addrs: *addrs, Depth: *depth,
-			Policy: pol, DirEntries: *dirEntries,
-			Broken: *broken, Workers: *workers,
-			JobTimeout: *jobTimeout,
-		}
-		if err := runCheck(ctx, cfg, *out, os.Stdout, progress); err != nil {
-			if _, bad := err.(*violationError); bad {
-				violations++
-				continue
-			}
+	for _, jb := range jobs {
+		err := runCheck(ctx, jb.cfg, *out, os.Stdout, progress)
+		_, found := err.(*violationError)
+		switch {
+		case jb.expectViolation && found:
+			fmt.Fprintf(os.Stdout, "  differentiator: %s produced the expected zero-DEV counterexample\n", jb.cfg.Label())
+		case jb.expectViolation && err == nil:
+			fmt.Fprintf(os.Stderr, "check: differentiator failed: %s explored clean under the forced zero-DEV assertion (a counterexample was expected)\n", jb.cfg.Label())
+			violations++
+		case found:
+			violations++
+		case err != nil:
 			fmt.Fprintln(os.Stderr, "check:", err)
 			return checkExit(err)
 		}
@@ -89,6 +101,65 @@ func checkCmd(ctx context.Context, args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// checkJob pairs a configuration with its expected outcome: the
+// differentiator passes on backends that do not claim zero-DEV succeed
+// only by finding a counterexample.
+type checkJob struct {
+	cfg             mcheck.Config
+	expectViolation bool
+}
+
+// checkJobs expands the backend/policy selection into the run list.
+// zerodev sweeps the DE-policy axis (and alone honors -broken); the
+// other backends run once in their canonical organization, and the
+// ones that do not claim zero-DEV add a differentiator pass with the
+// property forced on over a deliberately conflict-heavy single-entry
+// directory, so the checker proves — rather than assumes — that the
+// baseline actually produces directory eviction victims.
+func checkJobs(ids []backend.ID, pols []core.DEPolicy, cores, addrs, depth, dirEntries int, broken bool, workers int, jobTimeout time.Duration) ([]checkJob, error) {
+	base := mcheck.Config{
+		Cores: cores, Addrs: addrs, Depth: depth,
+		Workers: workers, JobTimeout: jobTimeout,
+	}
+	var jobs []checkJob
+	haveZeroDEV := false
+	for _, id := range ids {
+		if id == backend.ZeroDEV {
+			haveZeroDEV = true
+			for _, pol := range pols {
+				cfg := base
+				cfg.Policy, cfg.DirEntries, cfg.Broken = pol, dirEntries, broken
+				jobs = append(jobs, checkJob{cfg: cfg})
+			}
+			continue
+		}
+		cfg := base
+		cfg.Backend = id
+		switch {
+		case id == backend.DLS:
+			cfg.DirEntries = 0 // directoryless by construction
+		case dirEntries > 0:
+			cfg.DirEntries = dirEntries
+		default:
+			cfg.DirEntries = 1
+		}
+		jobs = append(jobs, checkJob{cfg: cfg})
+		if !backend.MustGet(id).ClaimsZeroDEV {
+			diff := cfg
+			diff.AssertZeroDEV = true
+			// A single-entry directory guarantees an allocation conflict
+			// as soon as two addresses are tracked, so the expected DEV is
+			// reachable within any useful depth.
+			diff.DirEntries = 1
+			jobs = append(jobs, checkJob{cfg: diff, expectViolation: true})
+		}
+	}
+	if broken && !haveZeroDEV {
+		return nil, fmt.Errorf("-broken wraps the zerodev home agent; include zerodev in -backends")
+	}
+	return jobs, nil
 }
 
 // violationError marks a completed run that found a counterexample, as
@@ -124,7 +195,7 @@ func runCheck(ctx context.Context, cfg mcheck.Config, tracePath string, w, progr
 	}
 	min := mcheck.Minimize(cfg, *res.Violation)
 	if tracePath == "" {
-		tracePath = fmt.Sprintf("counterexample-%s.json", mcheck.PolicyName(cfg.Policy))
+		tracePath = fmt.Sprintf("counterexample-%s.json", cfg.Label())
 	}
 	// The counterexample is written atomically: a kill mid-write leaves
 	// the previous trace (or nothing), never a torn file.
@@ -156,8 +227,12 @@ func formatResult(res mcheck.Result) string {
 	if res.Violation != nil {
 		verdict = "VIOLATION"
 	}
-	return fmt.Sprintf("policy=%-8s cores=%d addrs=%d depth=%d dir=%d: %d states explored (%d deduped, %s): %s\n",
-		mcheck.PolicyName(cfg.Policy), cfg.Cores, cfg.Addrs, cfg.Depth, cfg.DirEntries,
+	axis := "policy"
+	if cfg.Backend != "" && cfg.Backend != backend.ZeroDEV {
+		axis = "backend"
+	}
+	return fmt.Sprintf("%s=%-8s cores=%d addrs=%d depth=%d dir=%d: %d states explored (%d deduped, %s): %s\n",
+		axis, cfg.Label(), cfg.Cores, cfg.Addrs, cfg.Depth, cfg.DirEntries,
 		res.Explored, res.Deduped, coverage, verdict)
 }
 
@@ -185,8 +260,15 @@ func replayCounterexample(path string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "replayed %d ops (policy=%s cores=%d addrs=%d dir=%d broken=%v): %s\n",
-		len(tr.Ops), tr.Policy, tr.Cores, tr.Addrs, tr.DirEntries, tr.Broken, mcheck.FormatOps(opsOf(v)))
+	extra := ""
+	if tr.Backend != "" {
+		extra = fmt.Sprintf(" backend=%s", tr.Backend)
+	}
+	if tr.AssertZeroDEV {
+		extra += " assert-zero-dev"
+	}
+	fmt.Fprintf(w, "replayed %d ops (policy=%s%s cores=%d addrs=%d dir=%d broken=%v): %s\n",
+		len(tr.Ops), tr.Policy, extra, tr.Cores, tr.Addrs, tr.DirEntries, tr.Broken, mcheck.FormatOps(opsOf(v)))
 	fmt.Fprintf(w, "reproduced violation at op %d: %s\n", len(v.Ops), v.Err)
 	return nil
 }
@@ -208,6 +290,8 @@ func writeCheckList(w io.Writer, cores, addrs int) {
 	fmt.Fprint(w, `properties checked at every reached state:
   - core.CheckInvariants (directory/private-cache cross-validation, FPSS forms, LLC housing rules)
   - zero-DEV: no private-cache invalidation attributable to directory replacement
+    (asserted on backends that claim it; -backends adds a differentiator pass on the
+    others that forces the assertion and must find a minimized counterexample)
   - single-writer: at most one core holds a block in M/E
   - no entry is busy between transactions; no block tracked in two locations
   - corrupted-home recoverability: an overwritten memory block keeps a reachable copy

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/mcheck"
 )
@@ -51,5 +52,74 @@ func TestCheckCounterexampleGolden(t *testing.T) {
 	}
 	if !strings.Contains(rep.String(), vErr.err) {
 		t.Fatalf("replay report %q does not state the violation %q", rep.String(), vErr.err)
+	}
+}
+
+// TestCheckDifferentiatorCounterexampleGolden pins the minimized
+// counterexample the differentiator pass finds on the sparse-MESI
+// baseline under the forced zero-DEV assertion — the artifact that
+// demonstrates real directory eviction victims on the backend the paper
+// argues against — and proves the trace replays to the same violation.
+func TestCheckDifferentiatorCounterexampleGolden(t *testing.T) {
+	cfg := mcheck.Config{
+		Cores: 2, Addrs: 2, Depth: 4,
+		Backend: backend.SparseMESI, DirEntries: 1,
+		AssertZeroDEV: true, Workers: 4,
+	}
+	path := filepath.Join(t.TempDir(), "cex.json")
+	var buf bytes.Buffer
+	err := runCheck(context.Background(), cfg, path, &buf, nil)
+	var vErr *violationError
+	if !errors.As(err, &vErr) {
+		t.Fatalf("sparsemesi did not yield a zero-DEV counterexample: err=%v\n%s", err, buf.Bytes())
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	golden(t, "check_counterexample_sparsemesi", data)
+
+	var rep bytes.Buffer
+	if err := replayCounterexample(path, &rep); err != nil {
+		t.Fatalf("replay did not reproduce the recorded violation: %v", err)
+	}
+	if !strings.Contains(rep.String(), vErr.err) {
+		t.Fatalf("replay report %q does not state the violation %q", rep.String(), vErr.err)
+	}
+}
+
+// TestCheckJobs pins the backend → run-list expansion: zerodev sweeps
+// the policy axis, dls stays directoryless, and the non-claiming
+// backends gain a differentiator pass over a 1-entry directory.
+func TestCheckJobs(t *testing.T) {
+	all, _ := backend.ParseList("all")
+	pols := []core.DEPolicy{core.SpillAll, core.FPSS}
+	jobs, err := checkJobs(all, pols, 2, 2, 4, 0, false, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labels []string
+	for _, jb := range jobs {
+		if err := jb.cfg.Validate(); err != nil {
+			t.Errorf("expanded job %q invalid: %v", jb.cfg.Label(), err)
+		}
+		if jb.expectViolation != (jb.cfg.AssertZeroDEV && !jb.cfg.ClaimsZeroDEV()) {
+			t.Errorf("job %q: expectViolation=%v inconsistent with its assertion", jb.cfg.Label(), jb.expectViolation)
+		}
+		labels = append(labels, jb.cfg.Label())
+	}
+	want := []string{"spillall", "fpss", "sparsemesi", "sparsemesi+assert", "dls", "phasepriority", "phasepriority+assert"}
+	if len(labels) != len(want) {
+		t.Fatalf("jobs = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("jobs = %v, want %v", labels, want)
+		}
+	}
+
+	// -broken without zerodev in the selection is refused.
+	if _, err := checkJobs([]backend.ID{backend.DLS}, pols, 2, 2, 4, 0, true, 1, 0); err == nil {
+		t.Fatal("-broken accepted without the zerodev backend")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/faults"
 	"repro/internal/harness"
 )
@@ -53,6 +54,15 @@ func TestAuditListGolden(t *testing.T) {
 	var buf bytes.Buffer
 	faults.WriteList(&buf)
 	golden(t, "audit_list", buf.Bytes())
+}
+
+// TestListBackendsGolden pins the `zerodev run -list-backends` output:
+// backend names and their guarantee flags are the contract the
+// -backend flags, mcheck, and the conformance suite key off.
+func TestListBackendsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	backend.WriteList(&buf)
+	golden(t, "list_backends", buf.Bytes())
 }
 
 // TestRunExperimentGolden pins the full table output of one quick

@@ -5,11 +5,11 @@
 // Usage:
 //
 //	zerodev list
-//	zerodev run [-scale N] [-accesses N] [-seed N] [-quick] [-workers N] [-job-timeout D] [-resume FILE] <experiment>...
+//	zerodev run [-scale N] [-accesses N] [-seed N] [-quick] [-workers N] [-backend B,..] [-list-backends] [-job-timeout D] [-resume FILE] <experiment>...
 //	zerodev run all            # every experiment, paper order
 //	zerodev single [-config baseline|zerodev] [-ratio R] [-policy P] <app>
-//	zerodev audit [-faults K,..] [-campaigns C,..] [-audit-every N] [-fail-fast] [-job-timeout D] [-resume FILE]
-//	zerodev check [-cores N] [-addrs N] [-depth N] [-policies P,..] [-workers N] [-job-timeout D] [-replay FILE] [-list]
+//	zerodev audit [-faults K,..] [-campaigns C,..] [-backend B,..] [-audit-every N] [-fail-fast] [-job-timeout D] [-resume FILE]
+//	zerodev check [-cores N] [-addrs N] [-depth N] [-policies P,..] [-backends B,..] [-workers N] [-job-timeout D] [-replay FILE] [-list]
 //	zerodev bench [-experiments IDs] [-count N] [-o FILE] [-compare FILE]
 //	zerodev serve [-addr A] [-state FILE] [-lease-ttl D] [-retry-budget N]
 //	zerodev work [-connect URL] [-id NAME] [-poll D]
@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -108,6 +109,8 @@ func writeList(w io.Writer) {
 	for _, e := range harness.List() {
 		fmt.Fprintf(w, "%-12s %s\n", e.ID, e.Title)
 	}
+	fmt.Fprintln(w)
+	backend.WriteList(w)
 }
 
 func usage() {
@@ -131,9 +134,15 @@ func runCmd(ctx context.Context, args []string) int {
 		"where completed cells are persisted for -resume (\"\" disables checkpointing)")
 	resume := fs.String("resume", "", "resume from a checkpoint file: completed cells are served from it instead of re-running")
 	quiet := fs.Bool("quiet", false, "suppress progress and timing lines on stderr")
+	fs.StringVar(&o.Backends, "backend", "", "comma-separated protocol backends for the backend-axis experiments (\"\"/\"all\" = every backend; see -list-backends)")
+	listBackends := fs.Bool("list-backends", false, "describe the protocol backends, then exit")
 	prof := addProfFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *listBackends {
+		backend.WriteList(os.Stdout)
+		return 0
 	}
 	stopProf, err := prof.start()
 	if err != nil {
@@ -164,6 +173,7 @@ func runCmd(ctx context.Context, args []string) int {
 	key := harness.CheckpointKey{
 		Kind: "run", IDs: ids,
 		Scale: o.Scale, Accesses: o.Accesses, Seed: o.Seed, Quick: o.Quick,
+		Backends: o.Backends,
 	}
 	if *resume != "" {
 		cs, err := harness.LoadCheckpoint(*resume, key)

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/serve"
+)
+
+// serveCmd runs the campaign coordinator: an HTTP/JSON service that
+// decomposes submitted campaigns into cells, leases them to `zerodev
+// work` workers, re-queues cells whose workers die, and assembles
+// output byte-identical to a serial `zerodev run`. State persists
+// atomically to -state, so killing and restarting the coordinator
+// resumes every in-flight campaign.
+func serveCmd(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	statePath := fs.String("state", filepath.Join("results", "serve", "state.json"),
+		"durable coordinator state for crash recovery (\"\" disables persistence)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "lease duration; a cell unheartbeated this long re-queues")
+	retryBudget := fs.Int("retry-budget", 3, "extra attempts before a cell degrades to ERR")
+	backoff := fs.Duration("backoff", time.Second, "base re-queue backoff (doubles per attempt)")
+	backoffMax := fs.Duration("backoff-max", time.Minute, "re-queue backoff ceiling")
+	var seed uint64
+	fs.Uint64Var(&seed, "seed", 1, "backoff jitter seed")
+	sweepEvery := fs.Duration("sweep-every", time.Second, "lease expiry sweep cadence")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "serve: unexpected arguments", fs.Args())
+		return 2
+	}
+	cfg := serve.DefaultConfig()
+	cfg.LeaseTTL = *leaseTTL
+	cfg.RetryBudget = *retryBudget
+	cfg.BackoffBase = *backoff
+	cfg.BackoffMax = *backoffMax
+	cfg.Seed = seed
+	cfg.StatePath = *statePath
+	if cfg.StatePath != "" {
+		if err := os.MkdirAll(filepath.Dir(cfg.StatePath), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			return 1
+		}
+	}
+	coord, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	}
+	coord.StartSweeper(ctx, *sweepEvery)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	fmt.Fprintf(os.Stderr, "serve: coordinator listening on %s (state %q, lease TTL %v, retry budget %d)\n",
+		ln.Addr(), cfg.StatePath, cfg.LeaseTTL, cfg.RetryBudget)
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		return 1
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "serve: interrupted; state is durable — restart to resume")
+		return harness.ExitInterrupted
+	}
+	return 0
+}
+
+// workCmd runs a worker against a coordinator: lease a cell, simulate
+// it, heartbeat while computing, deliver the result, repeat. Workers
+// hold no local state, so killing one mid-cell only costs that cell's
+// lease TTL before the coordinator re-queues it.
+func workCmd(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("work", flag.ExitOnError)
+	connect := fs.String("connect", "http://127.0.0.1:8080", "coordinator URL")
+	id := fs.String("id", "", "worker name in lease records (default host-pid)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "idle poll interval when no work is ready")
+	quiet := fs.Bool("quiet", false, "suppress per-cell progress lines on stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "work: unexpected arguments", fs.Args())
+		return 2
+	}
+	if *id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := &serve.Worker{Base: *connect, ID: *id, Poll: *poll}
+	if !*quiet {
+		w.Log = harness.NewSyncWriter(os.Stderr)
+	}
+	fmt.Fprintf(os.Stderr, "work: worker %s polling %s\n", *id, *connect)
+	_ = w.Run(ctx)
+	if ctx.Err() != nil {
+		return harness.ExitInterrupted
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package backend
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegistryShape(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("registry has %d backends, want 4", len(all))
+	}
+	if all[0].ID != ZeroDEV {
+		t.Fatalf("presentation order must lead with the proposal, got %q", all[0].ID)
+	}
+	seen := map[ID]bool{}
+	for _, b := range all {
+		if b.ID == "" || b.Title == "" {
+			t.Fatalf("backend %+v missing ID or title", b)
+		}
+		if seen[b.ID] {
+			t.Fatalf("duplicate backend %q", b.ID)
+		}
+		seen[b.ID] = true
+		if string(b.ID) != strings.ToLower(string(b.ID)) {
+			t.Fatalf("backend name %q must be lowercase", b.ID)
+		}
+	}
+	if !MustGet(ZeroDEV).ClaimsZeroDEV || MustGet(SparseMESI).ClaimsZeroDEV {
+		t.Fatal("zero-DEV claims are wrong: zerodev must claim, sparsemesi must not")
+	}
+	if !MustGet(DLS).ClaimsZeroDEV || MustGet(PhasePriority).ClaimsZeroDEV {
+		t.Fatal("zero-DEV claims are wrong: dls must claim, phasepriority must not")
+	}
+}
+
+func TestGetZeroValueDefaultsToZeroDEV(t *testing.T) {
+	b, ok := Get("")
+	if !ok || b.ID != ZeroDEV {
+		t.Fatalf("Get(\"\") = %v, %v; want zerodev", b.ID, ok)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ID
+		err  bool
+	}{
+		{"zerodev", ZeroDEV, false},
+		{"SPARSEMESI", SparseMESI, false},
+		{"  dls ", DLS, false},
+		{"phasepriority", PhasePriority, false},
+		{"", ZeroDEV, false},
+		{"mesi", "", true},
+		{"zero-dev", "", true},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("Parse(%q): expected error", c.in)
+			} else if !errors.Is(err, ErrUnknownBackend) {
+				t.Errorf("Parse(%q) error %v does not wrap ErrUnknownBackend", c.in, err)
+			} else if !strings.Contains(err.Error(), "zerodev, sparsemesi, dls, phasepriority") {
+				t.Errorf("Parse(%q) error %q does not list the valid set", c.in, err)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("Parse(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestParseList(t *testing.T) {
+	for _, all := range []string{"", "all", "ALL"} {
+		ids, err := ParseList(all)
+		if err != nil || len(ids) != 4 {
+			t.Fatalf("ParseList(%q) = %v, %v; want all four", all, ids, err)
+		}
+	}
+	ids, err := ParseList("dls, zerodev")
+	if err != nil || len(ids) != 2 || ids[0] != DLS || ids[1] != ZeroDEV {
+		t.Fatalf("ParseList preserves request order: got %v, %v", ids, err)
+	}
+	if _, err := ParseList("zerodev,zerodev"); err == nil {
+		t.Fatal("duplicate backends must be rejected")
+	}
+	if _, err := ParseList("zerodev,bogus"); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("unknown member error %v does not wrap ErrUnknownBackend", err)
+	}
+}

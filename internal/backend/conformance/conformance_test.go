@@ -1,0 +1,118 @@
+package conformance
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+)
+
+var update = flag.Bool("update", false, "rewrite the conformance golden with current fingerprints")
+
+// TestConformanceGolden runs the full suite — every scenario on every
+// registered backend, properties checked after every op — and pins the
+// final state fingerprints. A diff here means a backend's protocol
+// behavior changed; regenerate with -update only for intended changes.
+func TestConformanceGolden(t *testing.T) {
+	results, err := Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, r := range results {
+		buf.WriteString(r.Line())
+		buf.WriteByte('\n')
+	}
+	path := filepath.Join("testdata", "conformance.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/backend/conformance -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("conformance fingerprints differ from %s (regenerate with -update after intended protocol changes)\n--- got ---\n%s--- want ---\n%s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// TestSuiteCoversEveryBackend guards the suite against a backend being
+// registered but silently skipped.
+func TestSuiteCoversEveryBackend(t *testing.T) {
+	results, err := Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perBackend := make(map[backend.ID]int)
+	for _, r := range results {
+		perBackend[r.Backend]++
+	}
+	n := len(Scenarios())
+	for _, info := range backend.All() {
+		if perBackend[info.ID] != n {
+			t.Errorf("backend %s ran %d scenarios, want %d", info.ID, perBackend[info.ID], n)
+		}
+	}
+}
+
+// TestBackendsDiverge checks the suite has discriminating power: the
+// backends must not all collapse to identical fingerprints on the
+// scenario built to separate them (dir-conflict exercises each
+// backend's conflict handling: housing, eviction, inclusion, NACK).
+func TestBackendsDiverge(t *testing.T) {
+	results, err := Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := make(map[string][]string)
+	for _, r := range results {
+		if r.Scenario == "dir-conflict" {
+			k := string(r.Fingerprint[:])
+			fps[k] = append(fps[k], string(r.Backend))
+		}
+	}
+	if len(fps) < 2 {
+		t.Fatalf("dir-conflict fingerprints do not separate any backends: %v", fps)
+	}
+}
+
+// TestWBDEEnabledOnlyWithHomeSegments pins the disabled-op contract:
+// the WB_DE poke is a real op exactly on backends that write directory
+// entries to home memory, and a no-op everywhere else.
+func TestWBDEEnabledOnlyWithHomeSegments(t *testing.T) {
+	results, err := Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Scenario != "wbde-refetch" {
+			continue
+		}
+		want := 3 // the three reads; the wbde op only fires with home segments
+		if backend.MustGet(r.Backend).UsesHomeSegments {
+			want = 4
+		}
+		if r.Enabled != want {
+			t.Errorf("%s: wbde-refetch enabled %d ops, want %d", r.Backend, r.Enabled, want)
+		}
+	}
+}
+
+// TestResultLineFormat keeps the golden format stable and greppable.
+func TestResultLineFormat(t *testing.T) {
+	r := Result{Backend: backend.DLS, Scenario: "x", Enabled: 2}
+	if !strings.HasPrefix(r.Line(), "dls") || !strings.Contains(r.Line(), "ops=2 fp=") {
+		t.Fatalf("unexpected line format: %q", r.Line())
+	}
+}

@@ -35,6 +35,12 @@ func FuzzSpilledRoundTrip(f *testing.F) {
 	// The stale entry from the model checker's canonical broken-variant
 	// counterexample: S sharers={0,1} (testdata/fuzz seed-6 matches).
 	f.Add(uint8(DirShared), false, uint8(0), uint64(3), uint64(0))
+	// Sparse-MESI directory victims, the entries the baseline backend
+	// invalidates on a conflict: an M/E entry owned by core 1 and a
+	// widely-shared entry with four tracked sharers (testdata/fuzz
+	// seeds 7 and 8 match).
+	f.Add(uint8(DirOwned), false, uint8(1), uint64(0), uint64(0))
+	f.Add(uint8(DirShared), false, uint8(0), uint64(15), uint64(0))
 	f.Fuzz(func(t *testing.T, state uint8, busy bool, owner uint8, lo, hi uint64) {
 		e := Entry{
 			State: DirState(state % 3),
@@ -90,6 +96,10 @@ func FuzzFusedFPSSRoundTrip(f *testing.F) {
 func FuzzFusedFuseAllRoundTrip(f *testing.F) {
 	f.Add([]byte("data"), true, false, true, uint8(2), uint64(5), uint64(0), uint8(16))
 	f.Add([]byte{1}, false, true, false, uint8(0), uint64(0), uint64(0), uint8(128))
+	// The DLS backend's in-tag tracking is always this fused form: a
+	// clean shared line carrying its own sharer set in the tag, 8-core
+	// socket (testdata/fuzz seed-6 matches).
+	f.Add([]byte("dls"), false, false, true, uint8(0), uint64(3), uint64(0), uint8(6))
 	f.Fuzz(func(t *testing.T, blockBytes []byte, dirty, busy, shared bool, owner uint8, lo, hi uint64, coreByte uint8) {
 		cores := fuzzCores(coreByte)
 		var block Line

@@ -13,6 +13,7 @@ package config
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/coher"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -163,6 +164,62 @@ func (p Preset) ZeroDEVReplEnabled(ratio float64, pol core.DEPolicy, repl llc.Re
 	ways := p.DirWays
 	s.Dir = func() directory.Directory { return directory.MustTraditional(entries, ways) }
 	return s
+}
+
+// SparseMESI returns the classic sparse-directory MESI baseline under
+// its protocol-backend name: the same organization as Baseline, tagged
+// so the backend axis (mcheck, conformance, comparative figures)
+// addresses it explicitly.
+func (p Preset) SparseMESI(ratio float64, mode llc.Mode) core.SystemSpec {
+	s := p.Baseline(ratio, mode)
+	s.Backend = backend.SparseMESI
+	return s
+}
+
+// DLS returns the directoryless-shared-LLC backend (arXiv 1206.4753):
+// no directory structure at all; tracking rides the LLC tags, which
+// forces an inclusive LLC under plain LRU.
+func (p Preset) DLS() core.SystemSpec {
+	s := p.base(llc.Inclusive, llc.LRU)
+	s.Backend = backend.DLS
+	s.Dir = func() directory.Directory { return directory.NoDir{} }
+	return s
+}
+
+// PhasePriority returns the phase-priority directory backend (arXiv
+// 1305.3038): a bounded replacement-disabled sparse directory of the
+// given ratio whose allocation conflicts are NACKed and retried before
+// a prioritized eviction forces the victim out.
+func (p Preset) PhasePriority(ratio float64, mode llc.Mode) core.SystemSpec {
+	if ratio <= 0 {
+		panic("config: the phase-priority backend needs a bounded directory (ratio > 0)")
+	}
+	s := p.base(mode, llc.LRU)
+	s.Backend = backend.PhasePriority
+	entries := p.DirEntries(ratio)
+	ways := p.DirWays
+	s.Dir = func() directory.Directory { return directory.MustReplacementDisabled(entries, ways) }
+	return s
+}
+
+// ForBackend returns the comparative-lab spec for one protocol backend:
+// every bounded directory sized at the same R× ratio, each backend in
+// its canonical organization (zerodev: FPSS + dataLRU non-inclusive;
+// sparsemesi / phasepriority: NRU resp. replacement-disabled at R×,
+// non-inclusive; dls: directoryless inclusive). This is the spec family
+// the cross-backend figures sweep.
+func (p Preset) ForBackend(id backend.ID, ratio float64) (core.SystemSpec, error) {
+	switch id {
+	case backend.ZeroDEV, "":
+		return p.ZeroDEV(ratio, core.FPSS, llc.DataLRU, llc.NonInclusive), nil
+	case backend.SparseMESI:
+		return p.SparseMESI(ratio, llc.NonInclusive), nil
+	case backend.DLS:
+		return p.DLS(), nil
+	case backend.PhasePriority:
+		return p.PhasePriority(ratio, llc.NonInclusive), nil
+	}
+	return core.SystemSpec{}, fmt.Errorf("config: %w %q", backend.ErrUnknownBackend, id)
 }
 
 // SecDir returns the iso-storage SecDir comparison point (Fig. 27): the

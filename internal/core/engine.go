@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/coher"
 	"repro/internal/directory"
 	"repro/internal/llc"
@@ -59,8 +60,14 @@ func (p DEPolicy) String() string {
 type Params struct {
 	// Cores is the per-socket core count.
 	Cores int
+	// Backend selects the coherence-protocol backend. The zero value
+	// derives the backend from the legacy ZeroDEV bit (zerodev when
+	// set, sparsemesi otherwise), so pre-backend specs keep their
+	// meaning.
+	Backend backend.ID
 	// ZeroDEV enables the ZeroDEV protocol; otherwise the baseline
-	// protocol runs and directory evictions produce DEVs.
+	// protocol runs and directory evictions produce DEVs. Consulted
+	// only when Backend is empty.
 	ZeroDEV bool
 	// Policy is the directory-entry caching policy (ZeroDEV only).
 	Policy DEPolicy
@@ -110,6 +117,29 @@ type Engine struct {
 	home   Home
 	stats  Stats
 	faults FaultPort
+
+	// proto is the backend's protocol object; the flags below cache its
+	// registry metadata so the request hot paths stay branch-cheap
+	// (no interface calls for the common decisions).
+	proto Protocol
+	// housesInLLC: directory entries may live in LLC lines.
+	housesInLLC bool
+	// usesHomeSegments: entries can be written back into home-memory
+	// block segments (WB_DE/GET_DE), i.e. home blocks can be corrupted.
+	usesHomeSegments bool
+	// spillAllPenalty: reads pay the SpillAll co-resident-entry
+	// data-array penalty (zerodev + SpillAll only).
+	spillAllPenalty bool
+	// fusedDataUsable: a fused line's data part serves requests without
+	// reconstruction (DLS in-tag tracking; false for zerodev, whose
+	// fused entries overwrite the block's low bits).
+	fusedDataUsable bool
+	// deInDataArray: LLC-housed entries are read out of the data array,
+	// costing DataCycles on upgrade paths (zerodev; false for DLS
+	// tag-side tracking).
+	deInDataArray bool
+	// hasAdmit: the backend's Admit hook is live (phase-priority).
+	hasAdmit bool
 }
 
 // New wires an engine. cores may be attached later with AttachCores when
@@ -119,8 +149,31 @@ func New(p Params, dir directory.Directory, l *llc.LLC, mesh *noc.Mesh, home Hom
 	if p.Cores <= 0 || p.Cores > coher.MaxCores {
 		panic(fmt.Sprintf("core: unsupported core count %d", p.Cores))
 	}
-	return &Engine{p: p, dir: dir, llc: l, mesh: mesh, home: home}
+	if p.Backend == "" {
+		if p.ZeroDEV {
+			p.Backend = backend.ZeroDEV
+		} else {
+			p.Backend = backend.SparseMESI
+		}
+	}
+	info, ok := backend.Get(p.Backend)
+	if !ok {
+		panic(fmt.Sprintf("core: unknown protocol backend %q", p.Backend))
+	}
+	e := &Engine{p: p, dir: dir, llc: l, mesh: mesh, home: home}
+	e.proto = newProtocol(e, info.ID)
+	e.housesInLLC = info.HousesDEsInLLC
+	e.usesHomeSegments = info.UsesHomeSegments
+	e.spillAllPenalty = info.ID == backend.ZeroDEV && p.Policy == SpillAll
+	e.fusedDataUsable = info.ID == backend.DLS
+	e.deInDataArray = info.ID == backend.ZeroDEV
+	e.hasAdmit = info.ID == backend.PhasePriority
+	return e
 }
+
+// Protocol exposes the backend's protocol object for instrumentation
+// and conformance tests.
+func (e *Engine) Protocol() Protocol { return e.proto }
 
 // AttachCores registers the core ports; index is the CoreID.
 func (e *Engine) AttachCores(cores []CorePort) {
@@ -156,16 +209,23 @@ const (
 )
 
 // findDE locates the directory entry for addr within the socket: the
-// sparse directory and, under ZeroDEV, the LLC (spilled or fused line in
-// the pre-computed view).
+// sparse directory and, for backends that house entries in the LLC, the
+// spilled or fused line in the pre-computed view.
 func (e *Engine) findDE(addr coher.Addr, v llc.View) (coher.Entry, deLoc) {
 	if ent, ok := e.dir.Lookup(addr); ok {
 		return ent, locDir
 	}
-	if e.p.ZeroDEV && v.HasDE() {
+	if e.housesInLLC && v.HasDE() {
 		return e.llc.Payload(v, v.DEWay).Entry, locLLC
 	}
 	return coher.Entry{}, locNone
+}
+
+// usableData reports whether v's data part can serve a request
+// directly: a plain data line always can; a fused line only when the
+// backend keeps the data intact alongside tag-side tracking (DLS).
+func (e *Engine) usableData(v llc.View) bool {
+	return v.HasData() && (!v.Fused || e.fusedDataUsable)
 }
 
 // record charges one interconnect message.

@@ -60,13 +60,7 @@ func (e *Engine) Evict(t sim.Cycle, c coher.CoreID, addr coher.Addr, state coher
 	}
 
 	// The last private copy left the socket's cores.
-	if v.Fused && e.p.Policy == FuseAll && state == coher.PrivShared {
-		// FuseAll: the home retrieves the low 4+N bits from the last
-		// sharer's eviction buffer to reconstruct the fused block
-		// (§III-C3).
-		e.stats.LastSharerRetrievals++
-		e.record(coher.MsgLastSharerAck)
-	}
+	e.proto.LastHolderGone(t, addr, state, v)
 	blockInLLC := e.freeDE(t, addr, state == coher.PrivModified, v)
 	switch {
 	case state == coher.PrivModified:
@@ -84,41 +78,11 @@ func (e *Engine) Evict(t sim.Cycle, c coher.CoreID, addr coher.Addr, state coher
 }
 
 // evictNoDE handles an eviction notice whose directory entry is not on
-// the socket (ZeroDEV: it lives in the corrupted home block). Fig. 16.
+// the socket. Only backends that can lose the entry to home memory
+// (zerodev's corrupted-block housing, Fig. 16) have a real flow here;
+// the rest treat it as a protocol bug.
 func (e *Engine) evictNoDE(t sim.Cycle, c coher.CoreID, addr coher.Addr, state coher.PrivState) {
-	if !e.p.ZeroDEV {
-		panic(fmt.Sprintf("core: baseline lost the directory entry for %#x", uint64(addr)))
-	}
-	if state == coher.PrivModified {
-		// Full cache block: the evicting core is the system-wide owner;
-		// execute the baseline writeback-to-home flow, restoring the
-		// corrupted memory copy. If the socket now holds nothing, the
-		// socket-level directory learns about it too.
-		e.home.WriteBack(t, e.p.Socket, addr)
-		if !e.llc.Probe(addr).HasData() {
-			e.socketEvictNotice(t, addr)
-		}
-		return
-	}
-	// GET_DE: fetch the corrupted block, extract this socket's entry,
-	// drop the evicting core, and write the updated entry back.
-	e.stats.GetDEFlows++
-	e.record(coher.MsgGetDE)
-	de, _, ok := e.home.GetDE(t, e.p.Socket, addr)
-	if !ok {
-		panic(fmt.Sprintf("core: eviction notice for untracked block %#x", uint64(addr)))
-	}
-	freed := de.RemoveHolder(c)
-	if !freed {
-		e.home.PutDE(t, e.p.Socket, addr, de)
-		return
-	}
-	e.home.PutDE(t, e.p.Socket, addr, coher.Entry{})
-	if e.llc.Probe(addr).HasData() {
-		// The socket still holds the block in its LLC.
-		return
-	}
-	e.socketEvictNotice(t, addr)
+	e.proto.EvictNoDE(t, c, addr, state)
 }
 
 // socketEvictNotice informs home that this socket no longer holds the

@@ -36,7 +36,9 @@ func (e *Engine) SetFaultPort(f FaultPort) { e.faults = f }
 // socket and its last-known value lives in the block's home segment.
 // Returns the view to use (re-probed when the line changed).
 func (e *Engine) maybeCorruptDE(t sim.Cycle, addr coher.Addr, v llc.View) llc.View {
-	if e.faults == nil || !e.p.ZeroDEV || !v.HasDE() {
+	// Quarantine retires the flipped entry into the block's home-memory
+	// segment, so only backends with WB_DE housing participate.
+	if e.faults == nil || !e.usesHomeSegments || !v.HasDE() {
 		return v
 	}
 	ent := e.llc.Payload(v, v.DEWay).Entry
@@ -73,7 +75,7 @@ func (e *Engine) retireDE(t sim.Cycle, addr coher.Addr, v llc.View) {
 // DE-eviction storm forces many of these in a burst). Reports whether
 // an entry was actually housed in the LLC.
 func (e *Engine) ForceDEWriteback(t sim.Cycle, addr coher.Addr) bool {
-	if !e.p.ZeroDEV {
+	if !e.usesHomeSegments {
 		return false
 	}
 	v := e.llc.Probe(addr)

@@ -39,72 +39,24 @@ func (e *Engine) storeDETouch(t sim.Cycle, addr coher.Addr, ent coher.Entry, v l
 }
 
 // storeDEView is storeDE taking the caller's current view of addr
-// (haveView), saving the probe on the ZeroDEV LLC-housing paths. It
-// returns addr's view after housing; known is false when the final
-// view would require a fresh probe (a spilled line landed at a way this
-// function cannot cheaply know, or no view was supplied).
+// (haveView), saving the probe on the LLC-housing paths. It returns
+// addr's view after housing; known is false when the final view would
+// require a fresh probe (a spilled line landed at a way this function
+// cannot cheaply know, or no view was supplied). Where the entry may
+// live — and what a housing conflict costs — is the backend's call, so
+// the body dispatches to the protocol object.
 func (e *Engine) storeDEView(t sim.Cycle, addr coher.Addr, ent coher.Entry, v llc.View, haveView bool) (after llc.View, known bool) {
 	if !ent.Live() {
 		panic("core: storeDE with a dead entry; use freeDE")
 	}
-	if _, ok := e.dir.Lookup(addr); ok {
-		// In-place update. Traditional directories never evict here, but
-		// SecDir (private-partition conflicts while reconciling holders)
-		// and MgD (grain conversions) can. Victims are other addresses, so
-		// v stays current (addr's lines are protected).
-		victims, housed := e.dir.Store(addr, ent)
-		if !housed {
-			panic("core: in-place directory update refused")
-		}
-		if e.p.ZeroDEV {
-			for _, w := range victims {
-				if w.Entry.Live() {
-					e.stats.DEDisplacedToLLC++
-					e.houseInLLC(t, w.Addr, w.Entry)
-				}
-			}
-			return v, haveView
-		}
-		e.processDEVs(t, victims)
-		return v, haveView
-	}
-	if e.p.ZeroDEV {
-		if !haveView {
-			v = e.llc.Probe(addr)
-		}
-		if v.HasDE() {
-			return e.updateLLCDE(t, addr, ent, v)
-		}
-		// New housing: the sparse directory first.
-		victims, housed := e.dir.Store(addr, ent)
-		if housed {
-			// §III-C4 ablation: with a replacement-enabled sparse
-			// directory under ZeroDEV, a displaced entry moves to the LLC
-			// instead of generating DEVs — but it has now disturbed both
-			// structures, which is why the paper prefers the
-			// replacement-disabled design.
-			for _, w := range victims {
-				if w.Entry.Live() {
-					e.stats.DEDisplacedToLLC++
-					e.houseInLLC(t, w.Addr, w.Entry)
-				}
-			}
-			return v, true
-		}
-		return e.houseInLLCView(t, addr, ent, v)
-	}
-	victims, housed := e.dir.Store(addr, ent)
-	if !housed {
-		panic("core: baseline directory refused an allocation")
-	}
-	e.processDEVs(t, victims)
-	return v, haveView
+	return e.proto.StoreDE(t, addr, ent, v, haveView)
 }
 
 // updateLLCDE rewrites an LLC-housed entry, converting between spilled
-// and fused forms when the coherence state transition demands it. It
-// returns addr's view after the rewrite; known is false when the new
-// housing landed at a way only a fresh probe can find.
+// and fused forms when the coherence state transition demands it
+// (zerodev protocol only). It returns addr's view after the rewrite;
+// known is false when the new housing landed at a way only a fresh
+// probe can find.
 func (e *Engine) updateLLCDE(t sim.Cycle, addr coher.Addr, ent coher.Entry, v llc.View) (after llc.View, known bool) {
 	switch e.p.Policy {
 	case FPSS:

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/coher"
-	"repro/internal/llc"
 )
 
 // BlockLister is the optional CorePort extension the invariant checker
@@ -28,9 +27,10 @@ type truth struct {
 //     (sparse directory, LLC, or home-memory segment) whose state and
 //     holder set match the private caches exactly;
 //   - every live entry tracks at least one private copy;
-//   - FPSS: fused entries track M/E blocks; a spilled entry whose block
-//     is co-resident tracks an S block;
-//   - the baseline never houses entries in the LLC.
+//   - backend housing-form rules hold (FPSS: fused entries track M/E
+//     blocks and a co-resident spilled entry tracks an S block; DLS:
+//     housing is always fused);
+//   - backends that do not house entries in the LLC never do.
 //
 // It is O(private blocks + directory entries) and intended for tests.
 func (e *Engine) CheckInvariants() error {
@@ -108,7 +108,7 @@ func (e *Engine) CheckInvariants() error {
 	live, _ := e.dir.Occupancy()
 	_ = live
 	e.llc.ForEachDE(func(addr coher.Addr, fused bool, ent coher.Entry) {
-		if !e.p.ZeroDEV && err == nil {
+		if !e.housesInLLC && err == nil {
 			err = fmt.Errorf("baseline housed a directory entry in the LLC for %#x", uint64(addr))
 			return
 		}
@@ -116,17 +116,9 @@ func (e *Engine) CheckInvariants() error {
 		if err != nil {
 			return
 		}
-		if e.p.Policy == FPSS && e.p.ZeroDEV {
-			if fused && ent.State != coher.DirOwned {
-				err = fmt.Errorf("FPSS fused entry for %#x in state %v", uint64(addr), ent.State)
-				return
-			}
-			if !fused && ent.State == coher.DirOwned {
-				if v := e.llc.Probe(addr); v.HasData() && !v.Fused && e.llc.Mode() != llc.EPD {
-					err = fmt.Errorf("FPSS spilled M/E entry for %#x with co-resident block", uint64(addr))
-				}
-			}
-		}
+		// Backend-specific housing-form rules (FPSS spill/fuse
+		// invariants, DLS fused-only housing).
+		err = e.proto.CheckHoused(addr, fused, ent)
 	})
 	if err != nil {
 		return err

@@ -22,6 +22,9 @@ func (e *Engine) Read(t sim.Cycle, c coher.CoreID, addr coher.Addr, code bool) (
 	v := e.llc.Probe(addr)
 	v = e.maybeCorruptDE(t1, addr, v)
 	ent, loc := e.findDE(addr, v)
+	if e.hasAdmit && loc == locNone {
+		t1 += e.proto.Admit(t1, addr)
+	}
 
 	fwdBefore, memBefore := e.stats.Forwards3Hop, e.stats.LLCMisses
 	switch {
@@ -98,13 +101,13 @@ func (e *Engine) readShared(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, ent c
 	next := ent
 	next.Sharers.Add(c)
 
-	if v.HasData() && !v.Fused {
+	if e.usableData(v) {
 		// The LLC can serve the read. Under SpillAll a co-resident spilled
 		// entry is read out of the data array first, lengthening the
 		// critical path by one data-array access; FPSS reads the block
 		// first and updates the entry off the critical path (§III-C2).
 		lat := e.p.DataCycles
-		if loc == locLLC && e.p.Policy == SpillAll {
+		if loc == locLLC && e.spillAllPenalty {
 			lat += e.p.DataCycles
 			e.stats.SpillAllExtraDataReads++
 		}
@@ -137,12 +140,12 @@ func (e *Engine) readShared(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, ent c
 func (e *Engine) readNoDE(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, code bool, v llc.View) (sim.Cycle, coher.PrivState) {
 	bank := e.bankOf(addr)
 
-	if v.HasData() && !v.Fused {
+	if e.usableData(v) {
 		// Case iii. The LLC replacement extensions guarantee no holders
 		// exist in the socket (sub-case iiia); under a policy without that
 		// guarantee the home block may be corrupted with our segment live
 		// (sub-case iiib), detected through the socket directory.
-		if e.p.ZeroDEV && e.home.Corrupted(addr) {
+		if e.usesHomeSegments && e.home.Corrupted(addr) {
 			if de, d0, ok := e.home.GetDE(t1, e.p.Socket, addr); ok {
 				e.home.PutDE(t1, e.p.Socket, addr, coher.Entry{}) // segment consumed
 				e.stats.CorruptedFetches++

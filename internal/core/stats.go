@@ -57,6 +57,19 @@ type Stats struct {
 	LastSharerRetrievals   uint64 // FuseAll low-bit retrieval from the last sharer
 	SpillAllExtraDataReads uint64 // SpillAll critical-path penalty events
 
+	// Alternative-backend activity (zero under zerodev and the sparse
+	// baseline).
+	// DLSLineFills counts LLC line fills forced by DLS's in-tag
+	// tracking: creating an entry for a block not LLC-resident must
+	// first bring the line in (the residency tax).
+	DLSLineFills uint64
+	// DirNACKs / DirRetries count phase-priority admission conflicts
+	// and the retries they charge; PhaseEscalations counts conflicts
+	// that exhausted the retry budget and forced a directory victim
+	// (the backend's only DEV source).
+	DirNACKs, DirRetries uint64
+	PhaseEscalations     uint64
+
 	// Fault-injection activity (internal/faults campaigns; zero in
 	// ordinary experiments).
 	FaultQuarantinedDEs uint64 // housed entries retired to home memory after a flip
@@ -97,6 +110,10 @@ func (s *Stats) Add(o *Stats) {
 	s.LastCopyRetrievals += o.LastCopyRetrievals
 	s.LastSharerRetrievals += o.LastSharerRetrievals
 	s.SpillAllExtraDataReads += o.SpillAllExtraDataReads
+	s.DLSLineFills += o.DLSLineFills
+	s.DirNACKs += o.DirNACKs
+	s.DirRetries += o.DirRetries
+	s.PhaseEscalations += o.PhaseEscalations
 	s.FaultQuarantinedDEs += o.FaultQuarantinedDEs
 	s.FaultForcedWBDEs += o.FaultForcedWBDEs
 	s.FaultInvalidations += o.FaultInvalidations

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync/atomic"
 
+	"repro/internal/backend"
 	"repro/internal/coher"
 	"repro/internal/cpu"
 	"repro/internal/directory"
@@ -31,6 +32,9 @@ type SystemSpec struct {
 	// sweeps can instantiate a fresh directory per run.
 	Dir func() directory.Directory
 
+	// Backend selects the coherence-protocol backend; empty derives it
+	// from the legacy ZeroDEV bit (see Params.Backend).
+	Backend backend.ID
 	ZeroDEV bool
 	Policy  DEPolicy
 
@@ -73,6 +77,7 @@ func NewSystem(spec SystemSpec, streams []cpu.Stream) *System {
 	home := NewLocalHome(mem.MustNew(1, spec.Cores), dram.MustNew(spec.DRAM))
 	up := spec.Uncore
 	up.Cores = spec.Cores
+	up.Backend = spec.Backend
 	up.ZeroDEV = spec.ZeroDEV
 	up.Policy = spec.Policy
 	var h Home = home

@@ -21,6 +21,9 @@ func (e *Engine) Write(t sim.Cycle, c coher.CoreID, addr coher.Addr) sim.Cycle {
 	v := e.llc.Probe(addr)
 	v = e.maybeCorruptDE(t1, addr, v)
 	ent, loc := e.findDE(addr, v)
+	if e.hasAdmit && loc == locNone {
+		t1 += e.proto.Admit(t1, addr)
+	}
 
 	switch {
 	case loc != locNone && ent.State == coher.DirOwned:
@@ -64,7 +67,7 @@ func (e *Engine) writeShared(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, ent 
 		panic("core: GetX from a core already sharing the block (should be an upgrade)")
 	}
 	bank := e.bankOf(addr)
-	usableLLC := v.HasData() && !v.Fused
+	usableLLC := e.usableData(v)
 	var elected coher.CoreID
 	if !usableLLC {
 		elected = ent.Sharers.First()
@@ -115,8 +118,8 @@ func (e *Engine) writeShared(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, ent 
 // writeNoDE serves a GetX with no directory entry on the socket.
 func (e *Engine) writeNoDE(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, v llc.View) sim.Cycle {
 	bank := e.bankOf(addr)
-	if v.HasData() && !v.Fused {
-		if e.p.ZeroDEV && e.home.Corrupted(addr) {
+	if e.usableData(v) {
+		if e.usesHomeSegments && e.home.Corrupted(addr) {
 			if de, d0, ok := e.home.GetDE(t1, e.p.Socket, addr); ok {
 				e.home.PutDE(t1, e.p.Socket, addr, coher.Entry{})
 				e.stats.CorruptedFetches++
@@ -181,7 +184,7 @@ func (e *Engine) Upgrade(t sim.Cycle, c coher.CoreID, addr coher.Addr) sim.Cycle
 
 	if loc == locNone {
 		// ZeroDEV: the entry may live in home memory (corrupted block).
-		if e.p.ZeroDEV && e.home.Corrupted(addr) {
+		if e.usesHomeSegments && e.home.Corrupted(addr) {
 			if de, d0, ok := e.home.GetDE(t1, e.p.Socket, addr); ok {
 				e.home.PutDE(t1, e.p.Socket, addr, coher.Entry{})
 				e.stats.CorruptedFetches++
@@ -200,9 +203,10 @@ func (e *Engine) Upgrade(t sim.Cycle, c coher.CoreID, addr coher.Addr) sim.Cycle
 	}
 
 	// For upgrades only the entry is read out; when it is housed in the
-	// LLC that costs one data-array access (§III-C2).
+	// LLC data array that costs one data-array access (§III-C2). DLS
+	// entries live tag-side, already covered by the tag lookup.
 	deLat := sim.Cycle(0)
-	if loc == locLLC {
+	if loc == locLLC && e.deInDataArray {
 		deLat = e.p.DataCycles
 	}
 

@@ -21,6 +21,9 @@ type Traditional struct {
 	// the Directory contract, the slice is valid only until the next
 	// Store on this directory.
 	scratch [1]Victim
+	// live/peak track occupancy incrementally (measurement-only, like
+	// Unbounded's shadow tracking; excluded from AppendState).
+	live, peak int
 }
 
 // NewTraditional builds a sparse directory with the given entry count
@@ -85,6 +88,7 @@ func (d *Traditional) Store(addr coher.Addr, e coher.Entry) ([]Victim, bool) {
 	if !e.Live() {
 		if ok {
 			d.arr.Invalidate(set, way)
+			d.live--
 		}
 		return nil, true
 	}
@@ -95,6 +99,7 @@ func (d *Traditional) Store(addr coher.Addr, e coher.Entry) ([]Victim, bool) {
 	}
 	if w, free := d.arr.FreeWay(set); free {
 		d.arr.Insert(set, w, uint64(addr), e)
+		d.allocated()
 		return nil, true
 	}
 	if d.replDisable {
@@ -105,15 +110,65 @@ func (d *Traditional) Store(addr coher.Addr, e coher.Entry) ([]Victim, bool) {
 		Addr:  coher.Addr(d.arr.AddrOf(set, w)),
 		Entry: *d.arr.Payload(set, w),
 	}
+	// Replacement: one live entry out, one in — occupancy unchanged.
 	d.arr.Insert(set, w, uint64(addr), e)
 	return d.scratch[:], true
+}
+
+func (d *Traditional) allocated() {
+	d.live++
+	if d.live > d.peak {
+		d.peak = d.live
+	}
 }
 
 // Free implements Directory.
 func (d *Traditional) Free(addr coher.Addr) {
 	if set, way, ok := d.arr.Lookup(uint64(addr)); ok {
 		d.arr.Invalidate(set, way)
+		d.live--
 	}
+}
+
+// Peak reports the high-water mark of live entries — the directory
+// occupancy surface the backend comparison figures report.
+func (d *Traditional) Peak() int { return d.peak }
+
+// SetFull reports whether allocating addr would conflict: addr is
+// absent from the directory and its set has no free way. The
+// phase-priority backend consults it at admission time to decide
+// whether a request pays the NACK/retry ladder.
+func (d *Traditional) SetFull(addr coher.Addr) bool {
+	if _, _, ok := d.arr.Lookup(uint64(addr)); ok {
+		return false
+	}
+	set := d.arr.SetIndex(uint64(addr))
+	_, free := d.arr.FreeWay(set)
+	return !free
+}
+
+// EvictVictim forcibly evicts the replacement victim of addr's set and
+// returns it — the phase-priority escalation path, which victimizes a
+// live entry after the NACK budget is spent even on a
+// replacement-disabled directory. ok is false when the set has a free
+// way or already tracks addr (no eviction needed). The returned victim
+// aliases the Store scratch slot and is valid until the next Store.
+func (d *Traditional) EvictVictim(addr coher.Addr) (Victim, bool) {
+	if _, _, ok := d.arr.Lookup(uint64(addr)); ok {
+		return Victim{}, false
+	}
+	set := d.arr.SetIndex(uint64(addr))
+	if _, free := d.arr.FreeWay(set); free {
+		return Victim{}, false
+	}
+	w := d.arr.Victim(set)
+	v := Victim{
+		Addr:  coher.Addr(d.arr.AddrOf(set, w)),
+		Entry: *d.arr.Payload(set, w),
+	}
+	d.arr.Invalidate(set, w)
+	d.live--
+	return v, true
 }
 
 // Touch implements Directory.

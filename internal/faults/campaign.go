@@ -7,6 +7,7 @@ import (
 	"io"
 	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -18,27 +19,73 @@ import (
 	"repro/internal/workload"
 )
 
-// Campaign is one cell of the audit sweep: a DE-caching policy crossed
-// with a socket count, run against one multithreaded application.
+// Campaign is one cell of the audit sweep: a protocol backend (with its
+// DE-caching policy, for zerodev) crossed with a socket count, run
+// against one multithreaded application.
 type Campaign struct {
-	Name    string
+	Name string
+	// Backend selects the protocol backend; the zero value is zerodev,
+	// whose cells additionally sweep the DE-caching policy axis.
+	Backend backend.ID
 	Policy  core.DEPolicy
 	Sockets int
 	App     string
 }
 
-// Campaigns lists the default sweep: every DE-caching policy in both
-// single- and four-socket organizations, each against a different
-// sharing-heavy application.
+// label renders the cell's policy column: the DE-caching policy for
+// zerodev cells, "-" for backends without a policy axis.
+func (c Campaign) label() string {
+	if c.Backend != "" && c.Backend != backend.ZeroDEV {
+		return "-"
+	}
+	return c.Policy.String()
+}
+
+// backendName renders the cell's backend column.
+func (c Campaign) backendName() string {
+	if c.Backend == "" {
+		return string(backend.ZeroDEV)
+	}
+	return string(c.Backend)
+}
+
+// Campaigns lists the default sweep: every ZeroDEV DE-caching policy in
+// both single- and four-socket organizations, plus one single-socket
+// cell per alternative protocol backend. Injector seams a backend does
+// not have (WB_DE, housed-DE flips, DE eviction storms on the
+// baselines) are naturally inert there; spurious invalidations and the
+// step auditor exercise every backend.
 func Campaigns() []Campaign {
 	return []Campaign{
-		{"spillall-1s", core.SpillAll, 1, "canneal"},
-		{"fpss-1s", core.FPSS, 1, "freqmine"},
-		{"fuseall-1s", core.FuseAll, 1, "vips"},
-		{"spillall-4s", core.SpillAll, 4, "lu_ncb"},
-		{"fpss-4s", core.FPSS, 4, "canneal"},
-		{"fuseall-4s", core.FuseAll, 4, "ocean_cp"},
+		{Name: "spillall-1s", Policy: core.SpillAll, Sockets: 1, App: "canneal"},
+		{Name: "fpss-1s", Policy: core.FPSS, Sockets: 1, App: "freqmine"},
+		{Name: "fuseall-1s", Policy: core.FuseAll, Sockets: 1, App: "vips"},
+		{Name: "spillall-4s", Policy: core.SpillAll, Sockets: 4, App: "lu_ncb"},
+		{Name: "fpss-4s", Policy: core.FPSS, Sockets: 4, App: "canneal"},
+		{Name: "fuseall-4s", Policy: core.FuseAll, Sockets: 4, App: "ocean_cp"},
+		{Name: "sparsemesi-1s", Backend: backend.SparseMESI, Sockets: 1, App: "canneal"},
+		{Name: "dls-1s", Backend: backend.DLS, Sockets: 1, App: "vips"},
+		{Name: "phasepriority-1s", Backend: backend.PhasePriority, Sockets: 1, App: "freqmine"},
 	}
+}
+
+// FilterByBackend keeps the cells whose backend is in sel.
+func FilterByBackend(cells []Campaign, sel []backend.ID) []Campaign {
+	want := make(map[backend.ID]bool, len(sel))
+	for _, id := range sel {
+		want[id] = true
+	}
+	var out []Campaign
+	for _, c := range cells {
+		id := c.Backend
+		if id == "" {
+			id = backend.ZeroDEV
+		}
+		if want[id] {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // SelectCampaigns filters the default list by a comma-separated name
@@ -138,7 +185,16 @@ func engineSummary(st core.Stats) string {
 func RunCell(ctx context.Context, cfg Config, c Campaign, o harness.Options, idx uint64) (CellResult, error) {
 	in := NewInjector(cfg, sim.NewRNG(o.Seed).Fork(0xFA+idx))
 	pre := config.TableI(o.Scale)
-	spec := pre.ZeroDEV(1.0/8, c.Policy, llc.DataLRU, llc.NonInclusive)
+	var spec core.SystemSpec
+	if b := c.Backend; b == "" || b == backend.ZeroDEV {
+		spec = pre.ZeroDEV(1.0/8, c.Policy, llc.DataLRU, llc.NonInclusive)
+	} else {
+		var err error
+		spec, err = pre.ForBackend(b, 1.0/8)
+		if err != nil {
+			return CellResult{Campaign: c}, err
+		}
+	}
 	prof := workload.MustGet(c.App)
 
 	var (
@@ -244,7 +300,7 @@ func RunCell(ctx context.Context, cfg Config, c Campaign, o harness.Options, idx
 func RunCampaigns(ctx context.Context, cfg Config, cells []Campaign, o harness.Options, w io.Writer) error {
 	t := stats.Table{
 		Title: "Fault-injection audit: invariant checks under injected protocol faults",
-		Headers: []string{"cell", "policy", "skts", "app", "steps", "audits",
+		Headers: []string{"cell", "backend", "policy", "skts", "app", "steps", "audits",
 			"flips d/m/s", "wbde -/+", "nack-", "storm", "spur", "getde/corr/last", "verdict"},
 	}
 	p := harness.NewPool(ctx, o.Workers, o.Progress, "audit")
@@ -291,7 +347,7 @@ func RunCampaigns(ctx context.Context, cfg Config, cells []Campaign, o harness.O
 			crashed++
 			errs = append(errs, err)
 			cell := harness.CellText(err)
-			t.AddRow(c.Name, c.Policy.String(), fmt.Sprint(c.Sockets), c.App,
+			t.AddRow(c.Name, c.backendName(), c.label(), fmt.Sprint(c.Sockets), c.App,
 				cell, cell, cell, cell, cell, cell, cell, cell, cell)
 			if cfg.FailFast {
 				break
@@ -309,7 +365,7 @@ func RunCampaigns(ctx context.Context, cfg Config, cells []Campaign, o harness.O
 				c.Name, r.Violation.Step, r.Violation.Err))
 		}
 		cnt := r.Counts
-		t.AddRow(c.Name, c.Policy.String(), fmt.Sprint(c.Sockets), c.App,
+		t.AddRow(c.Name, c.backendName(), c.label(), fmt.Sprint(c.Sockets), c.App,
 			fmt.Sprint(r.Steps), fmt.Sprint(r.Audits),
 			fmt.Sprintf("%d/%d/%d", r.FlipsDetected, r.FlipsMasked, r.FlipsSilent),
 			fmt.Sprintf("%d/%d", cnt[WBDEDrop], cnt[WBDEDup]),
@@ -342,10 +398,13 @@ func WriteList(w io.Writer) {
 		fmt.Fprintf(w, "  %-10s rate %-5.2g %s\n", k, k.Rate(), kindDescs[k])
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintln(w, "Campaign cells (-campaigns, comma-separated or \"all\"):")
+	fmt.Fprintln(w, "Campaign cells (-campaigns, comma-separated or \"all\"; -backend filters):")
 	for _, c := range Campaigns() {
-		fmt.Fprintf(w, "  %-12s %-9s x%d socket(s), %s\n", c.Name, c.Policy, c.Sockets, c.App)
+		fmt.Fprintf(w, "  %-16s %-13s %-9s x%d socket(s), %s\n",
+			c.Name, c.backendName(), c.label(), c.Sockets, c.App)
 	}
+	fmt.Fprintln(w)
+	backend.WriteList(w)
 }
 
 var kindDescs = [NumKinds]string{

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/llc"
@@ -18,6 +19,13 @@ func allocsForAccesses(t *testing.T, accesses, dw int) float64 {
 	const scale = 32
 	pre := config.TableI(scale)
 	spec := pre.ZeroDEV(0, core.FPSS, llc.DataLRU, llc.NonInclusive)
+	return allocsForSpec(t, spec, accesses, dw)
+}
+
+// allocsForSpec is allocsForAccesses over an arbitrary system spec.
+func allocsForSpec(t *testing.T, spec core.SystemSpec, accesses, dw int) float64 {
+	t.Helper()
+	const scale = 32
 	prof := workload.MustGet("canneal")
 	return testing.AllocsPerRun(3, func() {
 		sys := core.NewSystem(spec, workload.Threads(prof, spec.Cores, accesses, scale, 1))
@@ -54,6 +62,32 @@ func TestStepPathAllocationFloor(t *testing.T) {
 			if marginal > 0.25 {
 				t.Fatalf("per-step path allocates %.4f allocations/access (marginal over %d extra accesses x 8 cores); the step path must stay effectively allocation-free",
 					marginal, n)
+			}
+		})
+	}
+}
+
+// TestStepPathAllocationFloorBackends extends the allocation guard
+// across the protocol-backend axis: every backend's steady-state step
+// path — including the sparse-MESI DEV invalidations, the DLS
+// inclusion flows, and the phase-priority NACK/retry ladder — must stay
+// effectively allocation-free under the same marginal-cost bound.
+func TestStepPathAllocationFloorBackends(t *testing.T) {
+	const n = 4000
+	pre := config.TableI(32)
+	for _, id := range []backend.ID{backend.SparseMESI, backend.DLS, backend.PhasePriority} {
+		t.Run(string(id), func(t *testing.T) {
+			spec, err := pre.ForBackend(id, 1.0/8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := allocsForSpec(t, spec, n, 1)
+			double := allocsForSpec(t, spec, 2*n, 1)
+			marginal := (double - base) / float64(n*8) // 8 cores
+			t.Logf("allocs: %d accesses %.0f, %d accesses %.0f, marginal/access %.4f",
+				n, base, 2*n, double, marginal)
+			if marginal > 0.25 {
+				t.Fatalf("%s per-step path allocates %.4f allocations/access; the step path must stay effectively allocation-free", id, marginal)
 			}
 		})
 	}

@@ -33,6 +33,10 @@ type CheckpointKey struct {
 	Accesses int      `json:"accesses"`
 	Seed     uint64   `json:"seed"`
 	Quick    bool     `json:"quick,omitempty"`
+	// Backends is the raw backend selection (Options.Backends). It
+	// shapes the backend-axis cell grids; omitempty keeps fingerprints
+	// of runs that never set it identical to pre-backend checkpoints.
+	Backends string `json:"backends,omitempty"`
 }
 
 // Fingerprint hashes the key with FNV-64a over its canonical JSON.

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/stats"
@@ -58,6 +59,13 @@ type Options struct {
 	// its failure is recorded. Returned errors are never retried.
 	Retries int
 
+	// Backends selects the protocol backends the backend-axis
+	// experiments (figbackends) sweep, as a comma-separated list of
+	// backend names; "" or "all" selects every registered backend. It is
+	// result-shaping: the cell grid of a backend-axis experiment is a
+	// function of it, so it participates in checkpoint fingerprints.
+	Backends string
+
 	// JobTimeout, when positive, arms the per-job watchdog: a simulation
 	// still running after this long is cancelled, a diagnostic bundle is
 	// written next to the crash bundles, and the cell renders TIMEOUT.
@@ -93,7 +101,23 @@ func (o Options) Validate() error {
 	if o.JobTimeout < 0 {
 		return fmt.Errorf("-job-timeout must be non-negative, got %v", o.JobTimeout)
 	}
+	if _, err := backend.ParseList(o.Backends); err != nil {
+		// The error wraps backend.ErrUnknownBackend and names the valid
+		// set, phrased for the flag that set it.
+		return fmt.Errorf("-backend: %w", err)
+	}
 	return nil
+}
+
+// BackendIDs returns the parsed backend selection. Call Validate first;
+// an invalid list here falls back to every backend rather than
+// panicking deep inside an experiment.
+func (o Options) BackendIDs() []backend.ID {
+	ids, err := backend.ParseList(o.Backends)
+	if err != nil {
+		ids, _ = backend.ParseList("all")
+	}
+	return ids
 }
 
 // DefaultOptions returns the standard experiment scale, with one

@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+)
+
+// Satellite: Options.Validate must reject unknown backend names with
+// the named sentinel and list the valid set, phrased for the -backend
+// flag that sets the field.
+func TestValidateBackends(t *testing.T) {
+	base := DefaultOptions()
+	cases := []struct {
+		name     string
+		backends string
+		wantErr  bool
+	}{
+		{"empty means all", "", false},
+		{"all", "all", false},
+		{"single", "zerodev", false},
+		{"pair", "dls,phasepriority", false},
+		{"case insensitive", "SPARSEMESI", false},
+		{"unknown", "mesi", true},
+		{"hyphenated alias rejected", "zero-dev", true},
+		{"unknown member of list", "zerodev,bogus", true},
+		{"duplicate", "dls,dls", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := base
+			o.Backends = c.backends
+			err := o.Validate()
+			if !c.wantErr {
+				if err != nil {
+					t.Fatalf("Validate rejected %q: %v", c.backends, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate accepted %q", c.backends)
+			}
+			if !strings.Contains(err.Error(), "-backend") {
+				t.Errorf("error %q does not name the -backend flag", err)
+			}
+			if c.name != "duplicate" && !errors.Is(err, backend.ErrUnknownBackend) {
+				t.Errorf("error %v does not wrap backend.ErrUnknownBackend", err)
+			}
+			if c.name != "duplicate" && !strings.Contains(err.Error(), "zerodev, sparsemesi, dls, phasepriority") {
+				t.Errorf("error %q does not list the valid set", err)
+			}
+		})
+	}
+}
+
+// BackendIDs must honor the selection and fall back to the full set
+// when unvalidated garbage sneaks through.
+func TestBackendIDs(t *testing.T) {
+	o := Options{Backends: "phasepriority,zerodev"}
+	ids := o.BackendIDs()
+	if len(ids) != 2 || ids[0] != backend.PhasePriority || ids[1] != backend.ZeroDEV {
+		t.Fatalf("BackendIDs() = %v; want selection order preserved", ids)
+	}
+	if got := (Options{Backends: "bogus"}).BackendIDs(); len(got) != len(backend.All()) {
+		t.Fatalf("invalid selection fell back to %v, want every backend", got)
+	}
+}
+
+// figbackends must enumerate a cell grid that is a pure function of the
+// backend selection: one base + one cell per (backend, unit).
+func TestFigBackendsCells(t *testing.T) {
+	e, err := Get("figbackends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Scale: 32, Accesses: 400, Seed: 1, Quick: true, Workers: 1}
+	all, err := e.Cells(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Backends = "zerodev,sparsemesi"
+	two, err := e.Cells(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) <= len(two) {
+		t.Fatalf("full grid (%d cells) not larger than two-backend grid (%d cells)", len(all), len(two))
+	}
+	// quick PARSEC = 3 units; grid = units * (1 base + len(backends)).
+	if want := 3 * (1 + 2); len(two) != want {
+		t.Fatalf("two-backend grid has %d cells, want %d", len(two), want)
+	}
+}
+
+// The comparative table renders one row per selected backend and is
+// byte-identical at any worker count.
+func TestFigBackendsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	e, err := Get("figbackends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Scale: 32, Accesses: 1000, Seed: 1, Quick: true, Workers: 1}
+	var serial bytes.Buffer
+	if _, err := e.Execute(context.Background(), o, &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []backend.ID{backend.ZeroDEV, backend.SparseMESI, backend.DLS, backend.PhasePriority} {
+		if !bytes.Contains(serial.Bytes(), []byte(id)) {
+			t.Fatalf("figbackends output lacks a %s row:\n%s", id, serial.String())
+		}
+	}
+	o.Workers = 4
+	var par bytes.Buffer
+	if _, err := e.Execute(context.Background(), o, &par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+		t.Fatalf("figbackends output depends on worker count:\n--- serial ---\n%s\n--- workers=4 ---\n%s",
+			serial.String(), par.String())
+	}
+}

@@ -1,0 +1,169 @@
+package mcheck
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+)
+
+// TestBackendsClaimingZeroDEVExploreClean proves the zero-DEV property
+// over every interleaving up to the test depth for each backend that
+// claims it, in its harshest tiny configuration (zerodev without a
+// sparse directory; dls is directoryless by construction).
+func TestBackendsClaimingZeroDEVExploreClean(t *testing.T) {
+	depth := 4
+	if !testing.Short() {
+		depth = 5
+	}
+	for _, id := range []backend.ID{backend.ZeroDEV, backend.DLS} {
+		cfg := Config{Cores: 2, Addrs: 2, Depth: depth, Backend: id, Workers: 2}
+		res, err := Explore(context.Background(), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("%s: violation after %q: %s", id, FormatOps(res.Violation.Ops), res.Violation.Err)
+		}
+		if res.Explored < 100 {
+			t.Fatalf("%s: only %d states explored; the alphabet is not driving the engine", id, res.Explored)
+		}
+	}
+}
+
+// TestNonClaimingBackendsPassWithoutAssertion checks that sparsemesi
+// and phasepriority satisfy every property except the one they do not
+// claim: with the zero-DEV assertion off, their bounded directories
+// explore clean (DEVs happen, but they are not a violation there).
+func TestNonClaimingBackendsPassWithoutAssertion(t *testing.T) {
+	for _, id := range []backend.ID{backend.SparseMESI, backend.PhasePriority} {
+		cfg := Config{Cores: 2, Addrs: 2, Depth: 4, Backend: id, DirEntries: 1, Workers: 2}
+		res, err := Explore(context.Background(), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("%s: violation after %q: %s", id, FormatOps(res.Violation.Ops), res.Violation.Err)
+		}
+	}
+}
+
+// TestDifferentiatorFindsCounterexample is the differentiator: forcing
+// the zero-DEV assertion on a backend that does not claim it must
+// produce a violation, and the minimized trace must round-trip through
+// the codec and replay to the identical violation — the artifact
+// `zerodev check` hands the user to demonstrate that the baseline
+// really victimizes private copies on directory conflicts.
+func TestDifferentiatorFindsCounterexample(t *testing.T) {
+	for _, id := range []backend.ID{backend.SparseMESI, backend.PhasePriority} {
+		cfg := Config{
+			Cores: 2, Addrs: 2, Depth: 4, Backend: id,
+			DirEntries: 1, AssertZeroDEV: true, Workers: 2,
+		}
+		res, err := Explore(context.Background(), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Violation == nil {
+			t.Fatalf("%s: no zero-DEV counterexample found under the forced assertion", id)
+		}
+		if !strings.Contains(res.Violation.Err, "zero-DEV violated") {
+			t.Fatalf("%s: unexpected violation kind: %s", id, res.Violation.Err)
+		}
+		min := Minimize(cfg, *res.Violation)
+
+		var buf bytes.Buffer
+		if err := NewTrace(cfg, min).Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), `"backend": "`+string(id)+`"`) {
+			t.Fatalf("%s: trace does not record its backend:\n%s", id, buf.String())
+		}
+		tr, err := DecodeTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := Replay(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Err != min.Err {
+			t.Fatalf("%s: replayed violation %q, want %q", id, v.Err, min.Err)
+		}
+	}
+}
+
+// TestZeroDEVTraceOmitsBackendFields pins backward compatibility: a
+// zerodev counterexample encodes without the backend axis fields, so
+// traces written before the axis existed stay byte-identical.
+func TestZeroDEVTraceOmitsBackendFields(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Cores: 2, Addrs: 2, Depth: 2, Workers: 1}
+	v := Violation{Ops: []Op{{Kind: OpRead}}, Err: "x"}
+	if err := NewTrace(cfg, v).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"backend", "assert_zero_dev"} {
+		if strings.Contains(buf.String(), field) {
+			t.Fatalf("zerodev trace emits %q:\n%s", field, buf.String())
+		}
+	}
+}
+
+// TestConfigValidateBackends covers the backend-axis validation rules.
+func TestConfigValidateBackends(t *testing.T) {
+	base := Config{Cores: 2, Addrs: 2, Depth: 4, Workers: 1}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string // "" = valid
+	}{
+		{"zero-value-is-zerodev", func(c *Config) {}, ""},
+		{"explicit-zerodev", func(c *Config) { c.Backend = backend.ZeroDEV }, ""},
+		{"unknown", func(c *Config) { c.Backend = "mesi" }, "unknown protocol backend"},
+		{"dls", func(c *Config) { c.Backend = backend.DLS }, ""},
+		{"dls-with-dir", func(c *Config) { c.Backend = backend.DLS; c.DirEntries = 2 }, "directoryless"},
+		{"sparsemesi-no-dir", func(c *Config) { c.Backend = backend.SparseMESI }, "bounded directory"},
+		{"sparsemesi", func(c *Config) { c.Backend = backend.SparseMESI; c.DirEntries = 1 }, ""},
+		{"phasepriority-no-dir", func(c *Config) { c.Backend = backend.PhasePriority }, "bounded directory"},
+		{"broken-non-zerodev", func(c *Config) { c.Backend = backend.SparseMESI; c.DirEntries = 1; c.Broken = true }, "no WB_DE flow"},
+		{"broken-zerodev", func(c *Config) { c.Broken = true }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestConfigLabel pins the axis labels the CLI and progress lines use.
+func TestConfigLabel(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{}, "spillall"},
+		{Config{Backend: backend.DLS}, "dls"},
+		{Config{Backend: backend.DLS, AssertZeroDEV: true}, "dls"}, // claims it: no suffix
+		{Config{Backend: backend.SparseMESI}, "sparsemesi"},
+		{Config{Backend: backend.SparseMESI, AssertZeroDEV: true}, "sparsemesi+assert"},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.Label(); got != tc.want {
+			t.Errorf("Label(%+v) = %q, want %q", tc.cfg, got, tc.want)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/coher"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -52,8 +53,20 @@ type Config struct {
 	// Depth bounds the BFS: every op sequence up to this length is
 	// explored (modulo fingerprint dedup).
 	Depth int
-	// Policy selects the DE caching policy (SpillAll/FPSS/FuseAll).
+	// Backend selects the protocol backend under check. The zero value
+	// is zerodev, so configs and traces from before the backend axis
+	// keep their meaning.
+	Backend backend.ID
+	// Policy selects the DE caching policy (SpillAll/FPSS/FuseAll);
+	// meaningful only on the zerodev backend (the only one with a
+	// policy axis).
 	Policy core.DEPolicy
+	// AssertZeroDEV forces the zero-DEV property on even for backends
+	// that do not claim it — the differentiator check: exploring
+	// sparsemesi under this assertion must produce a counterexample,
+	// which is how "zero-DEV fails on the baseline" is checked rather
+	// than assumed.
+	AssertZeroDEV bool
 	// DirEntries sizes the replacement-disabled sparse directory as a
 	// single set of that many ways; 0 runs without a sparse directory
 	// (every entry housed in the LLC), the harshest configuration.
@@ -88,12 +101,60 @@ func (c Config) Validate() error {
 	if c.Workers < 1 {
 		return fmt.Errorf("mcheck: workers must be positive, got %d", c.Workers)
 	}
-	switch c.Policy {
-	case core.SpillAll, core.FPSS, core.FuseAll:
+	if _, ok := backend.Get(c.Backend); !ok {
+		return fmt.Errorf("mcheck: %w %q", backend.ErrUnknownBackend, c.Backend)
+	}
+	switch c.backendID() {
+	case backend.ZeroDEV:
+		switch c.Policy {
+		case core.SpillAll, core.FPSS, core.FuseAll:
+		default:
+			return fmt.Errorf("mcheck: unknown DE policy %d", c.Policy)
+		}
+	case backend.DLS:
+		if c.DirEntries != 0 {
+			return fmt.Errorf("mcheck: the dls backend is directoryless (dir entries must be 0, got %d)", c.DirEntries)
+		}
 	default:
-		return fmt.Errorf("mcheck: unknown DE policy %d", c.Policy)
+		if c.DirEntries < 1 {
+			return fmt.Errorf("mcheck: the %s backend needs a bounded directory (dir entries >= 1)", c.backendID())
+		}
+	}
+	if c.Broken && c.backendID() != backend.ZeroDEV {
+		return fmt.Errorf("mcheck: -broken wraps the zerodev home agent; the %s backend has no WB_DE flow to break", c.backendID())
 	}
 	return nil
+}
+
+// backendID resolves the configured backend, mapping the zero value to
+// zerodev so pre-backend configs keep their meaning.
+func (c Config) backendID() backend.ID {
+	if c.Backend == "" {
+		return backend.ZeroDEV
+	}
+	return c.Backend
+}
+
+// ClaimsZeroDEV reports whether the configured backend claims the
+// zero-DEV guarantee; the checker asserts the property exactly then
+// (or when AssertZeroDEV forces it on).
+func (c Config) ClaimsZeroDEV() bool {
+	return backend.MustGet(c.backendID()).ClaimsZeroDEV
+}
+
+// Label renders the configuration axis the CLI spells: the policy name
+// on zerodev (the only backend with a policy sub-axis), the backend
+// name elsewhere, with a "+assert" suffix when the zero-DEV property is
+// force-asserted on a backend that does not claim it.
+func (c Config) Label() string {
+	l := string(c.backendID())
+	if c.backendID() == backend.ZeroDEV {
+		l = PolicyName(c.Policy)
+	}
+	if c.AssertZeroDEV && !c.ClaimsZeroDEV() {
+		l += "+assert"
+	}
+	return l
 }
 
 // AddrOf maps an alphabet address index to a block address. The
@@ -104,10 +165,13 @@ func AddrOf(i int) coher.Addr { return coher.Addr(0x40 + i) }
 // spec assembles the tiny system: single-set 2-way private caches, one
 // single-set 4-way LLC bank. Prefetching stays disabled (degree 0) —
 // the fingerprint excludes the prefetcher's miss history, which is only
-// sound while it cannot influence coherence actions.
+// sound while it cannot influence coherence actions. Each backend runs
+// in its canonical organization (mirroring config.Preset.ForBackend)
+// shrunk to the tiny-model envelope; the directory, where bounded, is
+// a single set of DirEntries ways so every address conflicts there.
 func (c Config) spec() core.SystemSpec {
 	dirEntries := c.DirEntries
-	return core.SystemSpec{
+	s := core.SystemSpec{
 		Cores: c.Cores,
 		CPU: cpu.Params{
 			L1Bytes: 2 * 64, L1Ways: 2,
@@ -117,25 +181,38 @@ func (c Config) spec() core.SystemSpec {
 			LoadMLP: 2, StoreMLP: 4,
 		},
 		LLCBytes: 4 * 64, LLCWays: 4, LLCBanks: 1,
-		Mode: llc.NonInclusive, Repl: llc.DataLRU,
-		Dir: func() directory.Directory {
+		DRAM:   dram.DDR3_2133(1),
+		NoC:    noc.DefaultParams(),
+		Uncore: core.DefaultParams(c.Cores),
+	}
+	switch c.backendID() {
+	case backend.SparseMESI:
+		s.Backend = backend.SparseMESI
+		s.Mode, s.Repl = llc.NonInclusive, llc.LRU
+		s.Dir = func() directory.Directory { return directory.MustTraditional(dirEntries, dirEntries) }
+	case backend.DLS:
+		s.Backend = backend.DLS
+		s.Mode, s.Repl = llc.Inclusive, llc.LRU
+		s.Dir = func() directory.Directory { return directory.NoDir{} }
+	case backend.PhasePriority:
+		s.Backend = backend.PhasePriority
+		s.Mode, s.Repl = llc.NonInclusive, llc.LRU
+		s.Dir = func() directory.Directory { return directory.MustReplacementDisabled(dirEntries, dirEntries) }
+	default: // zerodev
+		s.Mode, s.Repl = llc.NonInclusive, llc.DataLRU
+		s.ZeroDEV = true
+		s.Policy = c.Policy
+		s.Dir = func() directory.Directory {
 			if dirEntries == 0 {
 				return directory.NoDir{}
 			}
 			return directory.MustReplacementDisabled(dirEntries, dirEntries)
-		},
-		ZeroDEV: true,
-		Policy:  c.Policy,
-		DRAM:    dram.DDR3_2133(1),
-		NoC:     noc.DefaultParams(),
-		Uncore:  core.DefaultParams(c.Cores),
-		WrapHome: func() func(core.Home) core.Home {
-			if !c.Broken {
-				return nil
-			}
-			return faults.BrokenRecoveryHome
-		}(),
+		}
+		if c.Broken {
+			s.WrapHome = faults.BrokenRecoveryHome
+		}
 	}
+	return s
 }
 
 // PolicyName renders a DE policy the way the CLI spells it.

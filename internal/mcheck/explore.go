@@ -131,7 +131,7 @@ func Explore(ctx context.Context, cfg Config, progress io.Writer) (Result, error
 		}
 		if progress != nil {
 			fmt.Fprintf(progress, "[check %s depth %d/%d: %d states, %d deduped, frontier %d]\n",
-				PolicyName(cfg.Policy), depth+1, cfg.Depth, res.Explored, res.Deduped, len(next))
+				cfg.Label(), depth+1, cfg.Depth, res.Explored, res.Deduped, len(next))
 		}
 		frontier = next
 	}

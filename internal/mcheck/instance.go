@@ -1,6 +1,7 @@
 package mcheck
 
 import (
+	"fmt"
 	"hash/fnv"
 
 	"repro/internal/coher"
@@ -98,6 +99,30 @@ func (in *instance) fingerprint(buf []byte) ([16]byte, []byte) {
 	var fp [16]byte
 	h.Sum(fp[:0])
 	return fp, buf
+}
+
+// ReplayChecked replays ops on a fresh system for cfg, running the
+// full property set after every op, and returns the number of enabled
+// ops plus the final canonical state fingerprint. This is the seam the
+// backend conformance suite drives: scripted scenarios instead of
+// exhaustive search, with the same checks and the same fingerprint
+// definition, so pinned fingerprints detect any semantic drift in a
+// backend's protocol behavior.
+func ReplayChecked(cfg Config, ops []Op) (enabled int, fp [16]byte, err error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, fp, err
+	}
+	in := newInstance(cfg)
+	for i, op := range ops {
+		if in.apply(op) {
+			enabled++
+		}
+		if err := checkState(cfg, in); err != nil {
+			return enabled, fp, fmt.Errorf("after op %d (%s): %w", i+1, op, err)
+		}
+	}
+	fp, _ = in.fingerprint(nil)
+	return enabled, fp, nil
 }
 
 // addrAlphabet lists the concrete addresses of cfg's alphabet, for the

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/backend"
 )
 
 // TraceVersion stamps counterexample files; bump on incompatible
@@ -16,13 +18,19 @@ const TraceVersion = 1
 // triggers. The format is JSON — counterexamples exist to be read by
 // humans and replayed by `zerodev check -replay`.
 type Trace struct {
-	Version    int       `json:"version"`
-	Cores      int       `json:"cores"`
-	Addrs      int       `json:"addrs"`
-	Policy     string    `json:"policy"`
-	DirEntries int       `json:"dir_entries"`
-	Broken     bool      `json:"broken,omitempty"`
-	Ops        []TraceOp `json:"ops"`
+	Version int `json:"version"`
+	Cores   int `json:"cores"`
+	Addrs   int `json:"addrs"`
+	// Backend names the protocol backend; omitted for zerodev so
+	// pre-backend traces stay valid and byte-identical.
+	Backend    string `json:"backend,omitempty"`
+	Policy     string `json:"policy"`
+	DirEntries int    `json:"dir_entries"`
+	Broken     bool   `json:"broken,omitempty"`
+	// AssertZeroDEV records that the zero-DEV property was forced on a
+	// backend that does not claim it (the differentiator mode).
+	AssertZeroDEV bool      `json:"assert_zero_dev,omitempty"`
+	Ops           []TraceOp `json:"ops"`
 	// Violation is the property error replaying Ops must reproduce.
 	Violation string `json:"violation"`
 	// MinimizedFrom records the pre-shrinking op count, for reports.
@@ -45,8 +53,12 @@ func NewTrace(cfg Config, v Violation) Trace {
 		Policy:        PolicyName(cfg.Policy),
 		DirEntries:    cfg.DirEntries,
 		Broken:        cfg.Broken,
+		AssertZeroDEV: cfg.AssertZeroDEV,
 		Violation:     v.Err,
 		MinimizedFrom: v.MinimizedFrom,
+	}
+	if cfg.backendID() != backend.ZeroDEV {
+		tr.Backend = string(cfg.backendID())
 	}
 	for _, op := range v.Ops {
 		tr.Ops = append(tr.Ops, TraceOp{Op: op.Kind.String(), Core: int(op.Core), Addr: int(op.Addr)})
@@ -97,14 +109,20 @@ func (tr Trace) decode() (Config, []Op, error) {
 	if err != nil {
 		return Config{}, nil, err
 	}
+	id, err := backend.Parse(tr.Backend)
+	if err != nil {
+		return Config{}, nil, fmt.Errorf("mcheck: %w", err)
+	}
 	cfg := Config{
-		Cores:      tr.Cores,
-		Addrs:      tr.Addrs,
-		Depth:      max(1, len(tr.Ops)),
-		Policy:     pol,
-		DirEntries: tr.DirEntries,
-		Broken:     tr.Broken,
-		Workers:    1,
+		Cores:         tr.Cores,
+		Addrs:         tr.Addrs,
+		Depth:         max(1, len(tr.Ops)),
+		Backend:       id,
+		Policy:        pol,
+		AssertZeroDEV: tr.AssertZeroDEV,
+		DirEntries:    tr.DirEntries,
+		Broken:        tr.Broken,
+		Workers:       1,
 	}
 	if err := cfg.Validate(); err != nil {
 		return Config{}, nil, err

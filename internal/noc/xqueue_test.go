@@ -170,6 +170,22 @@ func FuzzCanonicalMessageOrder(f *testing.F) {
 	s = appendDrainOp(s)
 	f.Add(s)
 	f.Add(appendDrainOp(nil))
+	// Sparse-MESI directory victim burst: a home tile evicting a live
+	// entry announces an invalidation per tracked sharer in one cycle
+	// (seq tie-breaks carry the burst), acks from the victims land the
+	// next cycle, and drains interleave with the trailing announcements —
+	// the shape `zerodev run -backend sparsemesi` pushes through the
+	// cross-socket queue on every DEV.
+	var dev []byte
+	for i := 0; i < 4; i++ {
+		dev = appendAnnounceOp(dev, 9, 2)
+	}
+	dev = appendDrainOp(dev)
+	dev = appendAnnounceOp(dev, 10, 4)
+	dev = appendAnnounceOp(dev, 10, 6)
+	dev = appendDrainOp(dev)
+	dev = appendAnnounceOp(dev, 10, 2)
+	f.Add(dev)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got := applyOps(noc.NewCrossQueue(8), data)
 		want := applyOps(&refExchange{}, data)

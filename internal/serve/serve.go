@@ -58,6 +58,11 @@ type Spec struct {
 	Accesses    int      `json:"accesses"`
 	Seed        uint64   `json:"seed"`
 	Quick       bool     `json:"quick,omitempty"`
+	// Backends is the protocol-backend selection for backend-axis
+	// experiments ("" = all). It shapes those experiments' cell grids,
+	// so it rides the spec: planner, workers, and assembler all rebuild
+	// the same grid from it.
+	Backends string `json:"backends,omitempty"`
 }
 
 // Options maps the spec to harness options for planning, worker
@@ -70,6 +75,7 @@ func (s Spec) Options() harness.Options {
 		Accesses:      s.Accesses,
 		Seed:          s.Seed,
 		Quick:         s.Quick,
+		Backends:      s.Backends,
 		Workers:       1,
 		DomainWorkers: 1,
 	}

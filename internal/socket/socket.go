@@ -134,6 +134,7 @@ func New(p Params, spec core.SystemSpec, streams []cpu.Stream) (*System, error) 
 		mesh := noc.MustNew(spec.NoC, spec.Cores, spec.LLCBanks)
 		up := spec.Uncore
 		up.Cores = spec.Cores
+		up.Backend = spec.Backend
 		up.ZeroDEV = spec.ZeroDEV
 		up.Policy = spec.Policy
 		up.Socket = s
