@@ -8,9 +8,29 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/faults"
 	"repro/internal/harness"
 )
+
+// cellBackends returns the distinct backend IDs of the selected cells,
+// in cell order — the set an explicit -faults selection must be able to
+// fire against.
+func cellBackends(cells []faults.Campaign) []backend.ID {
+	seen := make(map[backend.ID]bool)
+	var out []backend.ID
+	for _, c := range cells {
+		id := c.Backend
+		if id == "" {
+			id = backend.ZeroDEV
+		}
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
 
 // auditCmd runs the fault-injection campaigns of internal/faults: every
 // selected injector firing against every selected campaign cell, with
@@ -71,6 +91,10 @@ func auditCmd(ctx context.Context, args []string) int {
 		fmt.Fprintln(os.Stderr, "audit: -domain-workers must be 1: fault campaigns drive every step through the serial scheduler's hook (injectors and the invariant auditor observe globally ordered steps), which the epoch-barrier domain scheduler does not provide")
 		return 2
 	}
+	if *rateScale < 0 {
+		fmt.Fprintf(os.Stderr, "audit: -rate-scale must be non-negative, got %g\n", *rateScale)
+		return 2
+	}
 	cfg := faults.DefaultConfig()
 	cfg.AuditEvery = *auditEvery
 	cfg.RateScale = *rateScale
@@ -88,6 +112,15 @@ func auditCmd(ctx context.Context, args []string) int {
 	if len(cells) == 0 {
 		fmt.Fprintln(os.Stderr, "audit: the -campaigns/-backend selection leaves no cells to run")
 		return 2
+	}
+	// An explicitly selected injector that cannot fire on any selected
+	// backend would run an inert campaign and report it clean; refuse the
+	// combination by name instead ("all" is intersected per cell).
+	if *kinds != "all" {
+		if err := faults.ValidateKinds(cfg.Enabled, cellBackends(cells)); err != nil {
+			fmt.Fprintln(os.Stderr, "audit:", err)
+			return 2
+		}
 	}
 	var ids []string
 	for _, c := range cells {

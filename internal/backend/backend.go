@@ -76,6 +76,15 @@ type Info struct {
 	// HasPolicyAxis marks backends with a DE-caching policy sub-axis
 	// (SpillAll / FPSS / FuseAll); only zerodev has one.
 	HasPolicyAxis bool
+
+	// Faults lists the fault-injector kind names (package faults) whose
+	// seams this backend actually exercises. `zerodev audit` validates
+	// the -faults selection against this set at flag-parse time so an
+	// inapplicable kind is a named error, not an inert clean campaign.
+	// Kind names are strings here (not faults.Kind) to keep the
+	// dependency arrow pointing faults -> backend; a faults-package test
+	// cross-validates every name against the kind table.
+	Faults []string
 }
 
 // registry lists every backend in presentation order: the proposal
@@ -88,22 +97,29 @@ var registry = []Info{
 		HousesDEsInLLC:   true,
 		UsesHomeSegments: true,
 		HasPolicyAxis:    true,
+		Faults: []string{
+			"deflip", "wbde-drop", "wbde-dup", "denf-drop",
+			"storm", "spurious", "evict-pressure",
+		},
 	},
 	{
 		ID:            SparseMESI,
 		Title:         "Sparse-directory MESI baseline: bounded NRU directory with real DEVs",
 		ClaimsZeroDEV: false,
+		Faults:        []string{"denf-drop", "spurious", "dir-victim", "evict-pressure"},
 	},
 	{
 		ID:             DLS,
 		Title:          "DLS: directoryless shared LLC, in-tag tracking, forced inclusion (arXiv 1206.4753)",
 		ClaimsZeroDEV:  true,
 		HousesDEsInLLC: true,
+		Faults:         []string{"denf-drop", "spurious", "incl-victim", "evict-pressure"},
 	},
 	{
 		ID:            PhasePriority,
 		Title:         "Phase-priority directory: NACK/retry ladder before prioritized eviction (arXiv 1305.3038)",
 		ClaimsZeroDEV: false,
+		Faults:        []string{"denf-drop", "spurious", "nack-storm", "evict-pressure"},
 	},
 }
 
@@ -224,5 +240,6 @@ func WriteList(w io.Writer) {
 		}
 		fmt.Fprintf(w, "  %-14s %s\n", b.ID, b.Title)
 		fmt.Fprintf(w, "  %-14s [%s]\n", "", strings.Join(flags, ", "))
+		fmt.Fprintf(w, "  %-14s faults: %s\n", "", strings.Join(b.Faults, ", "))
 	}
 }

@@ -117,6 +117,11 @@ type Engine struct {
 	home   Home
 	stats  Stats
 	faults FaultPort
+	// faultHooks is the optional protocol-aware fault surface, consulted
+	// at the Admit / EvictNoDE / LastHolderGone protocol-dispatch
+	// boundaries. Nil outside fault campaigns; every consultation is
+	// guarded so ordinary runs stay byte-identical.
+	faultHooks FaultHooks
 
 	// proto is the backend's protocol object; the flags below cache its
 	// registry metadata so the request hot paths stay branch-cheap
@@ -140,6 +145,10 @@ type Engine struct {
 	deInDataArray bool
 	// hasAdmit: the backend's Admit hook is live (phase-priority).
 	hasAdmit bool
+	// claimsZeroDEV: the backend guarantees zero directory eviction
+	// victims; fault injectors must not force one (ForceDirectoryVictim
+	// refuses, so a misconfigured campaign cannot fake a violation).
+	claimsZeroDEV bool
 }
 
 // New wires an engine. cores may be attached later with AttachCores when
@@ -168,6 +177,7 @@ func New(p Params, dir directory.Directory, l *llc.LLC, mesh *noc.Mesh, home Hom
 	e.fusedDataUsable = info.ID == backend.DLS
 	e.deInDataArray = info.ID == backend.ZeroDEV
 	e.hasAdmit = info.ID == backend.PhasePriority
+	e.claimsZeroDEV = info.ClaimsZeroDEV
 	return e
 }
 

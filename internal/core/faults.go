@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/coher"
+	"repro/internal/directory"
 	"repro/internal/llc"
 	"repro/internal/sim"
 )
@@ -27,6 +28,32 @@ type FaultPort interface {
 
 // SetFaultPort installs (or, with nil, removes) the fault injector.
 func (e *Engine) SetFaultPort(f FaultPort) { e.faults = f }
+
+// FaultHooks is the protocol-aware fault surface: the engine consults it
+// at the three core.Protocol dispatch boundaries, so injectors can
+// perturb or observe exactly where a backend's own logic runs. All three
+// hooks are protocol-legal by construction:
+//
+//   - AdmitFault wraps the backend's admission charge (phase-priority's
+//     NACK/retry ladder) and returns the charge to apply — a NACK storm
+//     stretches it, a dropped-retry-budget perturbation collapses it.
+//     Latency-only: coherence state is untouched.
+//   - EvictNoDEFault observes an eviction notice arriving with no
+//     on-socket directory entry (zerodev's home-housed flow).
+//   - LastHolderGoneFault observes the last private copy leaving the
+//     socket, just before the backend's own LastHolderGone runs.
+//
+// Nil outside fault campaigns; with no hooks installed every path is
+// byte-identical to an ordinary run.
+type FaultHooks interface {
+	AdmitFault(t sim.Cycle, addr coher.Addr, charge sim.Cycle) sim.Cycle
+	EvictNoDEFault(t sim.Cycle, c coher.CoreID, addr coher.Addr, state coher.PrivState)
+	LastHolderGoneFault(t sim.Cycle, addr coher.Addr, state coher.PrivState)
+}
+
+// SetFaultHooks installs (or, with nil, removes) the protocol-aware
+// fault surface.
+func (e *Engine) SetFaultHooks(h FaultHooks) { e.faultHooks = h }
 
 // maybeCorruptDE gives the fault port a chance to corrupt the housed
 // directory entry the current request is about to consume. It runs only
@@ -117,5 +144,113 @@ func (e *Engine) InjectInvalidation(t sim.Cycle, addr coher.Addr) bool {
 		e.home.WriteBack(t, e.p.Socket, addr)
 	}
 	e.maybeSocketEvict(t, addr)
+	return true
+}
+
+// ForceDirectoryVictim evicts addr's live sparse-directory entry as if
+// the replacement policy had victimized it, routing the invalidations
+// through the ordinary DEV flow (processDEVs): every tracked private
+// copy is invalidated and dirty data is retrieved into the LLC. Refused
+// on zero-DEV backends — their whole claim is that this event cannot
+// happen, so the injector must not be able to fabricate it — and when
+// no entry for addr is in the directory. Reports whether a victim was
+// forced.
+func (e *Engine) ForceDirectoryVictim(t sim.Cycle, addr coher.Addr) bool {
+	if e.claimsZeroDEV {
+		return false
+	}
+	ent, ok := e.dir.Lookup(addr)
+	if !ok || !ent.Live() {
+		return false
+	}
+	e.llc.Protect(addr)
+	defer e.llc.Unprotect()
+	e.stats.FaultForcedDEVs++
+	e.dir.Free(addr)
+	e.processDEVs(t, []directory.Victim{{Addr: addr, Entry: ent}})
+	return true
+}
+
+// ScrambleDirectoryNRU perturbs the directory's replacement state for
+// addr (an extra NRU touch), so subsequent organic victim selection
+// diverges from the unperturbed run while every coherence invariant
+// holds. Reports whether addr had an entry to touch.
+func (e *Engine) ScrambleDirectoryNRU(addr coher.Addr) bool {
+	if _, ok := e.dir.Lookup(addr); !ok {
+		return false
+	}
+	e.dir.Touch(addr)
+	return true
+}
+
+// ForceInclusionEviction victimizes addr's fused LLC line as if the
+// replacement policy had chosen it, driving the §III-F inclusion
+// eviction: every tracked private copy is forcibly invalidated and
+// dirty data written back. Only meaningful on inclusive LLCs with
+// in-tag (fused) tracking — DLS — where coherence state rides the data
+// line and an LLC victim therefore takes the sharers down with it.
+// Reports whether a line was evicted.
+func (e *Engine) ForceInclusionEviction(t sim.Cycle, addr coher.Addr) bool {
+	if e.llc.Mode() != llc.Inclusive {
+		return false
+	}
+	e.llc.Protect(addr)
+	defer e.llc.Unprotect()
+	v := e.llc.Probe(addr)
+	if !v.Fused {
+		return false
+	}
+	p := e.llc.Payload(v, v.DEWay)
+	ev := llc.Evicted{Addr: addr, Kind: llc.KindFused, Dirty: p.Dirty, Entry: p.Entry}
+	e.llc.DropDE(v)
+	if v2 := e.llc.Probe(addr); v2.HasData() {
+		e.llc.InvalidateData(v2)
+	}
+	e.stats.FaultInclusionEvs++
+	e.handleEvicted(t, ev)
+	return true
+}
+
+// ForceLLCEviction applies eviction pressure to addr: whatever the LLC
+// holds for the block — a spilled or fused directory entry, a data
+// line, or both — is victimized exactly as replacement would victimize
+// it, and each displaced line is disposed of through handleEvicted (so
+// zerodev answers with WB_DE to home memory, inclusive backends with an
+// inclusion eviction, and plain data lines with an ordinary writeback).
+// Reports whether anything was evicted.
+func (e *Engine) ForceLLCEviction(t sim.Cycle, addr coher.Addr) bool {
+	e.llc.Protect(addr)
+	defer e.llc.Unprotect()
+	v := e.llc.Probe(addr)
+	if !v.HasData() && !v.HasDE() {
+		return false
+	}
+	e.stats.FaultForcedEvs++
+	if v.HasDE() {
+		p := e.llc.Payload(v, v.DEWay)
+		kind := llc.KindSpilled
+		if v.Fused {
+			kind = llc.KindFused
+		}
+		ev := llc.Evicted{Addr: addr, Kind: kind, Dirty: v.Fused && p.Dirty, Entry: p.Entry}
+		fused := v.Fused
+		e.llc.DropDE(v)
+		if fused {
+			// A fused line's data part is unreconstructible without the
+			// busy-clear low bits (zerodev) or rides out with the entry
+			// (inclusive in-tag tracking); either way it leaves with it.
+			if v2 := e.llc.Probe(addr); v2.HasData() {
+				e.llc.InvalidateData(v2)
+			}
+		}
+		e.handleEvicted(t, ev)
+		v = e.llc.Probe(addr)
+	}
+	if v.HasData() {
+		p := e.llc.Payload(v, v.DataWay)
+		ev := llc.Evicted{Addr: addr, Kind: llc.KindData, Dirty: p.Dirty}
+		e.llc.InvalidateData(v)
+		e.handleEvicted(t, ev)
+	}
 	return true
 }

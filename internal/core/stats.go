@@ -75,6 +75,10 @@ type Stats struct {
 	FaultQuarantinedDEs uint64 // housed entries retired to home memory after a flip
 	FaultForcedWBDEs    uint64 // DE-eviction-storm writebacks
 	FaultInvalidations  uint64 // spurious whole-block invalidations
+	FaultForcedDEVs     uint64 // directory-victim injections (real-DEV backends)
+	FaultInclusionEvs   uint64 // forced inclusion evictions (inclusive LLCs)
+	FaultForcedEvs      uint64 // eviction-pressure LLC victimizations
+	FaultNACKStorms     uint64 // admission-latency perturbations (phase-priority)
 }
 
 // Add merges o into s.
@@ -117,4 +121,8 @@ func (s *Stats) Add(o *Stats) {
 	s.FaultQuarantinedDEs += o.FaultQuarantinedDEs
 	s.FaultForcedWBDEs += o.FaultForcedWBDEs
 	s.FaultInvalidations += o.FaultInvalidations
+	s.FaultForcedDEVs += o.FaultForcedDEVs
+	s.FaultInclusionEvs += o.FaultInclusionEvs
+	s.FaultForcedEvs += o.FaultForcedEvs
+	s.FaultNACKStorms += o.FaultNACKStorms
 }

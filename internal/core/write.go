@@ -22,7 +22,14 @@ func (e *Engine) Write(t sim.Cycle, c coher.CoreID, addr coher.Addr) sim.Cycle {
 	v = e.maybeCorruptDE(t1, addr, v)
 	ent, loc := e.findDE(addr, v)
 	if e.hasAdmit && loc == locNone {
-		t1 += e.proto.Admit(t1, addr)
+		charge := e.proto.Admit(t1, addr)
+		if e.faultHooks != nil {
+			if perturbed := e.faultHooks.AdmitFault(t1, addr, charge); perturbed != charge {
+				e.stats.FaultNACKStorms++
+				charge = perturbed
+			}
+		}
+		t1 += charge
 	}
 
 	switch {

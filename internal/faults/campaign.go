@@ -51,10 +51,9 @@ func (c Campaign) backendName() string {
 
 // Campaigns lists the default sweep: every ZeroDEV DE-caching policy in
 // both single- and four-socket organizations, plus one single-socket
-// cell per alternative protocol backend. Injector seams a backend does
-// not have (WB_DE, housed-DE flips, DE eviction storms on the
-// baselines) are naturally inert there; spurious invalidations and the
-// step auditor exercise every backend.
+// cell per alternative protocol backend. Each cell runs the requested
+// kinds intersected with its backend's applicable set (RunCell), so a
+// seam a backend does not have is skipped rather than rolled inertly.
 func Campaigns() []Campaign {
 	return []Campaign{
 		{Name: "spillall-1s", Policy: core.SpillAll, Sockets: 1, App: "canneal"},
@@ -67,6 +66,33 @@ func Campaigns() []Campaign {
 		{Name: "dls-1s", Backend: backend.DLS, Sockets: 1, App: "vips"},
 		{Name: "phasepriority-1s", Backend: backend.PhasePriority, Sockets: 1, App: "freqmine"},
 	}
+}
+
+// SoakCampaigns lists the chaos-soak grid: every backend crossed with
+// single- and four-socket organizations, each cell running its full
+// applicable fault mix with online invariant audits. Selected with
+// `-campaigns soak`; the CI backend-fault-matrix tier runs it short
+// under -race.
+func SoakCampaigns() []Campaign {
+	apps := []string{"canneal", "freqmine", "vips", "ocean_cp"}
+	var out []Campaign
+	i := 0
+	for _, id := range []backend.ID{backend.ZeroDEV, backend.SparseMESI, backend.DLS, backend.PhasePriority} {
+		for _, skts := range []int{1, 4} {
+			c := Campaign{
+				Name:    fmt.Sprintf("soak-%s-%ds", id, skts),
+				Backend: id,
+				Sockets: skts,
+				App:     apps[i%len(apps)],
+			}
+			if id == backend.ZeroDEV {
+				c.Policy = core.FPSS
+			}
+			out = append(out, c)
+			i++
+		}
+	}
+	return out
 }
 
 // FilterByBackend keeps the cells whose backend is in sel.
@@ -88,17 +114,22 @@ func FilterByBackend(cells []Campaign, sel []backend.ID) []Campaign {
 	return out
 }
 
-// SelectCampaigns filters the default list by a comma-separated name
-// list ("all" keeps everything).
+// SelectCampaigns filters the known cells by a comma-separated name
+// list: "all" keeps the default grid, "soak" expands to the chaos-soak
+// grid, and individual names resolve across both.
 func SelectCampaigns(s string) ([]Campaign, error) {
-	all := Campaigns()
-	if strings.TrimSpace(s) == "all" {
-		return all, nil
-	}
+	all := append(Campaigns(), SoakCampaigns()...)
 	var out []Campaign
 	for _, f := range strings.Split(s, ",") {
 		f = strings.TrimSpace(f)
-		if f == "" {
+		switch f {
+		case "":
+			continue
+		case "all":
+			out = append(out, Campaigns()...)
+			continue
+		case "soak":
+			out = append(out, SoakCampaigns()...)
 			continue
 		}
 		found := false
@@ -114,7 +145,7 @@ func SelectCampaigns(s string) ([]Campaign, error) {
 			for _, c := range all {
 				names = append(names, c.Name)
 			}
-			return nil, fmt.Errorf("faults: unknown campaign %q (known: %s, or \"all\")",
+			return nil, fmt.Errorf("faults: unknown campaign %q (known: %s, \"all\", or \"soak\")",
 				f, strings.Join(names, ", "))
 		}
 	}
@@ -158,6 +189,7 @@ type CellResult struct {
 	Counts                                  [NumKinds]uint64
 	FlipsDetected, FlipsMasked, FlipsSilent uint64
 	BrokenPutDEs                            uint64
+	BrokenInjections                        uint64
 	FirstBreakStep                          uint64
 
 	Engine core.Stats
@@ -170,8 +202,9 @@ type CellResult struct {
 // the violation diagnostic.
 func engineSummary(st core.Stats) string {
 	return fmt.Sprintf(
-		"quarantines=%d forcedWBDE=%d spuriousInval=%d getDE=%d corruptedFetch=%d lastCopy=%d wbDE=%d",
+		"quarantines=%d forcedWBDE=%d spuriousInval=%d forcedDEV=%d inclEv=%d forcedEv=%d nackPerturb=%d getDE=%d corruptedFetch=%d lastCopy=%d wbDE=%d",
 		st.FaultQuarantinedDEs, st.FaultForcedWBDEs, st.FaultInvalidations,
+		st.FaultForcedDEVs, st.FaultInclusionEvs, st.FaultForcedEvs, st.FaultNACKStorms,
 		st.GetDEFlows, st.CorruptedFetches, st.LastCopyRetrievals, st.DEEvictionsToMemory)
 }
 
@@ -183,6 +216,14 @@ func engineSummary(st core.Stats) string {
 // cancellation (ctx aborts the drive within sim.CancelEvery steps); an
 // invariant violation is reported in CellResult.Violation.
 func RunCell(ctx context.Context, cfg Config, c Campaign, o harness.Options, idx uint64) (CellResult, error) {
+	// Restrict the requested mix to the kinds this cell's backend can
+	// actually fire, so "all" stays meaningful per cell and no injector
+	// rolls inertly against a seam the backend does not have.
+	id := c.Backend
+	if id == "" {
+		id = backend.ZeroDEV
+	}
+	cfg.Enabled = Intersect(cfg.Enabled, id)
 	in := NewInjector(cfg, sim.NewRNG(o.Seed).Fork(0xFA+idx))
 	pre := config.TableI(o.Scale)
 	var spec core.SystemSpec
@@ -207,6 +248,7 @@ func RunCell(ctx context.Context, cfg Config, c Campaign, o harness.Options, idx
 		spec.WrapHome = func(h core.Home) core.Home { return &chaosHome{Home: h, in: in} }
 		sys := core.NewSystem(spec, workload.Threads(prof, spec.Cores, o.Accesses, o.Scale, o.Seed))
 		sys.Engine.SetFaultPort(in)
+		sys.Engine.SetFaultHooks(in)
 		tg.engines = []*core.Engine{sys.Engine}
 		tg.cores = [][]*cpu.Core{sys.Cores}
 		for _, cc := range sys.Cores {
@@ -225,6 +267,7 @@ func RunCell(ctx context.Context, cfg Config, c Campaign, o harness.Options, idx
 		}
 		for _, s := range sys.Sockets {
 			s.Engine.SetFaultPort(in)
+			s.Engine.SetFaultHooks(in)
 			tg.engines = append(tg.engines, s.Engine)
 			tg.cores = append(tg.cores, s.Cores)
 			for _, cc := range s.Cores {
@@ -235,6 +278,7 @@ func RunCell(ctx context.Context, cfg Config, c Campaign, o harness.Options, idx
 		stSock = sys.Stats
 	}
 
+	in.tg = &tg
 	res := CellResult{Campaign: c}
 	crashAt := uint64(0)
 	if cfg.CrashCell == c.Name {
@@ -280,6 +324,7 @@ func RunCell(ctx context.Context, cfg Config, c Campaign, o harness.Options, idx
 	res.Counts = in.Counts()
 	res.FlipsDetected, res.FlipsMasked, res.FlipsSilent = in.FlipsDetected, in.FlipsMasked, in.FlipsSilent
 	res.BrokenPutDEs, res.FirstBreakStep = in.BrokenPutDEs, in.FirstBreakStep
+	res.BrokenInjections = in.BrokenInjections
 	for _, eng := range tg.engines {
 		res.Engine.Add(eng.Stats())
 	}
@@ -301,7 +346,7 @@ func RunCampaigns(ctx context.Context, cfg Config, cells []Campaign, o harness.O
 	t := stats.Table{
 		Title: "Fault-injection audit: invariant checks under injected protocol faults",
 		Headers: []string{"cell", "backend", "policy", "skts", "app", "steps", "audits",
-			"flips d/m/s", "wbde -/+", "nack-", "storm", "spur", "getde/corr/last", "verdict"},
+			"flips d/m/s", "wbde -/+", "nack-", "storm", "spur", "nk/iv/dv/ep", "getde/corr/last", "verdict"},
 	}
 	p := harness.NewPool(ctx, o.Workers, o.Progress, "audit")
 	p.EnableRecovery(harness.ReplayMeta{
@@ -310,6 +355,7 @@ func RunCampaigns(ctx context.Context, cfg Config, cells []Campaign, o harness.O
 		Accesses:   o.Accesses,
 		Seed:       o.Seed,
 		Workers:    o.Workers,
+		Backends:   o.Backends,
 	}, o.CrashDir, o.Retries)
 	p.EnableWatchdog(o.JobTimeout)
 	if o.Checkpoint != nil {
@@ -348,7 +394,7 @@ func RunCampaigns(ctx context.Context, cfg Config, cells []Campaign, o harness.O
 			errs = append(errs, err)
 			cell := harness.CellText(err)
 			t.AddRow(c.Name, c.backendName(), c.label(), fmt.Sprint(c.Sockets), c.App,
-				cell, cell, cell, cell, cell, cell, cell, cell, cell)
+				cell, cell, cell, cell, cell, cell, cell, cell, cell, cell)
 			if cfg.FailFast {
 				break
 			}
@@ -372,6 +418,7 @@ func RunCampaigns(ctx context.Context, cfg Config, cells []Campaign, o harness.O
 			fmt.Sprint(cnt[DENFDrop]),
 			fmt.Sprint(cnt[EvictStorm]),
 			fmt.Sprint(cnt[SpuriousInval]),
+			fmt.Sprintf("%d/%d/%d/%d", cnt[NACKStorm], cnt[InclVictim], cnt[DirVictim], cnt[EvictPressure]),
 			fmt.Sprintf("%d/%d/%d", r.Engine.GetDEFlows, r.Engine.CorruptedFetches, r.Engine.LastCopyRetrievals),
 			verdict)
 		if r.Violation != nil && cfg.FailFast {
@@ -400,7 +447,13 @@ func WriteList(w io.Writer) {
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "Campaign cells (-campaigns, comma-separated or \"all\"; -backend filters):")
 	for _, c := range Campaigns() {
-		fmt.Fprintf(w, "  %-16s %-13s %-9s x%d socket(s), %s\n",
+		fmt.Fprintf(w, "  %-21s %-13s %-9s x%d socket(s), %s\n",
+			c.Name, c.backendName(), c.label(), c.Sockets, c.App)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Chaos-soak cells (-campaigns soak; every backend x fault mix x sockets):")
+	for _, c := range SoakCampaigns() {
+		fmt.Fprintf(w, "  %-21s %-13s %-9s x%d socket(s), %s\n",
 			c.Name, c.backendName(), c.label(), c.Sockets, c.App)
 	}
 	fmt.Fprintln(w)
@@ -414,4 +467,8 @@ var kindDescs = [NumKinds]string{
 	DENFDrop:      "lose a DENF_NACK (forward retransmitted)",
 	EvictStorm:    "force a burst of DE evictions to home memory",
 	SpuriousInval: "invalidate every copy of a random private block",
+	NACKStorm:     "stretch or collapse a conflicted phase-priority admission",
+	InclVictim:    "force inclusion evictions of in-tag tracked LLC lines",
+	DirVictim:     "force a sparse-directory victim through the DEV flow",
+	EvictPressure: "victimize LLC lines through the backend's displacement flow",
 }

@@ -1,0 +1,279 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+)
+
+// soakCell finds the named chaos-soak cell.
+func soakCell(t *testing.T, name string) Campaign {
+	t.Helper()
+	for _, c := range SoakCampaigns() {
+		if c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("soak cell %q not in grid", name)
+	return Campaign{}
+}
+
+// onlyKind enables exactly one injector at an elevated rate with
+// per-step auditing, the configuration every backend-aware self-test
+// uses.
+func onlyKind(k Kind, scale float64) Config {
+	cfg := DefaultConfig()
+	cfg.Enabled = [NumKinds]bool{}
+	cfg.Enabled[k] = true
+	cfg.RateScale = scale
+	cfg.AuditEvery = 250
+	return cfg
+}
+
+// TestBackendFaultDeclarationsValid cross-validates the registry: every
+// kind name a backend declares must be a real injector kind, every
+// backend must declare the cross-backend kinds (denf-drop rides the
+// socket layer, evict-pressure the LLC), and each backend-specific kind
+// must be declared exactly where its seam exists.
+func TestBackendFaultDeclarationsValid(t *testing.T) {
+	known := make(map[string]bool, NumKinds)
+	for _, k := range AllKinds() {
+		known[k.String()] = true
+	}
+	for _, b := range backend.All() {
+		if len(b.Faults) == 0 {
+			t.Fatalf("%s declares no applicable fault kinds", b.ID)
+		}
+		for _, n := range b.Faults {
+			if !known[n] {
+				t.Fatalf("%s declares unknown fault kind %q", b.ID, n)
+			}
+		}
+		m := Applicable(b.ID)
+		if !m[DENFDrop] || !m[EvictPressure] {
+			t.Fatalf("%s must declare the cross-backend kinds, got %v", b.ID, b.Faults)
+		}
+	}
+	for id, k := range map[backend.ID]Kind{
+		backend.PhasePriority: NACKStorm,
+		backend.DLS:           InclVictim,
+		backend.SparseMESI:    DirVictim,
+	} {
+		for _, b := range backend.All() {
+			if got := Applicable(b.ID)[k]; got != (b.ID == id) {
+				t.Fatalf("kind %v applicable to %s = %v, want %v", k, b.ID, got, b.ID == id)
+			}
+		}
+	}
+}
+
+// TestValidateKinds pins the named-error contract for inapplicable
+// -faults × -backend selections.
+func TestValidateKinds(t *testing.T) {
+	var storm [NumKinds]bool
+	storm[EvictStorm] = true
+	err := ValidateKinds(storm, []backend.ID{backend.DLS})
+	if !errors.Is(err, ErrInapplicableKind) {
+		t.Fatalf("storm on dls accepted: %v", err)
+	}
+	for _, want := range []string{"storm", "dls", "incl-victim"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("refusal %q missing %q", err, want)
+		}
+	}
+	// Applicable on at least one selected backend is accepted.
+	if err := ValidateKinds(storm, []backend.ID{backend.DLS, backend.ZeroDEV}); err != nil {
+		t.Fatalf("storm rejected with zerodev selected: %v", err)
+	}
+	var nk [NumKinds]bool
+	nk[NACKStorm] = true
+	if err := ValidateKinds(nk, []backend.ID{backend.PhasePriority}); err != nil {
+		t.Fatalf("nack-storm rejected on phasepriority: %v", err)
+	}
+	if err := ValidateKinds(nk, []backend.ID{backend.ZeroDEV}); !errors.Is(err, ErrInapplicableKind) {
+		t.Fatalf("nack-storm on zerodev accepted: %v", err)
+	}
+}
+
+// TestRateScaleBoundaries is the documented -rate-scale contract as a
+// table: scale 0 disables every kind, scales past 1/rate saturate at
+// certainty, negative scales clamp to 0 (the CLI rejects them earlier).
+func TestRateScaleBoundaries(t *testing.T) {
+	cases := []struct {
+		name  string
+		scale float64
+		kind  Kind
+		want  float64
+	}{
+		{"zero-disables", 0, DEFlip, 0},
+		{"zero-disables-stormy", 0, EvictStorm, 0},
+		{"identity", 1, WBDEDrop, 0.25},
+		{"scaled", 2, WBDEDrop, 0.5},
+		{"clamped-to-one", 1000, DEFlip, 1},
+		{"clamped-exact", 4, DENFDrop, 1},
+		{"negative-clamps-to-zero", -3, SpuriousInval, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{RateScale: tc.scale}
+			if got := cfg.EffectiveRate(tc.kind); got != tc.want {
+				t.Fatalf("EffectiveRate(%v) at scale %g = %g, want %g", tc.kind, tc.scale, got, tc.want)
+			}
+		})
+	}
+	// An injector at scale 0 with everything enabled must never fire.
+	cfg := DefaultConfig()
+	cfg.RateScale = 0
+	cfg.AuditEvery = 500
+	res, err := RunCell(context.Background(), cfg, Campaigns()[0], tinyOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, n := range res.Counts {
+		if n != 0 {
+			t.Fatalf("kind %v fired %d times at rate-scale 0", Kind(k), n)
+		}
+	}
+	if res.Violation != nil {
+		t.Fatalf("unfaulted cell violated invariants:\n%s", res.Violation.Diagnostic())
+	}
+}
+
+// TestBackendInjectorsFireAndStayClean drives each new backend-specific
+// injector alone against its target backend and requires both halves of
+// the robustness claim: the injector demonstrably fired through the
+// engine's recovery flow, and the online auditor saw zero violations.
+func TestBackendInjectorsFireAndStayClean(t *testing.T) {
+	cases := []struct {
+		cell  string
+		kind  Kind
+		scale float64
+		// firedStat reads the engine-side evidence that the perturbation
+		// went through a protocol flow rather than teleporting state.
+		check func(t *testing.T, res CellResult)
+	}{
+		{"soak-phasepriority-1s", NACKStorm, 5, func(t *testing.T, res CellResult) {
+			if res.Engine.FaultNACKStorms == 0 {
+				t.Fatalf("no admission charge was perturbed: %+v", res.Engine)
+			}
+		}},
+		{"soak-dls-1s", InclVictim, 10, func(t *testing.T, res CellResult) {
+			if res.Engine.FaultInclusionEvs == 0 {
+				t.Fatalf("no inclusion eviction was forced: %+v", res.Engine)
+			}
+			if res.Engine.InclusionInvals == 0 {
+				t.Fatal("forced inclusion evictions invalidated no holders")
+			}
+		}},
+		{"soak-sparsemesi-1s", DirVictim, 10, func(t *testing.T, res CellResult) {
+			if res.Engine.FaultForcedDEVs == 0 {
+				t.Fatalf("no directory victim was forced: %+v", res.Engine)
+			}
+			if res.Engine.DEVs == 0 {
+				t.Fatal("forced victims produced no DEV invalidations")
+			}
+		}},
+		{"soak-zerodev-1s", EvictPressure, 10, func(t *testing.T, res CellResult) {
+			if res.Engine.FaultForcedEvs == 0 {
+				t.Fatalf("no LLC line was victimized: %+v", res.Engine)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			cfg := onlyKind(tc.kind, tc.scale)
+			res, err := RunCell(context.Background(), cfg, soakCell(t, tc.cell), tinyOptions(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Counts[tc.kind] == 0 {
+				t.Fatalf("injector %v never fired on %s: counts=%v", tc.kind, tc.cell, res.Counts)
+			}
+			if res.Violation != nil {
+				t.Fatalf("correct recovery violated invariants:\n%s", res.Violation.Diagnostic())
+			}
+			if res.Audits == 0 {
+				t.Fatal("auditor never ran")
+			}
+			tc.check(t, res)
+		})
+	}
+}
+
+// TestBrokenVariantsCaughtWithinOneInterval is the auditor self-test
+// for every backend-aware injector: its known-bad variant (a recovery
+// path deliberately replaced with the corresponding buggy behaviour)
+// must be flagged by the online auditor within one audit interval of
+// the first break, on the injector's target backend.
+func TestBrokenVariantsCaughtWithinOneInterval(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		cell string
+	}{
+		{NACKStorm, "soak-phasepriority-1s"},
+		{InclVictim, "soak-dls-1s"},
+		{DirVictim, "soak-sparsemesi-1s"},
+		{EvictPressure, "soak-zerodev-1s"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			cfg := onlyKind(tc.kind, 50) // saturate the per-step roll
+			cfg.AuditEvery = 1
+			cfg.BreakKind = tc.kind.String()
+			res, err := RunCell(context.Background(), cfg, soakCell(t, tc.cell), tinyOptions(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.BrokenInjections == 0 {
+				t.Fatalf("known-bad %v never triggered; the self-test exercised nothing", tc.kind)
+			}
+			if res.Violation == nil {
+				t.Fatalf("auditor missed broken %v (%d injections, first at step %d)",
+					tc.kind, res.BrokenInjections, res.FirstBreakStep)
+			}
+			v := res.Violation
+			if v.Step < res.FirstBreakStep || v.Step-res.FirstBreakStep > uint64(cfg.AuditEvery) {
+				t.Fatalf("violation at step %d, first break at step %d: not within one audit interval (%d)",
+					v.Step, res.FirstBreakStep, cfg.AuditEvery)
+			}
+			if !strings.Contains(v.Diagnostic(), "BROKEN RECOVERY") {
+				t.Fatalf("diagnostic does not show the broken injection:\n%s", v.Diagnostic())
+			}
+		})
+	}
+}
+
+// TestSoakGridClean runs the full chaos-soak grid in miniature: every
+// backend × its applicable fault mix × 1/4 sockets completes with zero
+// invariant violations, and each backend-specific injector fired
+// somewhere in the grid.
+func TestSoakGridClean(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AuditEvery = 250
+	o := tinyOptions()
+	o.Accesses = 800
+	var total [NumKinds]uint64
+	for i, c := range SoakCampaigns() {
+		res, err := RunCell(context.Background(), cfg, c, o, uint64(i))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("%s: violation:\n%s", c.Name, res.Violation.Diagnostic())
+		}
+		if res.Audits == 0 {
+			t.Fatalf("%s: auditor never ran", c.Name)
+		}
+		for k, n := range res.Counts {
+			total[k] += n
+		}
+	}
+	for _, k := range []Kind{NACKStorm, InclVictim, DirVictim, EvictPressure} {
+		if total[k] == 0 {
+			t.Fatalf("kind %v never fired anywhere in the soak grid: %v", k, total)
+		}
+	}
+}

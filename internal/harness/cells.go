@@ -83,6 +83,7 @@ func (e Experiment) ExecuteSelected(ctx context.Context, o Options, sel func(Cel
 		Seed:       o.Seed,
 		Quick:      o.Quick,
 		Workers:    o.Workers,
+		Backends:   o.Backends,
 	}, o.CrashDir, o.Retries)
 	p.EnableWatchdog(o.JobTimeout)
 	p.EnableCheckpoint(cs, e.ID)

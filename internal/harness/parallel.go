@@ -160,6 +160,13 @@ type ReplayMeta struct {
 	Seed       uint64 `json:"seed"`
 	Quick      bool   `json:"quick,omitempty"`
 	Workers    int    `json:"workers"`
+	// Backends records the run's -backend selection, so a bundle from a
+	// backend-matrix or audit-soak run replays against the same protocol
+	// axis. Empty (and omitted) for runs predating the backend axis or
+	// using the default; DecodeBundle's version-head-then-strict decode
+	// keeps pre-backend bundles loading — a missing field is simply the
+	// zero value, while unknown fields are still refused.
+	Backends string `json:"backends,omitempty"`
 }
 
 // ErrJobTimeout marks a job reaped by the watchdog; IsTimeout
@@ -747,7 +754,7 @@ func (o Options) runner() *Pool {
 		return o.pool
 	}
 	p := NewPool(nil, o.Workers, nil, "")
-	p.EnableRecovery(ReplayMeta{Scale: o.Scale, Accesses: o.Accesses, Seed: o.Seed, Quick: o.Quick, Workers: o.Workers}, o.CrashDir, o.Retries)
+	p.EnableRecovery(ReplayMeta{Scale: o.Scale, Accesses: o.Accesses, Seed: o.Seed, Quick: o.Quick, Workers: o.Workers, Backends: o.Backends}, o.CrashDir, o.Retries)
 	p.EnableWatchdog(o.JobTimeout)
 	return p
 }
@@ -770,6 +777,7 @@ func (e Experiment) Execute(ctx context.Context, o Options, w io.Writer) (stats.
 		Seed:       o.Seed,
 		Quick:      o.Quick,
 		Workers:    o.Workers,
+		Backends:   o.Backends,
 	}, o.CrashDir, o.Retries)
 	p.EnableWatchdog(o.JobTimeout)
 	if o.Checkpoint != nil {

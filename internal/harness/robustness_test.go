@@ -620,7 +620,7 @@ func TestRetriedPanicNamesEveryBundle(t *testing.T) {
 func TestDecodeBundleRejects(t *testing.T) {
 	valid, err := json.Marshal(replayBundle{
 		Version:    BundleVersion,
-		ReplayMeta: ReplayMeta{Experiment: "fig9", Scale: 8, Accesses: 100, Seed: 3, Workers: 2},
+		ReplayMeta: ReplayMeta{Experiment: "fig9", Scale: 8, Accesses: 100, Seed: 3, Workers: 2, Backends: "dls,zerodev"},
 		Unit:       "u", Seq: 1, Attempt: 1, Panic: "x", Stack: "s",
 	})
 	if err != nil {
@@ -630,10 +630,21 @@ func TestDecodeBundleRejects(t *testing.T) {
 	if err != nil || meta.Experiment != "fig9" || meta.Seed != 3 {
 		t.Fatalf("valid bundle: meta=%+v err=%v", meta, err)
 	}
+	if meta.Backends != "dls,zerodev" {
+		t.Fatalf("backend tag lost in round-trip: meta=%+v", meta)
+	}
+	// A pre-backend bundle (no "backends" field) still loads: the field
+	// is omitempty on write and simply zero on read.
+	preBackend := `{"version":1,"experiment":"old","scale":8,"accesses":100,"seed":3,"workers":2,"unit":"u","seq":1,"attempt":1,"panic":"p","stack":"s"}`
+	meta, err = DecodeBundle(strings.NewReader(preBackend))
+	if err != nil || meta.Experiment != "old" || meta.Backends != "" {
+		t.Fatalf("pre-backend bundle refused: meta=%+v err=%v", meta, err)
+	}
 	cases := []struct{ name, in, want string }{
 		{"garbage", "nope", "not a replay bundle"},
 		{"version", `{"version":9,"experiment":"x"}`, "bundle version 9, this build reads 1"},
 		{"unknown-field", `{"version":1,"experiment":"x","scale":1,"accesses":1,"seed":1,"workers":1,"seq":1,"attempt":1,"panic":"p","stack":"s","surprise":true}`, "decoding replay bundle"},
+		{"backends-wrong-type", `{"version":1,"experiment":"x","scale":1,"accesses":1,"seed":1,"workers":1,"backends":7,"seq":1,"attempt":1,"panic":"p","stack":"s"}`, "decoding replay bundle"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -497,6 +497,18 @@ func (l *LLC) ForEachDE(fn func(addr coher.Addr, fused bool, e coher.Entry)) {
 	}
 }
 
+// ForEachData visits every plain data line (fused lines are reported by
+// ForEachDE), for fault-injection target collection.
+func (l *LLC) ForEachData(fn func(addr coher.Addr, dirty bool)) {
+	for b, arr := range l.arrs {
+		arr.ForEachValid(func(_, _ int, local uint64, p *Payload) {
+			if p.Kind == KindData {
+				fn(l.global(b, local), p.Dirty)
+			}
+		})
+	}
+}
+
 // AppendState appends the LLC's protocol-visible state to buf for
 // model-checker fingerprinting: per bank, the array contents (tags,
 // recency ranks, line kind/dirty bit, and the canonical form of any
