@@ -21,7 +21,7 @@ import (
 
 // BenchFileVersion tags the BENCH_*.json schema; bump it when fields
 // change meaning. The conventional output name is BENCH_<v>.json.
-const BenchFileVersion = 6
+const BenchFileVersion = 7
 
 // Named comparison failures, so callers (and the regression-gate table
 // test) can distinguish an unusable baseline from a real regression.
@@ -112,7 +112,7 @@ func benchCmd(ctx context.Context, args []string) int {
 	fs.IntVar(&o.Accesses, "accesses", o.Accesses, "memory accesses per core")
 	var seed uint64
 	fs.Uint64Var(&seed, "seed", 1, "workload synthesis seed")
-	ids := fs.String("experiments", "fig2,fig5,fig6,fig18,multisocket",
+	ids := fs.String("experiments", "fig2,fig5,fig6,fig18,multisocket,figscale",
 		"comma-separated experiments to benchmark serially, or `all`")
 	parIDs := fs.String("parallel", "fig18",
 		"comma-separated experiments to additionally benchmark on the parallel engine (\"\" disables)")

@@ -1,0 +1,88 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/mcheck"
+)
+
+// WideCores sizes the wide-sharer conformance configuration: 130 cores
+// puts sharers in the first inline CoreSet word (0..63), the second
+// (64..127), and the external spill words (128+), so every scenario
+// crosses both representation boundaries of the widened sharer set.
+const WideCores = 130
+
+// wideSharers is the scripted reader population: the last and first
+// bit of each 64-bit word plus interior cores, chosen so the sharer
+// bit-vector has set bits straddling every word boundary.
+var wideSharers = []uint8{0, 1, 63, 64, 65, 127, 128, 129}
+
+// WideScenarios returns the wide-sharer suite. Like the 2-core suite,
+// every script is valid on every backend; the enabled-op count is part
+// of the pinned result.
+func WideScenarios() []Scenario {
+	r := func(core, addr uint8) mcheck.Op { return mcheck.Op{Kind: mcheck.OpRead, Core: core, Addr: addr} }
+	w := func(core, addr uint8) mcheck.Op { return mcheck.Op{Kind: mcheck.OpWrite, Core: core, Addr: addr} }
+	e := func(core, addr uint8) mcheck.Op { return mcheck.Op{Kind: mcheck.OpEvict, Core: core, Addr: addr} }
+	wbde := func(addr uint8) mcheck.Op { return mcheck.Op{Kind: mcheck.OpWBDE, Addr: addr} }
+
+	share := make([]mcheck.Op, 0, len(wideSharers))
+	for _, c := range wideSharers {
+		share = append(share, r(c, 0))
+	}
+	withTail := func(tail ...mcheck.Op) []mcheck.Op {
+		return append(append([]mcheck.Op(nil), share...), tail...)
+	}
+	drain := make([]mcheck.Op, 0, len(wideSharers))
+	for i := len(wideSharers) - 1; i >= 0; i-- {
+		drain = append(drain, e(wideSharers[i], 0))
+	}
+	return []Scenario{
+		// Sharers across all three word regions, then a cross-boundary
+		// writer invalidates every one of them.
+		{"wide-share-invalidate", withTail(w(129, 0))},
+		// The full population evicts in reverse; the last eviction is the
+		// last-holder path with a sharer vector that once spanned words.
+		{"wide-evict-drain", withTail(drain...)},
+		// Dir conflict while the wide set is live, then a WB_DE forces the
+		// housed wide entry through the home-segment encode/decode path.
+		{"wide-wbde-refetch", withTail(r(1, 1), wbde(1), r(128, 1))},
+		// Write ping-pong across the spill boundary: ownership migrates
+		// 127 -> 128 -> 63 -> 129, exercising owner IDs on both sides.
+		{"wide-ping-pong", []mcheck.Op{w(127, 0), w(128, 0), w(63, 0), w(129, 0)}},
+	}
+}
+
+// configWideFor mirrors configFor at WideCores.
+func configWideFor(id backend.ID) mcheck.Config {
+	cfg := mcheck.Config{Cores: WideCores, Addrs: 2, Depth: 1, Backend: id, Workers: 1}
+	switch id {
+	case backend.ZeroDEV:
+		cfg.Policy = core.FPSS
+		cfg.DirEntries = 1
+	case backend.DLS:
+		cfg.DirEntries = 0
+	default:
+		cfg.DirEntries = 1
+	}
+	return cfg
+}
+
+// RunWide executes the wide-sharer suite over every registered backend
+// with the mcheck property set re-checked after every op.
+func RunWide() ([]Result, error) {
+	var out []Result
+	for _, info := range backend.All() {
+		cfg := configWideFor(info.ID)
+		for _, sc := range WideScenarios() {
+			enabled, fp, err := mcheck.ReplayChecked(cfg, sc.Ops)
+			if err != nil {
+				return nil, fmt.Errorf("conformance: %s/%s: %w", info.ID, sc.Name, err)
+			}
+			out = append(out, Result{Backend: info.ID, Scenario: sc.Name, Enabled: enabled, Fingerprint: fp})
+		}
+	}
+	return out, nil
+}

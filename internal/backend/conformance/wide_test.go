@@ -1,0 +1,94 @@
+package conformance
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/backend"
+)
+
+// TestWideConformanceGolden pins the wide-sharer suite: 130-core
+// scenarios whose sharer sets cross the 64- and 128-core word
+// boundaries of the widened CoreSet, on every registered backend. A
+// fingerprint diff here means width handling changed protocol behavior;
+// regenerate with -update only for intended changes.
+func TestWideConformanceGolden(t *testing.T) {
+	results, err := RunWide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, r := range results {
+		buf.WriteString(r.Line())
+		buf.WriteByte('\n')
+	}
+	path := filepath.Join("testdata", "conformance_wide.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/backend/conformance -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("wide conformance fingerprints differ from %s (regenerate with -update after intended protocol changes)\n--- got ---\n%s--- want ---\n%s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// TestWideSuiteCoversEveryBackend guards against a backend being
+// registered but silently skipped from the wide suite.
+func TestWideSuiteCoversEveryBackend(t *testing.T) {
+	results, err := RunWide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perBackend := make(map[backend.ID]int)
+	for _, r := range results {
+		perBackend[r.Backend]++
+	}
+	n := len(WideScenarios())
+	for _, info := range backend.All() {
+		if perBackend[info.ID] != n {
+			t.Errorf("backend %s ran %d wide scenarios, want %d", info.ID, perBackend[info.ID], n)
+		}
+	}
+}
+
+// TestWideShareEnablesEveryOp checks the wide-share script is fully
+// enabled everywhere: reads and the cross-boundary write are legal on
+// every backend, so the sharer set genuinely spans three words when the
+// invalidation fires.
+func TestWideShareEnablesEveryOp(t *testing.T) {
+	results, err := RunWide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(wideSharers) + 1
+	for _, r := range results {
+		if r.Scenario == "wide-share-invalidate" && r.Enabled != want {
+			t.Errorf("%s: wide-share-invalidate enabled %d ops, want %d", r.Backend, r.Enabled, want)
+		}
+	}
+}
+
+// TestExploreStillBoundedToTinyCores pins that the replay relaxation
+// did not widen exhaustive exploration: a wide config must still fail
+// strict validation.
+func TestExploreStillBoundedToTinyCores(t *testing.T) {
+	cfg := configWideFor(backend.ZeroDEV)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("wide config passed strict Validate; exploration bound lost")
+	}
+	if err := cfg.ValidateReplay(); err != nil {
+		t.Fatalf("wide config rejected for replay: %v", err)
+	}
+}

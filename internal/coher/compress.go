@@ -57,7 +57,7 @@ func Compress(e Entry, cores, budget int) (Compressed, error) {
 	if !e.Live() {
 		return Compressed{}, fmt.Errorf("coher: compressing a dead entry")
 	}
-	if cores <= 0 || cores > MaxCores {
+	if cores <= 0 || cores > MaxRepresentableCores {
 		return Compressed{}, fmt.Errorf("coher: bad core count %d", cores)
 	}
 	ptrBits := ceilLog2(cores)

@@ -64,12 +64,12 @@ func TestCoreSetProperty(t *testing.T) {
 		var s CoreSet
 		ref := map[CoreID]bool{}
 		for _, a := range adds {
-			c := CoreID(a % MaxCores)
+			c := CoreID(a % classicCores)
 			s.Add(c)
 			ref[c] = true
 		}
 		for _, r := range removes {
-			c := CoreID(r % MaxCores)
+			c := CoreID(r % classicCores)
 			s.Remove(c)
 			delete(ref, c)
 		}

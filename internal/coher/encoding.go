@@ -1,6 +1,17 @@
 package coher
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrPayloadOverflow reports that a directory entry's full-map
+// representation no longer fits the 511-bit payload of a 64-byte line —
+// the overflow regime the scale-frontier presets probe. The protocol's
+// response is structural: entries that cannot fuse stay on the spill
+// path, and home-memory segments switch to the compressed formats in
+// compress.go.
+var ErrPayloadOverflow = errors.New("coher: directory entry exceeds the 511-bit line payload")
 
 // This file implements the bit-exact 64-byte line formats of the ZeroDEV
 // proposal:
@@ -48,6 +59,34 @@ func getBits(l *Line, pos, width int) uint64 {
 	return v
 }
 
+// setCoreBits writes the low `cores` bits of sharer set s at pos,
+// word-wise. For cores <= 128 the bit placement is identical to the old
+// fixed lo/hi writes.
+func setCoreBits(l *Line, pos int, s CoreSet, cores int) {
+	for wi := 0; wi*64 < cores; wi++ {
+		width := cores - wi*64
+		if width > 64 {
+			width = 64
+		}
+		setBits(l, pos+wi*64, width, s.Word(wi))
+	}
+}
+
+// getCoreBits reads a `cores`-bit sharer vector at pos.
+func getCoreBits(l *Line, pos, cores int) CoreSet {
+	words := make([]uint64, (cores+63)/64)
+	for wi := range words {
+		width := cores - wi*64
+		if width > 64 {
+			width = 64
+		}
+		words[wi] = getBits(l, pos+wi*64, width)
+	}
+	var s CoreSet
+	s.SetFromWords(words)
+	return s
+}
+
 // Spilled format ------------------------------------------------------------
 
 // Spilled-entry layout (both policies, Figs. 9a/11a): bit 0 is the
@@ -91,6 +130,82 @@ func DecodeSpilled(l Line) (Entry, error) {
 	lo := getBits(&l, spillSharersOff, 64)
 	hi := getBits(&l, spillSharersOff+64, 64)
 	e.Sharers.SetWords(lo, hi)
+	return e, nil
+}
+
+// Wide spilled format ---------------------------------------------------------
+//
+// Past 128 cores the Fig. 9a layout no longer holds the full map; the
+// wide layout widens the owner field to 16 bits and starts the sharer
+// vector at bit 24:
+//
+//	bit  0      fused/spilled selector (1 = spilled)
+//	bits 1-2    directory state
+//	bit  3      busy
+//	bits 8-23   owner core ID (16 bits)
+//	bits 24..   full-map sharer vector (N bits)
+//
+// which fits a 64-byte line iff 24 + N <= 512, i.e. N <= 488. Beyond
+// that a single line cannot spill a full-map entry at all and
+// EncodeSpilledN reports ErrPayloadOverflow — the point where the
+// in-memory compressed formats take over.
+const (
+	wideSpillOwnerOff   = 8
+	wideSpillSharersOff = 24
+)
+
+// MaxSpillCores is the largest core count whose full-map entry still
+// fits the wide spilled line format.
+const MaxSpillCores = BlockBits - wideSpillSharersOff
+
+// FitsSpilled reports whether a full-map spilled entry for an N-core
+// socket fits one 64-byte line.
+func FitsSpilled(cores int) bool {
+	if cores <= 128 {
+		return true
+	}
+	return cores <= MaxSpillCores
+}
+
+// EncodeSpilledN packs a directory entry into a spilled LLC line for an
+// N-core socket. For cores <= 128 the layout (and therefore the line)
+// is byte-identical to EncodeSpilled; wider sockets use the wide
+// layout, and sockets past MaxSpillCores get ErrPayloadOverflow.
+func EncodeSpilledN(e Entry, cores int) (Line, error) {
+	if cores <= 128 {
+		return EncodeSpilled(e), nil
+	}
+	if !FitsSpilled(cores) {
+		return Line{}, fmt.Errorf("%w: spilled full map for %d cores needs %d bits",
+			ErrPayloadOverflow, cores, wideSpillSharersOff+cores)
+	}
+	var l Line
+	setBit(&l, 0, true) // spilled
+	setBits(&l, spillStateOff, 2, uint64(e.State))
+	setBit(&l, spillBusyOff, e.Busy)
+	setBits(&l, wideSpillOwnerOff, 16, uint64(e.Owner))
+	setCoreBits(&l, wideSpillSharersOff, e.Sharers, cores)
+	return l, nil
+}
+
+// DecodeSpilledN unpacks a spilled LLC line produced by EncodeSpilledN
+// for an N-core socket.
+func DecodeSpilledN(l Line, cores int) (Entry, error) {
+	if cores <= 128 {
+		return DecodeSpilled(l)
+	}
+	if !FitsSpilled(cores) {
+		return Entry{}, fmt.Errorf("%w: spilled full map for %d cores needs %d bits",
+			ErrPayloadOverflow, cores, wideSpillSharersOff+cores)
+	}
+	if !getBit(&l, 0) {
+		return Entry{}, fmt.Errorf("coher: line is fused, not spilled")
+	}
+	var e Entry
+	e.State = DirState(getBits(&l, spillStateOff, 2))
+	e.Busy = getBit(&l, spillBusyOff)
+	e.Owner = CoreID(getBits(&l, wideSpillOwnerOff, 16))
+	e.Sharers = getCoreBits(&l, wideSpillSharersOff, cores)
 	return e, nil
 }
 
@@ -162,6 +277,13 @@ type FusedFuseAll struct {
 	Sharers    CoreSet
 }
 
+// Same reports field-wise equality (CoreSet makes the struct
+// non-comparable with ==).
+func (f FusedFuseAll) Same(o FusedFuseAll) bool {
+	return f.BlockDirty == o.BlockDirty && f.Busy == o.Busy && f.State == o.State &&
+		f.Owner == o.Owner && f.Sharers.Equal(o.Sharers)
+}
+
 // CorruptedBitsFuseAll returns how many low bits the FuseAll fused format
 // corrupts: 4 + ceil(log2 N) for M/E lines, 4 + N for S lines
 // (paper §III-C3).
@@ -172,11 +294,25 @@ func CorruptedBitsFuseAll(state DirState, cores int) int {
 	return 4 + cores
 }
 
+// FitsFusedFuseAll reports whether the FuseAll fused header for the
+// given state still fits a 64-byte line. The S-state header carries the
+// full N-bit sharer vector, so past 508 cores a shared entry cannot
+// fuse and must stay spilled — the overflow regime the ROADMAP predicts
+// dominates at the scale frontier. The engine's fuse decision consults
+// this predicate.
+func FitsFusedFuseAll(state DirState, cores int) bool {
+	return CorruptedBitsFuseAll(state, cores) <= BlockBits
+}
+
 // EncodeFusedFuseAll overwrites the low bits of block with the FuseAll
 // fused header and returns the result.
 func EncodeFusedFuseAll(block Line, f FusedFuseAll, cores int) (Line, error) {
 	if f.State != DirOwned && f.State != DirShared {
 		return block, fmt.Errorf("coher: FuseAll fused line needs M/E or S state, got %v", f.State)
+	}
+	if !FitsFusedFuseAll(f.State, cores) {
+		return block, fmt.Errorf("%w: FuseAll %v header for %d cores needs %d bits",
+			ErrPayloadOverflow, f.State, cores, CorruptedBitsFuseAll(f.State, cores))
 	}
 	setBit(&block, 0, false) // fused
 	setBit(&block, 1, f.BlockDirty)
@@ -185,13 +321,7 @@ func EncodeFusedFuseAll(block Line, f FusedFuseAll, cores int) (Line, error) {
 	if f.State == DirOwned {
 		setBits(&block, 4, ceilLog2(cores), uint64(f.Owner))
 	} else {
-		lo, hi := f.Sharers.Words()
-		if cores <= 64 {
-			setBits(&block, 4, cores, lo)
-		} else {
-			setBits(&block, 4, 64, lo)
-			setBits(&block, 4+64, cores-64, hi)
-		}
+		setCoreBits(&block, 4, f.Sharers, cores)
 	}
 	return block, nil
 }
@@ -206,15 +336,12 @@ func DecodeFusedFuseAll(l Line, cores int) (FusedFuseAll, error) {
 		Busy:       getBit(&l, 2),
 	}
 	if getBit(&l, 3) {
-		f.State = DirShared
-		var lo, hi uint64
-		if cores <= 64 {
-			lo = getBits(&l, 4, cores)
-		} else {
-			lo = getBits(&l, 4, 64)
-			hi = getBits(&l, 4+64, cores-64)
+		if !FitsFusedFuseAll(DirShared, cores) {
+			return FusedFuseAll{}, fmt.Errorf("%w: FuseAll S header for %d cores needs %d bits",
+				ErrPayloadOverflow, cores, CorruptedBitsFuseAll(DirShared, cores))
 		}
-		f.Sharers.SetWords(lo, hi)
+		f.State = DirShared
+		f.Sharers = getCoreBits(&l, 4, cores)
 	} else {
 		f.State = DirOwned
 		f.Owner = CoreID(getBits(&l, 4, ceilLog2(cores)))
@@ -250,20 +377,13 @@ func EncodeSegment(l Line, socket, cores int, e Entry) (Line, error) {
 	}
 	off := SegmentOffset(socket, cores)
 	setBit(&l, off, e.State == DirOwned)
-	var lo, hi uint64
+	var holders CoreSet
 	if e.State == DirOwned {
-		var s CoreSet
-		s.Add(e.Owner)
-		lo, hi = s.Words()
+		holders.Add(e.Owner)
 	} else {
-		lo, hi = e.Sharers.Words()
+		holders = e.Sharers
 	}
-	if cores <= 64 {
-		setBits(&l, off+1, cores, lo)
-	} else {
-		setBits(&l, off+1, 64, lo)
-		setBits(&l, off+1+64, cores-64, hi)
-	}
+	setCoreBits(&l, off+1, holders, cores)
 	return l, nil
 }
 
@@ -275,15 +395,7 @@ func DecodeSegment(l Line, socket, cores int) (Entry, error) {
 	}
 	off := SegmentOffset(socket, cores)
 	owned := getBit(&l, off)
-	var lo, hi uint64
-	if cores <= 64 {
-		lo = getBits(&l, off+1, cores)
-	} else {
-		lo = getBits(&l, off+1, 64)
-		hi = getBits(&l, off+1+64, cores-64)
-	}
-	var holders CoreSet
-	holders.SetWords(lo, hi)
+	holders := getCoreBits(&l, off+1, cores)
 	var e Entry
 	if owned {
 		if holders.Count() != 1 {

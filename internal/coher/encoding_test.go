@@ -27,7 +27,7 @@ func randEntry(r *rand.Rand, cores int) Entry {
 type spillEntry Entry
 
 func (spillEntry) Generate(r *rand.Rand, _ int) reflect.Value {
-	e := randEntry(r, MaxCores)
+	e := randEntry(r, classicCores)
 	e.Busy = r.Intn(4) == 0
 	return reflect.ValueOf(spillEntry(e))
 }

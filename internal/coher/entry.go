@@ -17,6 +17,23 @@ type Entry struct {
 	// Busy marks a transient/pending transaction (e.g. a forwarded request
 	// awaiting the owner's "busy clear" message).
 	Busy bool
+	// Imprecise marks a DirShared entry whose Sharers is a superset of
+	// the true holders — the result of decoding a coarse-compressed
+	// home-memory segment (wide sockets where a full map no longer fits
+	// the segment budget). The engine reconciles imprecise entries
+	// against actual core states before acting on them; at ≤128 cores
+	// the flag is never set.
+	Imprecise bool
+}
+
+// Same reports field-wise equality, including fields the current state
+// makes meaningless. CoreSet's extension storage makes Entry
+// non-comparable with ==; Same is the literal replacement. Use
+// state-projected comparisons (AppendCanonical) when stale fields must
+// not matter.
+func (e Entry) Same(o Entry) bool {
+	return e.State == o.State && e.Owner == o.Owner && e.Busy == o.Busy &&
+		e.Imprecise == o.Imprecise && e.Sharers.Equal(o.Sharers)
 }
 
 // Live reports whether the entry tracks at least one private copy.
@@ -97,21 +114,53 @@ func MaxSocketsWithSocketPartition(coresPerSocket int) int {
 // entry may carry stale Sharers bits from an earlier shared epoch (and
 // vice versa), and two such entries must fingerprint identically
 // because the protocol can never observe the difference.
+//
+// Wide state uses the tag byte's spare bits, so every fingerprint taken
+// at ≤128 cores is byte-identical to the fixed-width encoding: 0x40
+// marks a second owner byte (owner ≥ 256), 0x20 marks extension sharer
+// words (a sharer ≥ 128), 0x10 marks an imprecise sharer set. All three
+// are zero in any configuration the paper evaluates.
 func (e Entry) AppendCanonical(buf []byte) []byte {
 	tag := byte(e.State)
 	if e.Busy {
 		tag |= 0x80
 	}
+	var ext []uint64
+	switch e.State {
+	case DirOwned:
+		if e.Owner >= 256 {
+			tag |= 0x40
+		}
+	case DirShared:
+		ext = e.Sharers.ExtWords()
+		if len(ext) > 0 {
+			tag |= 0x20
+		}
+		if e.Imprecise {
+			tag |= 0x10
+		}
+	}
 	buf = append(buf, tag)
 	switch e.State {
 	case DirOwned:
 		buf = append(buf, byte(e.Owner))
+		if e.Owner >= 256 {
+			buf = append(buf, byte(e.Owner>>8))
+		}
 	case DirShared:
 		lo, hi := e.Sharers.Words()
 		for _, w := range [2]uint64{lo, hi} {
 			buf = append(buf,
 				byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
 				byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+		}
+		if len(ext) > 0 {
+			buf = append(buf, byte(len(ext)))
+			for _, w := range ext {
+				buf = append(buf,
+					byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+					byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+			}
 		}
 	}
 	return buf

@@ -7,9 +7,12 @@ package coher
 
 import "fmt"
 
-// MaxCores is the largest core count the full-map sharer vector supports.
-// The paper evaluates up to 128 cores per socket.
-const MaxCores = 128
+// MaxRepresentableCores is the hard ceiling imposed by the CoreID
+// width. The sharer representation itself (CoreSet) is
+// width-parameterized and grows with the configured core count; the
+// paper evaluates up to 128 cores per socket, and the scale-frontier
+// presets push to 1024.
+const MaxRepresentableCores = 1 << 16
 
 // BlockBytes is the cache block size used throughout the system.
 const BlockBytes = 64
@@ -18,7 +21,7 @@ const BlockBytes = 64
 const BlockBits = BlockBytes * 8
 
 // CoreID identifies a core within a socket.
-type CoreID uint8
+type CoreID uint16
 
 // PrivState is the MESI state of a block in a private (L1/L2) cache.
 type PrivState uint8

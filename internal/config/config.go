@@ -11,6 +11,7 @@
 package config
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/backend"
@@ -20,8 +21,13 @@ import (
 	"repro/internal/directory"
 	"repro/internal/dram"
 	"repro/internal/llc"
+	"repro/internal/mem"
 	"repro/internal/noc"
 )
+
+// ErrTooManyCores is returned by Validate when a preset's core count
+// exceeds what the width-parameterized sharer sets can represent.
+var ErrTooManyCores = errors.New("config: core count exceeds the representable width")
 
 // Preset is a socket's physical organization.
 type Preset struct {
@@ -65,6 +71,130 @@ func Server128(scale int) Preset {
 		CPU:          c,
 		DRAMChannels: 8,
 		DirWays:      8,
+	}
+}
+
+// Server256, Server512, and Server1024 are the wide single-socket
+// configurations of the scale frontier: per-core resources match
+// Server128 (128 KB L2, 256 KB of LLC per core, 16 banks), with the
+// core count — and therefore the sharer-set width — grown past the
+// two-word inline representation.
+func Server256(scale int) Preset  { return wideServer(256, scale) }
+func Server512(scale int) Preset  { return wideServer(512, scale) }
+func Server1024(scale int) Preset { return wideServer(1024, scale) }
+
+// wideServer builds an N-core socket with Server128's per-core ratios.
+// N must be a power of two so the LLC geometry stays indexable.
+func wideServer(cores, scale int) Preset {
+	mustPow2(scale)
+	mustPow2(cores)
+	c := cpu.DefaultParams()
+	c.L1Bytes = 32 << 10 / scale
+	c.L2Bytes = 128 << 10 / scale
+	llcBytes := 32 << 20 / scale * cores / 128
+	if llcBytes < 1<<20/scale {
+		llcBytes = 1 << 20 / scale
+	}
+	return Preset{
+		Name:  fmt.Sprintf("Server-%dcore", cores),
+		Cores: cores, Scale: scale,
+		LLCBytes: llcBytes, LLCWays: 16, LLCBanks: 16,
+		CPU:          c,
+		DRAMChannels: 8,
+		DirWays:      8,
+	}
+}
+
+// Validate rejects a preset whose core count no structure in the system
+// can represent, with a named error so CLI layers can build refusal
+// tables instead of panicking deep inside CoreSet operations.
+func (p Preset) Validate() error {
+	if p.Cores <= 0 {
+		return fmt.Errorf("config: preset %q has %d cores", p.Name, p.Cores)
+	}
+	if p.Cores > coher.MaxRepresentableCores {
+		return fmt.Errorf("%w: preset %q wants %d cores, the sharer-set width caps at %d",
+			ErrTooManyCores, p.Name, p.Cores, coher.MaxRepresentableCores)
+	}
+	return nil
+}
+
+// Org is a multi-socket organization of the scale frontier: identical
+// sockets described by Preset, glued by the socket-level directory,
+// with homes distributed hierarchically across HomeGroups groups.
+type Org struct {
+	Name       string
+	Preset     Preset
+	Sockets    int
+	HomeGroups int
+}
+
+// TotalCores is the system-wide core count.
+func (g Org) TotalCores() int { return g.Sockets * g.Preset.Cores }
+
+// Validate rejects organizations the home-memory segment formats cannot
+// represent (wrapping mem.ErrUnrepresentable) or whose preset fails its
+// own validation.
+func (g Org) Validate() error {
+	if err := g.Preset.Validate(); err != nil {
+		return err
+	}
+	if g.Sockets <= 0 {
+		return fmt.Errorf("config: organization %q has %d sockets", g.Name, g.Sockets)
+	}
+	if g.HomeGroups > 1 && g.Sockets%g.HomeGroups != 0 {
+		return fmt.Errorf("config: organization %q: %d home groups do not divide %d sockets",
+			g.Name, g.HomeGroups, g.Sockets)
+	}
+	if _, err := mem.New(g.Sockets, g.Preset.Cores); err != nil {
+		return fmt.Errorf("config: organization %q: %w", g.Name, err)
+	}
+	return nil
+}
+
+// MultiSocket builds a scale-frontier organization: totalCores split
+// evenly over sockets (each a wideServer-ratio preset), homes grouped
+// four sockets to a board once the system has at least eight sockets.
+func MultiSocket(totalCores, sockets, scale int) (Org, error) {
+	if sockets <= 0 || totalCores <= 0 || totalCores%sockets != 0 {
+		return Org{}, fmt.Errorf("config: cannot split %d cores over %d sockets", totalCores, sockets)
+	}
+	groups := 1
+	if sockets >= 8 {
+		groups = sockets / 4
+	}
+	g := Org{
+		Name:       fmt.Sprintf("%dc-%ds", totalCores, sockets),
+		Preset:     wideServer(totalCores/sockets, scale),
+		Sockets:    sockets,
+		HomeGroups: groups,
+	}
+	if err := g.Validate(); err != nil {
+		return Org{}, err
+	}
+	return g, nil
+}
+
+// ScaleLadder returns the organizations the figscale experiment sweeps,
+// from the classic multi-socket shape up to the 1024-core frontier.
+// The 4×256 rung exercises wide per-socket sharer sets (beyond the
+// two-word inline representation) and compressed home segments; the
+// 16×64 rung is the paper-style 16-socket organization.
+func ScaleLadder(scale int) []Org {
+	mk := func(cores, sockets int) Org {
+		g, err := MultiSocket(cores, sockets, scale)
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+	return []Org{
+		mk(64, 4),
+		mk(128, 4),
+		mk(256, 8),
+		mk(512, 8),
+		mk(1024, 16),
+		mk(1024, 4), // 4 × 256-core wide sockets
 	}
 }
 
@@ -209,6 +339,9 @@ func (p Preset) PhasePriority(ratio float64, mode llc.Mode) core.SystemSpec {
 // non-inclusive; dls: directoryless inclusive). This is the spec family
 // the cross-backend figures sweep.
 func (p Preset) ForBackend(id backend.ID, ratio float64) (core.SystemSpec, error) {
+	if err := p.Validate(); err != nil {
+		return core.SystemSpec{}, err
+	}
 	switch id {
 	case backend.ZeroDEV, "":
 		return p.ZeroDEV(ratio, core.FPSS, llc.DataLRU, llc.NonInclusive), nil

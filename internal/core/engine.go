@@ -155,7 +155,7 @@ type Engine struct {
 // construction order requires it (cpu.Core needs the engine as its
 // Uncore and vice versa).
 func New(p Params, dir directory.Directory, l *llc.LLC, mesh *noc.Mesh, home Home) *Engine {
-	if p.Cores <= 0 || p.Cores > coher.MaxCores {
+	if p.Cores <= 0 || p.Cores > coher.MaxRepresentableCores {
 		panic(fmt.Sprintf("core: unsupported core count %d", p.Cores))
 	}
 	if p.Backend == "" {
@@ -217,6 +217,39 @@ const (
 	locDir
 	locLLC
 )
+
+// reconcileImprecise resolves an imprecise directory entry — a coarse-
+// compressed home-memory segment decoded to a superset of the true
+// holders (wide sockets only) — against the actual private-cache
+// states, before the engine acts on it. Without this step the protocol
+// would send invalidations to cores that never held the block and trip
+// the untracked-copy invariants. A superset that reconciles to nothing
+// returns a dead entry; callers on the eviction path must tolerate
+// that. Precise entries (every configuration the paper evaluates) pass
+// through untouched.
+func (e *Engine) reconcileImprecise(addr coher.Addr, ent coher.Entry) coher.Entry {
+	if !ent.Imprecise {
+		return ent
+	}
+	ent.Imprecise = false
+	if ent.State != coher.DirShared {
+		return ent
+	}
+	e.stats.ImpreciseReconciles++
+	var actual coher.CoreSet
+	ent.Sharers.ForEach(func(c coher.CoreID) {
+		if _, ok := e.cores[c].HasBlock(addr); ok {
+			actual.Add(c)
+		} else {
+			e.stats.ImpreciseDrops++
+		}
+	})
+	if actual.Empty() {
+		return coher.Entry{}
+	}
+	ent.Sharers = actual
+	return ent
+}
 
 // findDE locates the directory entry for addr within the socket: the
 // sparse directory and, for backends that house entries in the LLC, the

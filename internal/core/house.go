@@ -85,6 +85,17 @@ func (e *Engine) updateLLCDE(t sim.Cycle, addr coher.Addr, ent coher.Entry, v ll
 		// entry stays in spilled form.
 		e.llc.Payload(v, v.DEWay).Entry = ent
 	case FuseAll:
+		if v.Fused && !coher.FitsFusedFuseAll(ent.State, e.p.Cores) {
+			// Wide sockets: the S-state fused header (4+N bits) no longer
+			// fits the line; the entry reverts to spilled form, exactly
+			// like the FPSS M/E → S conversion. Never taken at ≤508 cores.
+			e.llc.Unfuse(v)
+			e.stats.DEFuseToSpill++
+			if ev, ok := e.llc.InsertSpilled(addr, ent); ok {
+				e.handleEvicted(t, ev)
+			}
+			return llc.View{}, false
+		}
 		if v.Fused && ent.State == coher.DirOwned && e.llc.Mode() == llc.EPD {
 			// EPD deallocates M/E blocks from the LLC; the fused line's
 			// block part is dead, so the line degenerates to a spill.
@@ -119,7 +130,10 @@ func (e *Engine) houseInLLCView(t sim.Cycle, addr coher.Addr, ent coher.Entry, v
 	case FPSS:
 		fuse = ent.State == coher.DirOwned && v.HasData() && !v.Fused
 	case FuseAll:
-		fuse = v.HasData() && !v.Fused
+		// Past 508 cores the S-state fused header overflows the line
+		// payload, so wide shared entries stay on the spill path — the
+		// overflow regime the scale figures measure.
+		fuse = v.HasData() && !v.Fused && coher.FitsFusedFuseAll(ent.State, e.p.Cores)
 	}
 	if fuse {
 		e.llc.Fuse(v, ent)

@@ -159,7 +159,11 @@ func (z *zerodevProtocol) EvictNoDE(t sim.Cycle, c coher.CoreID, addr coher.Addr
 	if !ok {
 		panic(fmt.Sprintf("core: eviction notice for untracked block %#x", uint64(addr)))
 	}
-	freed := de.RemoveHolder(c)
+	// Wide sockets: the segment may decode imprecisely. The evicting
+	// core has already dropped its copy, so reconciliation may return a
+	// dead entry — that IS the last-holder-gone case.
+	de = e.reconcileImprecise(addr, de)
+	freed := !de.Live() || de.RemoveHolder(c)
 	if !freed {
 		e.home.PutDE(t, e.p.Socket, addr, de)
 		return

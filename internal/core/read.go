@@ -156,7 +156,7 @@ func (e *Engine) readNoDE(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, code bo
 			if de, d0, ok := e.home.GetDE(t1, e.p.Socket, addr); ok {
 				e.home.PutDE(t1, e.p.Socket, addr, coher.Entry{}) // segment consumed
 				e.stats.CorruptedFetches++
-				e.storeDE(d0, addr, de)
+				e.storeDE(d0, addr, e.reconcileImprecise(addr, de))
 				return e.redispatchRead(d0, c, addr, code)
 			}
 		}
@@ -184,7 +184,7 @@ func (e *Engine) readNoDE(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, code bo
 		// re-house it and finish as a directory hit with an LLC data miss.
 		e.stats.CorruptedFetches++
 		e.stats.CorruptedReadMisses++
-		e.storeDE(res.Done, addr, *res.DE)
+		e.storeDE(res.Done, addr, e.reconcileImprecise(addr, *res.DE))
 		return e.redispatchRead(res.Done, c, addr, code)
 	}
 	granted := coher.PrivExclusive

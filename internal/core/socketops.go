@@ -46,7 +46,7 @@ func (e *Engine) ServeForwarded(t sim.Cycle, addr coher.Addr, exclusive bool, wi
 		return false, false
 	}
 	if loc == locNone {
-		ent = *withDE
+		ent = e.reconcileImprecise(addr, *withDE)
 	}
 	if exclusive {
 		return true, e.invalidateLocal(t, addr, ent, true, loc, v)
@@ -91,6 +91,7 @@ func (e *Engine) InvalidateSocketCopies(t sim.Cycle, addr coher.Addr) (dirty boo
 func (e *Engine) InvalidateSocketCopiesWithDE(t sim.Cycle, addr coher.Addr, ent coher.Entry) (dirty bool) {
 	v := e.llc.Probe(addr)
 	_, loc := e.findDE(addr, v)
+	ent = e.reconcileImprecise(addr, ent)
 	return e.invalidateLocal(t, addr, ent, true, loc, v)
 }
 

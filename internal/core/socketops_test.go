@@ -135,3 +135,50 @@ func TestServeForwardedWithProvidedEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestImpreciseEntryReconciled(t *testing.T) {
+	// Wide sockets can hand the engine a coarse-decoded home segment: a
+	// DirShared superset marked Imprecise. Every home-DE ingress must
+	// reconcile it against actual core state before acting — otherwise
+	// invalidating a phantom sharer panics.
+	pre := config.TableI(microScale)
+	spec := pre.ZeroDEV(0, core.FPSS, llc.DataLRU, llc.NonInclusive)
+	sys, sc := microSystem(spec)
+	const X = coher.Addr(0xF000)
+	for c := 0; c < 3; c++ {
+		sc[c].load(X)
+		sys.Cores[c].Step()
+	}
+	v := sys.Engine.LLC().Probe(X)
+	if !v.HasDE() {
+		t.Fatal("setup: no housed entry")
+	}
+	sys.Engine.LLC().DropDE(v)
+
+	// Superset {0..7} of the true sharers {0,1,2}.
+	var ent coher.Entry
+	ent.State = coher.DirShared
+	for c := coher.CoreID(0); c < 8; c++ {
+		ent.Sharers.Add(c)
+	}
+	ent.Imprecise = true
+	sys.Engine.InvalidateSocketCopiesWithDE(1000, X, ent)
+	st := sys.Engine.Stats()
+	if st.ImpreciseReconciles != 1 {
+		t.Fatalf("reconciles = %d, want 1", st.ImpreciseReconciles)
+	}
+	if st.ImpreciseDrops != 5 {
+		t.Fatalf("dropped phantoms = %d, want 5", st.ImpreciseDrops)
+	}
+	if st.DemandInvals != 3 {
+		t.Fatalf("demand invals = %d, want 3 (true sharers only)", st.DemandInvals)
+	}
+	for c := 0; c < 3; c++ {
+		if _, ok := sys.Cores[c].HasBlock(X); ok {
+			t.Fatalf("core %d still holds the block", c)
+		}
+	}
+	if err := sys.Engine.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -57,6 +57,16 @@ type Stats struct {
 	LastSharerRetrievals   uint64 // FuseAll low-bit retrieval from the last sharer
 	SpillAllExtraDataReads uint64 // SpillAll critical-path penalty events
 
+	// Wide-socket home-segment compression activity (zero at ≤128
+	// cores, where every segment stores a precise full map).
+	// ImpreciseReconciles counts imprecise (coarse-compressed) entries
+	// reconciled against actual core states on arrival from home
+	// memory; ImpreciseDrops counts the superset members the
+	// reconciliation removed — each one an invalidation of an
+	// untracked copy the coarse format would otherwise have cost.
+	ImpreciseReconciles uint64
+	ImpreciseDrops      uint64
+
 	// Alternative-backend activity (zero under zerodev and the sparse
 	// baseline).
 	// DLSLineFills counts LLC line fills forced by DLS's in-tag
@@ -114,6 +124,8 @@ func (s *Stats) Add(o *Stats) {
 	s.LastCopyRetrievals += o.LastCopyRetrievals
 	s.LastSharerRetrievals += o.LastSharerRetrievals
 	s.SpillAllExtraDataReads += o.SpillAllExtraDataReads
+	s.ImpreciseReconciles += o.ImpreciseReconciles
+	s.ImpreciseDrops += o.ImpreciseDrops
 	s.DLSLineFills += o.DLSLineFills
 	s.DirNACKs += o.DirNACKs
 	s.DirRetries += o.DirRetries

@@ -130,7 +130,7 @@ func (e *Engine) writeNoDE(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, v llc.
 			if de, d0, ok := e.home.GetDE(t1, e.p.Socket, addr); ok {
 				e.home.PutDE(t1, e.p.Socket, addr, coher.Entry{})
 				e.stats.CorruptedFetches++
-				e.storeDE(d0, addr, de)
+				e.storeDE(d0, addr, e.reconcileImprecise(addr, de))
 				return e.redispatchWrite(d0, c, addr)
 			}
 		}
@@ -149,7 +149,7 @@ func (e *Engine) writeNoDE(t1 sim.Cycle, c coher.CoreID, addr coher.Addr, v llc.
 	res := e.home.FetchBlock(t1, e.p.Socket, addr, true)
 	if res.DE != nil {
 		e.stats.CorruptedFetches++
-		e.storeDE(res.Done, addr, *res.DE)
+		e.storeDE(res.Done, addr, e.reconcileImprecise(addr, *res.DE))
 		return e.redispatchWrite(res.Done, c, addr)
 	}
 	if e.llc.Mode() != llc.EPD {
@@ -195,7 +195,7 @@ func (e *Engine) Upgrade(t sim.Cycle, c coher.CoreID, addr coher.Addr) sim.Cycle
 			if de, d0, ok := e.home.GetDE(t1, e.p.Socket, addr); ok {
 				e.home.PutDE(t1, e.p.Socket, addr, coher.Entry{})
 				e.stats.CorruptedFetches++
-				e.storeDE(d0, addr, de)
+				e.storeDE(d0, addr, e.reconcileImprecise(addr, de))
 				v = e.llc.Probe(addr)
 				ent, loc = e.findDE(addr, v)
 				t1 = d0

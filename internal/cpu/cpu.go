@@ -12,6 +12,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coher"
 	"repro/internal/sim"
+	"repro/internal/stream"
 )
 
 // OpKind is the class of one memory operation.
@@ -74,6 +75,13 @@ type Params struct {
 	// blocks are fetched into the L2 off the critical path. 0 disables
 	// (the paper's configuration).
 	PrefetchDegree int
+	// StatInterval, when positive, streams per-interval IPC: every
+	// StatInterval retired instructions the core folds that interval's
+	// IPC into a bounded decimating series readable via IntervalIPC.
+	// Intervals are keyed to the core's own retirement count and local
+	// clock, so the series is identical under any scheduler or worker
+	// count. 0 disables with zero overhead.
+	StatInterval int
 }
 
 // DefaultParams returns Table I private-hierarchy parameters: 32 KB
@@ -126,6 +134,12 @@ type Core struct {
 	lastMiss [8]coher.Addr // recent L2-miss addresses for stream detection
 	missPtr  int
 	stats    Stats
+
+	// Interval-IPC streaming state (StatInterval > 0 only). Excluded
+	// from AppendState like the rest of the stats.
+	ivRetired uint64
+	ivStart   sim.Cycle
+	ivSeries  stream.Series
 
 	// Lookahead scan state for the domain scheduler (sim.LocalAgent).
 	// All zero for serial runs, where LocalBound is never called and
@@ -184,6 +198,11 @@ func (c *Core) Stats() Stats {
 	return s
 }
 
+// IntervalIPC returns the per-interval IPC series streamed while
+// Params.StatInterval > 0 (empty otherwise). The returned value shares
+// point storage with the core; treat it as read-only.
+func (c *Core) IntervalIPC() stream.Series { return c.ivSeries }
+
 // Now implements sim.Clocked; after the stream drains it keeps
 // reporting the final local time.
 func (c *Core) Now() sim.Cycle { return c.clock }
@@ -215,6 +234,19 @@ func (c *Core) Step() {
 	case Ifetch:
 		c.stats.Ifetches++
 		c.ifetch(a.Addr)
+	}
+
+	if c.p.StatInterval > 0 {
+		c.ivRetired += uint64(a.Gap) + 1
+		if c.ivRetired >= uint64(c.p.StatInterval) {
+			dc := c.clock - c.ivStart
+			if dc < 1 {
+				dc = 1
+			}
+			c.ivSeries.Observe(float64(c.ivRetired) / float64(dc))
+			c.ivRetired = 0
+			c.ivStart = c.clock
+		}
 	}
 }
 

@@ -248,3 +248,29 @@ func TestStreamPrefetcher(t *testing.T) {
 		t.Fatalf("prefetching did not reduce demand misses: %d vs %d", m2, m0)
 	}
 }
+
+func TestStatIntervalStreamsIPC(t *testing.T) {
+	accs := make([]Access, 200)
+	for i := range accs {
+		accs[i] = Access{Kind: Load, Addr: coher.Addr(i * 64), Gap: 7}
+	}
+	u := &fakeUncore{grant: coher.PrivExclusive, lat: 100}
+	p := tinyParams()
+	p.StatInterval = 100
+	c := New(0, p, &sliceStream{q: accs}, u)
+	drain(c)
+	ser := c.IntervalIPC()
+	if ser.Count() == 0 {
+		t.Fatal("StatInterval > 0 produced no interval samples")
+	}
+	flat := ser.Flatten()
+	if flat.Mean <= 0 || flat.Mean > float64(p.IssueWidth) {
+		t.Fatalf("interval IPC mean = %v, want in (0, %d]", flat.Mean, p.IssueWidth)
+	}
+	// Disabled by default: zero overhead, empty series.
+	c2 := New(0, tinyParams(), &sliceStream{q: append([]Access(nil), accs...)}, u)
+	drain(c2)
+	if c2.IntervalIPC().Count() != 0 {
+		t.Fatal("StatInterval = 0 must not sample")
+	}
+}

@@ -19,7 +19,13 @@ type SecDir struct {
 	cores  int
 	shared *cache.Array[coher.Entry]
 	priv   []*cache.Array[privEntry]
-	name   string
+	// memb indexes which cores hold a private-partition entry for each
+	// address, so distributed lookups probe only the partitions that can
+	// hit (word-wise set iteration) instead of scanning all N partitions
+	// — the hardware probes them in parallel, but an O(cores) software
+	// scan per lookup is what kept SecDir off the scale frontier.
+	memb map[coher.Addr]coher.CoreSet
+	name string
 }
 
 // privEntry is a private-partition entry: core C caches this block; the
@@ -43,6 +49,7 @@ func NewSecDir(cores, sharedSets, sharedWays, privSets, privWays int) (*SecDir, 
 	s := &SecDir{
 		cores:  cores,
 		shared: cache.New[coher.Entry](cache.Geometry{Sets: sharedSets, Ways: sharedWays}, cache.NRU),
+		memb:   make(map[coher.Addr]coher.CoreSet),
 		name: fmt.Sprintf("SecDir(shared %d×%d, %d×priv %d×%d)",
 			sharedSets, sharedWays, cores, privSets, privWays),
 	}
@@ -61,6 +68,28 @@ func MustSecDir(cores, sharedSets, sharedWays, privSets, privWays int) *SecDir {
 	return s
 }
 
+// noteMember records that core c now holds a private entry for addr.
+func (s *SecDir) noteMember(addr coher.Addr, c coher.CoreID) {
+	set := s.memb[addr]
+	set.Add(c)
+	s.memb[addr] = set
+}
+
+// dropMember records that core c no longer holds a private entry for
+// addr, retiring the index entry when the last member leaves.
+func (s *SecDir) dropMember(addr coher.Addr, c coher.CoreID) {
+	set, ok := s.memb[addr]
+	if !ok {
+		return
+	}
+	set.Remove(c)
+	if set.Empty() {
+		delete(s.memb, addr)
+	} else {
+		s.memb[addr] = set
+	}
+}
+
 // Lookup implements Directory: the shared partition and all private
 // partitions are probed (in hardware, in parallel) and a distributed
 // entry is assembled from the private partitions.
@@ -74,23 +103,23 @@ func (s *SecDir) Lookup(addr coher.Addr) (coher.Entry, bool) {
 func (s *SecDir) assemble(addr coher.Addr) (coher.Entry, bool) {
 	var e coher.Entry
 	found := false
-	for c := 0; c < s.cores; c++ {
+	s.memb[addr].ForEach(func(c coher.CoreID) {
 		set, way, ok := s.priv[c].Lookup(uint64(addr))
 		if !ok {
-			continue
+			panic(fmt.Sprintf("directory: SecDir membership index lists core %d for %#x without a private entry", c, uint64(addr)))
 		}
 		found = true
 		p := *s.priv[c].Payload(set, way)
 		if p.owned {
 			e.State = coher.DirOwned
-			e.Owner = coher.CoreID(c)
+			e.Owner = c
 		} else {
 			if e.State != coher.DirOwned {
 				e.State = coher.DirShared
 			}
-			e.Sharers.Add(coher.CoreID(c))
+			e.Sharers.Add(c)
 		}
-	}
+	})
 	return e, found
 }
 
@@ -107,7 +136,7 @@ func (s *SecDir) Store(addr coher.Addr, e coher.Entry) ([]Victim, bool) {
 		return nil, true
 	}
 	// Distributed across private partitions: reconcile membership.
-	if _, ok := s.assemble(addr); ok {
+	if _, ok := s.memb[addr]; ok {
 		return s.reconcile(addr, e), true
 	}
 	// Absent everywhere: allocate in the shared partition.
@@ -133,14 +162,14 @@ func (s *SecDir) migrate(addr coher.Addr, e coher.Entry) []Victim {
 	var victims []Victim
 	owner := e.State == coher.DirOwned
 	e.Holders().ForEach(func(c coher.CoreID) {
-		victims = append(victims, s.insertPriv(int(c), addr, privEntry{owned: owner})...)
+		victims = append(victims, s.insertPriv(c, addr, privEntry{owned: owner})...)
 	})
 	return victims
 }
 
 // insertPriv installs a private entry for core c, evicting a conflicting
 // private entry (a DEV for that core) when the set is full.
-func (s *SecDir) insertPriv(c int, addr coher.Addr, p privEntry) []Victim {
+func (s *SecDir) insertPriv(c coher.CoreID, addr coher.Addr, p privEntry) []Victim {
 	arr := s.priv[c]
 	if set, way, ok := arr.Lookup(uint64(addr)); ok {
 		*arr.Payload(set, way) = p
@@ -157,33 +186,39 @@ func (s *SecDir) insertPriv(c int, addr coher.Addr, p privEntry) []Victim {
 		ve := coher.Entry{}
 		if vp.owned {
 			ve.State = coher.DirOwned
-			ve.Owner = coher.CoreID(c)
+			ve.Owner = c
 		} else {
 			ve.State = coher.DirShared
-			ve.Sharers.Add(coher.CoreID(c))
+			ve.Sharers.Add(c)
 		}
 		victims = append(victims, Victim{Addr: vAddr, Entry: ve})
 		arr.Invalidate(set, way)
+		s.dropMember(vAddr, c)
 	}
 	arr.Insert(set, way, uint64(addr), p)
+	s.noteMember(addr, c)
 	return victims
 }
 
 // reconcile updates a distributed entry to match e: holders gain private
-// entries, ex-holders lose them.
+// entries, ex-holders lose them. Both the wanted and the current
+// membership are bit-sets, so the sweep visits their union in ascending
+// core order — the same order (and therefore the same victim sequence)
+// as the old full 0..N scan, without touching uninvolved cores.
 func (s *SecDir) reconcile(addr coher.Addr, e coher.Entry) []Victim {
 	var victims []Victim
 	want := e.Holders()
 	owner := e.State == coher.DirOwned
-	for c := 0; c < s.cores; c++ {
-		has := s.priv[c].Contains(uint64(addr))
-		if want.Contains(coher.CoreID(c)) {
-			victims = append(victims, s.insertPriv(c, addr, privEntry{owned: owner && e.Owner == coher.CoreID(c)})...)
-		} else if has {
-			set, way, _ := s.priv[c].Lookup(uint64(addr))
+	sweep := s.memb[addr]
+	want.ForEach(func(c coher.CoreID) { sweep.Add(c) })
+	sweep.ForEach(func(c coher.CoreID) {
+		if want.Contains(c) {
+			victims = append(victims, s.insertPriv(c, addr, privEntry{owned: owner && e.Owner == c})...)
+		} else if set, way, ok := s.priv[c].Lookup(uint64(addr)); ok {
 			s.priv[c].Invalidate(set, way)
+			s.dropMember(addr, c)
 		}
-	}
+	})
 	return victims
 }
 
@@ -192,11 +227,12 @@ func (s *SecDir) Free(addr coher.Addr) {
 	if set, way, ok := s.shared.Lookup(uint64(addr)); ok {
 		s.shared.Invalidate(set, way)
 	}
-	for c := 0; c < s.cores; c++ {
+	s.memb[addr].ForEach(func(c coher.CoreID) {
 		if set, way, ok := s.priv[c].Lookup(uint64(addr)); ok {
 			s.priv[c].Invalidate(set, way)
 		}
-	}
+	})
+	delete(s.memb, addr)
 }
 
 // Touch implements Directory.
@@ -205,11 +241,11 @@ func (s *SecDir) Touch(addr coher.Addr) {
 		s.shared.Touch(set, way)
 		return
 	}
-	for c := 0; c < s.cores; c++ {
+	s.memb[addr].ForEach(func(c coher.CoreID) {
 		if set, way, ok := s.priv[c].Lookup(uint64(addr)); ok {
 			s.priv[c].Touch(set, way)
 		}
-	}
+	})
 }
 
 // Occupancy implements Directory. Capacity counts shared entries plus

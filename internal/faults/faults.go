@@ -405,7 +405,7 @@ func (in *Injector) CorruptHousedDE(addr coher.Addr, ent coher.Entry, fused bool
 	case err != nil:
 		in.FlipsDetected++
 		in.note(DEFlip, addr, fmt.Sprintf("%s DE bit %d: format violation detected, quarantined", form, bit))
-	case dec == ent:
+	case dec.Same(ent):
 		in.FlipsMasked++
 		in.note(DEFlip, addr, fmt.Sprintf("%s DE bit %d: masked (unused bit)", form, bit))
 		return false

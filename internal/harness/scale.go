@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/backend"
+	"repro/internal/config"
+	"repro/internal/socket"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// The figscale figure family: the scale frontier from the classic 4×16
+// shape up to 1024 cores across 16 sockets, comparing ZeroDEV(NoDir)
+// against a 1/8x sparse-MESI baseline on each rung. Per-core work
+// shrinks as the ladder climbs so the sweep's total access budget stays
+// roughly level, and every cell is collected through stats.LeanRun, so
+// the resident cost of a rung is independent of its core count.
+
+func init() {
+	register("figscale",
+		"Scale frontier: DEV rate, traffic, LLC occupancy, recovery path vs core count (ZeroDEV NoDir vs sparse-MESI 1/8x)",
+		figScale)
+}
+
+// scaleAccesses budgets per-core accesses for one rung: the harness
+// access count is referenced to a 64-core system and divided down as
+// cores grow, floored so tiny Quick budgets still exercise the sharing
+// paths on the widest rungs.
+func scaleAccesses(o Options, g config.Org) int {
+	a := o.Accesses * 64 / g.TotalCores()
+	if a < 200 {
+		a = 200
+	}
+	return a
+}
+
+// scaleInterval is the per-core retirement interval for streamed IPC.
+const scaleInterval = 1000
+
+func runScaleOrg(ctx context.Context, o Options, g config.Org, id backend.ID, ratio float64) (stats.LeanRun, error) {
+	spec, err := g.Preset.ForBackend(id, ratio)
+	if err != nil {
+		return stats.LeanRun{}, err
+	}
+	spec.CPU.StatInterval = scaleInterval
+	p := socket.DefaultParams(g.Sockets, 65536/o.Scale*8)
+	p.HomeGroups = g.HomeGroups
+	p.IntraGroupCycles = 40
+	prof := workload.MustGet("canneal")
+	streams := workload.Threads(prof, g.TotalCores(), scaleAccesses(o, g), g.Preset.Scale, o.Seed)
+	sys, err := socket.New(p, spec, streams)
+	if err != nil {
+		return stats.LeanRun{}, err
+	}
+	cycles, err := sys.RunCtxDomains(ctx, JobSteps(ctx), o.DomainWorkers)
+	if err != nil {
+		return stats.LeanRun{}, err
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		return stats.LeanRun{}, fmt.Errorf("%s/%s: %w", g.Name, id, err)
+	}
+	return stats.CollectLean(g.Name, sys, cycles), nil
+}
+
+func figScale(o Options, w io.Writer) error {
+	ladder := config.ScaleLadder(o.Scale)
+	t := stats.Table{
+		Title: "Scale frontier: ZeroDEV(NoDir) vs sparse-MESI 1/8x per organization",
+		Headers: []string{"org", "cores", "speedup", "zdev-DEV/ki", "mesi-DEV/ki",
+			"B/miss", "spill+fuse", "recovery", "coarse", "metaHW", "iIPC"},
+	}
+	p := o.runner()
+	type rung struct {
+		zdev, mesi *Future[stats.LeanRun]
+	}
+	futs := make([]rung, len(ladder))
+	for i, g := range ladder {
+		g := g
+		futs[i] = rung{
+			zdev: SubmitJob(p, g.Name+"/zdev", func(ctx context.Context) (stats.LeanRun, error) {
+				return runScaleOrg(ctx, o, g, backend.ZeroDEV, 0)
+			}),
+			mesi: SubmitJob(p, g.Name+"/mesi", func(ctx context.Context) (stats.LeanRun, error) {
+				return runScaleOrg(ctx, o, g, backend.SparseMESI, 1.0/8)
+			}),
+		}
+	}
+	var errs []error
+	for i, g := range ladder {
+		zd, ez := futs[i].zdev.Result()
+		ms, em := futs[i].mesi.Result()
+		if ez != nil || em != nil {
+			err := errors.Join(ez, em)
+			errs = append(errs, err)
+			cell := CellText(err)
+			t.AddRow(g.Name, fmt.Sprint(g.TotalCores()), cell, cell, cell, cell, cell, cell, cell, cell, cell)
+			continue
+		}
+		devKI := func(l stats.LeanRun) float64 {
+			if l.Retired == 0 {
+				return 0
+			}
+			return 1000 * float64(l.Engine.DEVs) / float64(l.Retired)
+		}
+		speedup := 0.0
+		if zd.Cycles > 0 {
+			speedup = float64(ms.Cycles) / float64(zd.Cycles)
+		}
+		t.AddRow(g.Name, fmt.Sprint(g.TotalCores()),
+			f3(speedup), f3(devKI(zd)), f3(devKI(ms)),
+			f3(zd.TrafficPerMiss()),
+			fmt.Sprint(zd.LLCSpilled+zd.LLCFused),
+			fmt.Sprint(zd.RecoveryEvents()),
+			fmt.Sprint(zd.CoarseWrites),
+			fmt.Sprint(zd.MetaHighWater),
+			fmt.Sprintf("%.3f±%.3f", zd.IntervalIPC.Mean, zd.IntervalIPC.Std()))
+	}
+	t.Fprint(w)
+	return errors.Join(errs...)
+}

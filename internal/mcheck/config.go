@@ -42,6 +42,15 @@ const (
 	MaxAddrs = 4
 )
 
+// MaxReplayCores bounds scripted replay (ReplayChecked): wide-sharer
+// conformance scenarios need sharer sets that cross the 64- and
+// 128-core word boundaries of the widened CoreSet, which exhaustive
+// exploration could never afford. Replay runs one scripted path with
+// the full property set after every op, so the only cost of width is
+// linear in cores. The op alphabet addresses cores with a uint8, so
+// the bound stays below 256.
+const MaxReplayCores = 192
+
 // Config describes one model-checking run.
 type Config struct {
 	// Cores is the core count (2..MaxCores).
@@ -85,9 +94,15 @@ type Config struct {
 }
 
 // Validate rejects configurations outside the tiny-model envelope.
-func (c Config) Validate() error {
-	if c.Cores < 2 || c.Cores > MaxCores {
-		return fmt.Errorf("mcheck: cores must be in [2,%d], got %d", MaxCores, c.Cores)
+func (c Config) Validate() error { return c.validate(MaxCores) }
+
+// ValidateReplay is Validate with the core bound raised to
+// MaxReplayCores — legal only for scripted replay, never exploration.
+func (c Config) ValidateReplay() error { return c.validate(MaxReplayCores) }
+
+func (c Config) validate(maxCores int) error {
+	if c.Cores < 2 || c.Cores > maxCores {
+		return fmt.Errorf("mcheck: cores must be in [2,%d], got %d", maxCores, c.Cores)
 	}
 	if c.Addrs < 1 || c.Addrs > MaxAddrs {
 		return fmt.Errorf("mcheck: addrs must be in [1,%d], got %d", MaxAddrs, c.Addrs)

@@ -107,9 +107,11 @@ func (in *instance) fingerprint(buf []byte) ([16]byte, []byte) {
 // backend conformance suite drives: scripted scenarios instead of
 // exhaustive search, with the same checks and the same fingerprint
 // definition, so pinned fingerprints detect any semantic drift in a
-// backend's protocol behavior.
+// backend's protocol behavior. Because only one path is walked, the
+// core bound is the relaxed MaxReplayCores, which lets wide-sharer
+// scenarios cross the CoreSet word boundaries.
 func ReplayChecked(cfg Config, ops []Op) (enabled int, fp [16]byte, err error) {
-	if err := cfg.Validate(); err != nil {
+	if err := cfg.ValidateReplay(); err != nil {
 		return 0, fp, err
 	}
 	in := newInstance(cfg)

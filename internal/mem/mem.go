@@ -8,24 +8,40 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/coher"
 )
 
+// ErrUnrepresentable is returned by New when no segment format — full
+// map or compressed — can fit one directory entry per socket plus the
+// socket-level partition into a 64-byte block for the requested shape.
+var ErrUnrepresentable = errors.New("mem: home-memory segments cannot represent the system shape")
+
 // Memory is the home-memory metadata store for one home node. Blocks not
 // present in the map are ordinary, uncorrupted data blocks.
 type Memory struct {
 	sockets        int
 	coresPerSocket int
-	blocks         map[coher.Addr]*BlockMeta
+	// budget is the per-segment holder bit budget when the full-map
+	// format does not fit (wide sockets); 0 selects the exact full-map
+	// segments of the classic shapes, whose behavior and fingerprints
+	// must not change.
+	budget int
+	blocks map[coher.Addr]*BlockMeta
+
+	highWater    int
+	coarseWrites uint64
 }
 
 // BlockMeta is the protocol-visible state of one home memory block.
 type BlockMeta struct {
 	// Segments holds the evicted intra-socket directory entry per socket.
-	// A segment with State DirInvalid is empty.
+	// A segment with State DirInvalid is empty. The slice is allocated
+	// lazily on the first segment write, so DirEvict-only blocks carry no
+	// per-socket storage; use len-checked access when reading.
 	Segments []coher.Entry
 	// DataLost records that the memory copy of the block has been
 	// overwritten by at least one directory-entry writeback and has not
@@ -42,24 +58,54 @@ type BlockMeta struct {
 	SocketEntry coher.SocketEntry
 }
 
+// seg reads one socket's segment without forcing allocation.
+func (b *BlockMeta) seg(socket int) coher.Entry {
+	if socket < len(b.Segments) {
+		return b.Segments[socket]
+	}
+	return coher.Entry{}
+}
+
 // New constructs home-memory metadata for a system of the given shape.
-// It validates the paper's capacity bound: an M-socket system with N
-// cores per socket must satisfy M <= ⌊510/(N+2)⌋ when the socket-level
-// partition is reserved, and M <= ⌊512/(N+1)⌋ otherwise; we always
-// reserve the partition so the stricter bound applies.
+// With full-map segments the paper's capacity bound applies: an
+// M-socket system with N cores per socket must satisfy
+// M <= ⌊510/(N+2)⌋ (the socket-level partition is always reserved).
+// Wider shapes fall back to compressed segments (§III-D "a hybrid of
+// limited-pointer and coarse-vector formats"): each socket gets a
+// holder budget of ⌊510/M⌋−4 bits, entries that exceed it decode to an
+// imprecise superset, and the shape is rejected with ErrUnrepresentable
+// when the budget cannot hold even one core pointer.
 func New(sockets, coresPerSocket int) (*Memory, error) {
 	if sockets <= 0 || coresPerSocket <= 0 {
 		return nil, fmt.Errorf("mem: non-positive system shape")
 	}
-	if max := coher.MaxSocketsWithSocketPartition(coresPerSocket); sockets > max {
-		return nil, fmt.Errorf("mem: %d sockets exceeds the %d-socket bound for %d cores/socket",
-			sockets, max, coresPerSocket)
-	}
-	return &Memory{
+	m := &Memory{
 		sockets:        sockets,
 		coresPerSocket: coresPerSocket,
 		blocks:         make(map[coher.Addr]*BlockMeta),
-	}, nil
+	}
+	if sockets <= coher.MaxSocketsWithSocketPartition(coresPerSocket) {
+		return m, nil // exact full-map segments, classic behavior
+	}
+	budget := (coher.BlockBits-2)/sockets - 4
+	if budget < ptrBits(coresPerSocket) || coher.MaxSocketsCompressed(budget) < sockets {
+		return nil, fmt.Errorf("%w: %d sockets × %d cores/socket leaves a %d-bit holder budget (one pointer needs %d bits)",
+			ErrUnrepresentable, sockets, coresPerSocket, budget, ptrBits(coresPerSocket))
+	}
+	m.budget = budget
+	return m, nil
+}
+
+// ptrBits is the width of one core pointer for an N-core socket.
+func ptrBits(cores int) int {
+	b := 0
+	for 1<<b < cores {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
 }
 
 // MustNew is New that panics on error.
@@ -71,11 +117,18 @@ func MustNew(sockets, coresPerSocket int) *Memory {
 	return m
 }
 
+// SegmentBudget reports the per-socket holder bit budget, 0 when the
+// exact full-map format is in use.
+func (m *Memory) SegmentBudget() int { return m.budget }
+
 func (m *Memory) meta(addr coher.Addr) *BlockMeta {
 	b := m.blocks[addr]
 	if b == nil {
-		b = &BlockMeta{Segments: make([]coher.Entry, m.sockets)}
+		b = &BlockMeta{}
 		m.blocks[addr] = b
+		if len(m.blocks) > m.highWater {
+			m.highWater = len(m.blocks)
+		}
 	}
 	return b
 }
@@ -105,7 +158,11 @@ func (m *Memory) CorruptedSockets(addr coher.Addr) coher.SocketSet {
 }
 
 // WriteSegment stores the evicted directory entry of the given socket in
-// the block (the WB_DE flow). The entry must be live and stable.
+// the block (the WB_DE flow). The entry must be live and stable. Wide
+// sockets store the entry through the compressed hybrid format: owned
+// entries and small sharer sets stay precise, larger sets coarsen to a
+// superset marked Imprecise that readers reconcile against actual core
+// state.
 func (m *Memory) WriteSegment(addr coher.Addr, socket int, e coher.Entry) error {
 	if !e.Live() {
 		return fmt.Errorf("mem: writing a dead directory entry to %#x", uint64(addr))
@@ -116,7 +173,23 @@ func (m *Memory) WriteSegment(addr coher.Addr, socket int, e coher.Entry) error 
 	if socket < 0 || socket >= m.sockets {
 		return fmt.Errorf("mem: socket %d out of range", socket)
 	}
+	if m.budget > 0 {
+		c, err := coher.Compress(e, m.coresPerSocket, m.budget)
+		if err != nil {
+			return fmt.Errorf("mem: segment for %#x: %w", uint64(addr), err)
+		}
+		if !c.Precise() {
+			// Coarse only ever triggers on sharer sets: an owned entry has
+			// one holder, which always fits the limited-pointer format.
+			e.Sharers = c.Holders()
+			e.Imprecise = true
+			m.coarseWrites++
+		}
+	}
 	b := m.meta(addr)
+	if b.Segments == nil {
+		b.Segments = make([]coher.Entry, m.sockets)
+	}
 	b.Segments[socket] = e
 	b.DataLost = true
 	return nil
@@ -129,7 +202,7 @@ func (m *Memory) ReadSegment(addr coher.Addr, socket int) (coher.Entry, bool) {
 	if b == nil {
 		return coher.Entry{}, false
 	}
-	e := b.Segments[socket]
+	e := b.seg(socket)
 	return e, e.Live()
 }
 
@@ -137,7 +210,9 @@ func (m *Memory) ReadSegment(addr coher.Addr, socket int) (coher.Entry, bool) {
 // set went empty).
 func (m *Memory) ClearSegment(addr coher.Addr, socket int) {
 	if b := m.blocks[addr]; b != nil {
-		b.Segments[socket] = coher.Entry{}
+		if socket < len(b.Segments) {
+			b.Segments[socket] = coher.Entry{}
+		}
 		m.gc(addr, b)
 	}
 }
@@ -148,9 +223,7 @@ func (m *Memory) ClearSegment(addr coher.Addr, socket int) {
 // that flowed through to DRAM).
 func (m *Memory) Restore(addr coher.Addr) {
 	if b := m.blocks[addr]; b != nil {
-		for i := range b.Segments {
-			b.Segments[i] = coher.Entry{}
-		}
+		b.Segments = nil
 		b.DataLost = false
 		m.gc(addr, b)
 	}
@@ -210,6 +283,19 @@ func (m *Memory) CorruptedCount() int {
 	return n
 }
 
+// MetaLive returns the number of blocks currently carrying metadata
+// (corrupted or DirEvict).
+func (m *Memory) MetaLive() int { return len(m.blocks) }
+
+// MetaHighWater returns the largest metadata population ever reached —
+// the ceiling the retire-on-last-copy gc keeps bounded, asserted by the
+// scale-frontier memory audits.
+func (m *Memory) MetaHighWater() int { return m.highWater }
+
+// CoarseSegmentWrites returns how many segment writebacks lost precision
+// to the coarse-vector format (always 0 at full-map shapes).
+func (m *Memory) CoarseSegmentWrites() uint64 { return m.coarseWrites }
+
 // ForEachCorrupted visits every corrupted block, for invariant checks.
 func (m *Memory) ForEachCorrupted(fn func(addr coher.Addr, b *BlockMeta)) {
 	for addr, b := range m.blocks {
@@ -224,7 +310,8 @@ func (m *Memory) ForEachCorrupted(fn func(addr coher.Addr, b *BlockMeta)) {
 // in ascending address order, each with its data-lost flag, per-socket
 // segments (canonical entry form), and socket partition. Blocks absent
 // from the map are ordinary and contribute no bytes — gc keeps the map
-// canonical in that respect.
+// canonical in that respect. Lazily absent Segments slices fingerprint
+// exactly like all-dead segments.
 func (m *Memory) AppendState(buf []byte) []byte {
 	addrs := make([]coher.Addr, 0, len(m.blocks))
 	for a := range m.blocks {
@@ -244,7 +331,8 @@ func (m *Memory) AppendState(buf []byte) []byte {
 			flags |= 2
 		}
 		buf = append(buf, flags)
-		for _, seg := range b.Segments {
+		for s := 0; s < m.sockets; s++ {
+			seg := b.seg(s)
 			buf = seg.AppendCanonical(buf)
 		}
 		if b.DirEvict {

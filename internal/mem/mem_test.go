@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/coher"
@@ -81,11 +82,99 @@ func TestDirEvictBit(t *testing.T) {
 
 func TestSocketBoundEnforced(t *testing.T) {
 	// 128 cores/socket: at most 3 sockets fit the full-map partitioning.
-	if _, err := New(4, 128); err == nil {
-		t.Fatal("4 sockets of 128 cores must be rejected")
-	}
-	if _, err := New(3, 128); err != nil {
+	m, err := New(3, 128)
+	if err != nil {
 		t.Fatalf("3 sockets of 128 cores must fit: %v", err)
+	}
+	if m.SegmentBudget() != 0 {
+		t.Fatalf("full-map shape got compressed budget %d", m.SegmentBudget())
+	}
+	// Beyond the full-map bound the compressed hybrid takes over:
+	// 4 sockets of 128 cores get ⌊510/4⌋−4 = 123 holder bits each.
+	m, err = New(4, 128)
+	if err != nil {
+		t.Fatalf("4 sockets of 128 cores must fall back to compressed segments: %v", err)
+	}
+	if got := m.SegmentBudget(); got != 123 {
+		t.Fatalf("compressed budget = %d, want 123", got)
+	}
+	// Shapes whose budget cannot hold one core pointer are refused with
+	// the named error.
+	if _, err := New(64, 256); !errorsIs(err, ErrUnrepresentable) {
+		t.Fatalf("64×256 err = %v, want ErrUnrepresentable", err)
+	}
+}
+
+func errorsIs(err, target error) bool { return err != nil && errors.Is(err, target) }
+
+func TestCompressedSegmentsImprecise(t *testing.T) {
+	// 16 sockets × 64 cores: budget ⌊510/16⌋−4 = 27 bits, so up to four
+	// 6-bit pointers stay precise and wider sharer sets coarsen.
+	m := MustNew(16, 64)
+	if got := m.SegmentBudget(); got != 27 {
+		t.Fatalf("budget = %d, want 27", got)
+	}
+	addr := coher.Addr(0x200)
+
+	// Owned entries are always precise.
+	if err := m.WriteSegment(addr, 3, owned(63)); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := m.ReadSegment(addr, 3)
+	if !ok || e.Imprecise || e.Owner != 63 {
+		t.Fatalf("owned segment = %+v ok=%v", e, ok)
+	}
+
+	// Four sharers fit the limited-pointer format exactly.
+	var small coher.Entry
+	small.State = coher.DirShared
+	for _, c := range []coher.CoreID{0, 17, 40, 63} {
+		small.Sharers.Add(c)
+	}
+	if err := m.WriteSegment(addr, 4, small); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = m.ReadSegment(addr, 4)
+	if e.Imprecise || !e.Sharers.Equal(small.Sharers) {
+		t.Fatalf("limited-pointer segment = %+v", e)
+	}
+	if m.CoarseSegmentWrites() != 0 {
+		t.Fatal("precise writes counted as coarse")
+	}
+
+	// Ten sharers exceed the pointer budget: the decode is a marked
+	// superset.
+	var wide coher.Entry
+	wide.State = coher.DirShared
+	for c := coher.CoreID(0); c < 60; c += 6 {
+		wide.Sharers.Add(c)
+	}
+	if err := m.WriteSegment(addr, 5, wide); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = m.ReadSegment(addr, 5)
+	if !e.Imprecise || !e.Sharers.Superset(wide.Sharers) {
+		t.Fatalf("coarse segment = %+v, want imprecise superset of %v", e, wide.Sharers)
+	}
+	if m.CoarseSegmentWrites() != 1 {
+		t.Fatalf("coarse writes = %d, want 1", m.CoarseSegmentWrites())
+	}
+}
+
+func TestMetaHighWaterAndRetire(t *testing.T) {
+	m := MustNew(2, 8)
+	for i := 0; i < 10; i++ {
+		addr := coher.Addr(0x1000 + i*64)
+		if err := m.WriteSegment(addr, 0, owned(1)); err != nil {
+			t.Fatal(err)
+		}
+		m.Restore(addr) // last copy retires the metadata
+		if m.MetaLive() != 0 {
+			t.Fatalf("block %d not retired, live=%d", i, m.MetaLive())
+		}
+	}
+	if m.MetaHighWater() != 1 {
+		t.Fatalf("high water = %d, want 1 (retire-on-last-copy)", m.MetaHighWater())
 	}
 }
 

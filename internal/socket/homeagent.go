@@ -22,14 +22,29 @@ type homeAgent struct {
 const socketServeCycles = sim.Cycle(20)
 
 func (h *homeAgent) homeOf(addr coher.Addr) int {
-	return int(uint64(addr) % uint64(h.sys.P.Sockets))
+	p := h.sys.P
+	if p.HomeGroups <= 1 {
+		return int(uint64(addr) % uint64(p.Sockets))
+	}
+	// Hierarchical distribution: interleave homes across groups first,
+	// then across the sockets of the selected group.
+	per := p.Sockets / p.HomeGroups
+	grp := int(uint64(addr) % uint64(p.HomeGroups))
+	return grp*per + int(uint64(addr)/uint64(p.HomeGroups)%uint64(per))
 }
 
 func (h *homeAgent) inter(a, b int) sim.Cycle {
 	if a == b {
 		return 0
 	}
-	return h.sys.P.InterSocketCycles
+	p := h.sys.P
+	if p.HomeGroups > 1 && p.IntraGroupCycles > 0 {
+		per := p.Sockets / p.HomeGroups
+		if a/per == b/per {
+			return p.IntraGroupCycles
+		}
+	}
+	return p.InterSocketCycles
 }
 
 // --- socket-level directory cache with the two backing schemes ---------------

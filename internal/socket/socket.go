@@ -48,6 +48,19 @@ type Params struct {
 	DirCacheEntries, DirCacheWays int
 	Backing                       Backing
 
+	// HomeGroups organizes the sockets hierarchically for home-agent
+	// distribution (the 8/16-socket scale-frontier organizations): the
+	// low address bits select the group, the next bits the socket within
+	// it, so consecutive blocks interleave across groups first and board
+	// locality is preserved within a group. 0 or 1 keeps the classic flat
+	// addr%sockets distribution. Must divide Sockets.
+	HomeGroups int
+	// IntraGroupCycles, when positive and HomeGroups > 1, is the cheaper
+	// one-way delay between sockets of the same group; hops that cross a
+	// group boundary still pay InterSocketCycles. 0 charges the flat
+	// InterSocketCycles everywhere.
+	IntraGroupCycles sim.Cycle
+
 	// WrapHome, when non-nil, decorates the per-socket home agent each
 	// engine talks to (fault campaigns interpose WB_DE drop/duplication
 	// here). Socket-level state remains authoritative underneath.
@@ -119,6 +132,9 @@ func New(p Params, spec core.SystemSpec, streams []cpu.Stream) (*System, error) 
 	sets := p.DirCacheEntries / p.DirCacheWays
 	if sets <= 0 || sets&(sets-1) != 0 {
 		return nil, fmt.Errorf("socket: directory cache sets %d not a power of two", sets)
+	}
+	if p.HomeGroups > 1 && p.Sockets%p.HomeGroups != 0 {
+		return nil, fmt.Errorf("socket: %d home groups do not divide %d sockets", p.HomeGroups, p.Sockets)
 	}
 	sys := &System{
 		P:        p,

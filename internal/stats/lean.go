@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/socket"
+	"repro/internal/stream"
+)
+
+// LeanRun is the memory-lean counterpart of Run for the scale frontier:
+// per-core measurements are folded into O(1) streaming aggregates at
+// collection time instead of retaining a []cpu.Stats, so a 1024-core
+// cell costs the same resident bytes as an 8-core one. Streams merge
+// exactly, so lean cells shard and recombine without drift.
+type LeanRun struct {
+	Label  string
+	Cycles sim.Cycle
+	Cores  int
+
+	Retired         uint64
+	CoreCacheMisses uint64 // summed L2 misses, the paper's metric
+	Invalidations   uint64 // external invalidations received by cores
+
+	// CoreIPC is the distribution of whole-run per-core IPC; IntervalIPC
+	// folds every core's per-interval IPC samples (empty unless
+	// cpu.Params.StatInterval was set).
+	CoreIPC     stream.Stream
+	IntervalIPC stream.Stream
+
+	Engine  core.Stats
+	Traffic noc.Traffic
+	DRAM    dram.Stats
+	Socket  socket.Stats
+
+	// LLC line population summed across sockets at end of run.
+	LLCData, LLCSpilled, LLCFused int
+	// DirLive and DirPeak sum directory occupancy and its high-water mark
+	// across sockets.
+	DirLive, DirPeak int
+
+	// Home-memory pressure: peak live per-block metadata entries and the
+	// number of segment writebacks that had to coarsen to a superset
+	// encoding (compressed organizations only).
+	MetaHighWater int
+	CoarseWrites  uint64
+}
+
+// AddCore folds one finished core into the aggregates.
+func (l *LeanRun) AddCore(c *cpu.Core) {
+	s := c.Stats()
+	l.Cores++
+	l.Retired += s.Retired
+	l.CoreCacheMisses += s.L2Misses
+	l.Invalidations += s.InvalidationsReceived
+	if s.Cycles > 0 {
+		l.CoreIPC.Observe(float64(s.Retired) / float64(s.Cycles))
+	}
+	l.IntervalIPC.Merge(c.IntervalIPC().Flatten())
+}
+
+// CollectLean folds a finished multi-socket system into a LeanRun
+// without materializing per-core slices.
+func CollectLean(label string, sys *socket.System, cycles sim.Cycle) LeanRun {
+	l := LeanRun{Label: label, Cycles: cycles}
+	for _, sock := range sys.Sockets {
+		l.Engine.Add(sock.Engine.Stats())
+		l.Traffic.Add(sock.Engine.Mesh().Traffic())
+		d, sp, fu := sock.Engine.LLC().CountKinds()
+		l.LLCData += d
+		l.LLCSpilled += sp
+		l.LLCFused += fu
+		live, _ := sock.Engine.Directory().Occupancy()
+		l.DirLive += live
+		if pk, ok := sock.Engine.Directory().(interface{ Peak() int }); ok {
+			l.DirPeak += pk.Peak()
+		}
+		for _, c := range sock.Cores {
+			l.AddCore(c)
+		}
+	}
+	l.DRAM = sys.DRAM().Stats()
+	l.Socket = sys.Stats()
+	l.MetaHighWater = sys.Mem().MetaHighWater()
+	l.CoarseWrites = sys.Mem().CoarseSegmentWrites()
+	return l
+}
+
+// MPKI is core cache misses per kilo-instruction.
+func (l LeanRun) MPKI() float64 {
+	if l.Retired == 0 {
+		return 0
+	}
+	return 1000 * float64(l.CoreCacheMisses) / float64(l.Retired)
+}
+
+// TrafficPerMiss is interconnect bytes per core-cache miss, the lean
+// stand-in for normalized traffic when no baseline run is retained.
+func (l LeanRun) TrafficPerMiss() float64 {
+	if l.CoreCacheMisses == 0 {
+		return 0
+	}
+	return float64(l.Traffic.TotalBytes()) / float64(l.CoreCacheMisses)
+}
+
+// RecoveryEvents sums the ZeroDEV recovery-path activations: corrupted
+// home fetches, GET_DE flows, last-sharer retrievals at the LLC, home
+// last-copy restores, and imprecise-segment reconciliations.
+func (l LeanRun) RecoveryEvents() uint64 {
+	return l.Engine.CorruptedFetches + l.Engine.GetDEFlows +
+		l.Engine.LastSharerRetrievals + l.Socket.LastCopyRestores +
+		l.Engine.ImpreciseReconciles
+}

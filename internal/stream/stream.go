@@ -1,0 +1,147 @@
+// Package stream provides bounded-memory streaming aggregation for the
+// scale frontier: wide systems (1024 cores, 16 sockets) produce per-core
+// and per-interval measurements that must be folded as they appear
+// rather than accumulated, so a Quick run's resident set stays
+// proportional to the summary, not to cores × intervals. All state is
+// exported with JSON tags so aggregates round-trip through the harness
+// checkpoint cells.
+package stream
+
+import "math"
+
+// Stream folds an unbounded sequence of observations into O(1) summary
+// state: count, sum, extrema, and Welford mean/variance. The zero value
+// is an empty aggregate ready for use. Streams merge exactly (Chan et
+// al. parallel variance), so sharded collection reduces to the same
+// result as a single pass in any grouping.
+type Stream struct {
+	N    uint64  `json:"n"`
+	Sum  float64 `json:"sum"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+}
+
+// Observe folds one value.
+func (s *Stream) Observe(v float64) {
+	if s.N == 0 {
+		s.Lo, s.Hi = v, v
+	} else {
+		if v < s.Lo {
+			s.Lo = v
+		}
+		if v > s.Hi {
+			s.Hi = v
+		}
+	}
+	s.N++
+	s.Sum += v
+	d := v - s.Mean
+	s.Mean += d / float64(s.N)
+	s.M2 += d * (v - s.Mean)
+}
+
+// Merge folds another aggregate into s, as if every observation behind o
+// had been Observed here.
+func (s *Stream) Merge(o Stream) {
+	if o.N == 0 {
+		return
+	}
+	if s.N == 0 {
+		*s = o
+		return
+	}
+	n := float64(s.N) + float64(o.N)
+	d := o.Mean - s.Mean
+	s.M2 += o.M2 + d*d*float64(s.N)*float64(o.N)/n
+	s.Mean = (s.Mean*float64(s.N) + o.Mean*float64(o.N)) / n
+	s.N += o.N
+	s.Sum += o.Sum
+	if o.Lo < s.Lo {
+		s.Lo = o.Lo
+	}
+	if o.Hi > s.Hi {
+		s.Hi = o.Hi
+	}
+}
+
+// Std is the sample standard deviation (0 with fewer than two
+// observations).
+func (s Stream) Std() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return math.Sqrt(s.M2 / float64(s.N-1))
+}
+
+// DefaultSeriesCap is the point budget a zero-valued Series adopts on
+// first use.
+const DefaultSeriesCap = 64
+
+// Series records a time series in bounded memory: at most Cap points,
+// each a Stream folding Stride consecutive observations. When the
+// series fills, adjacent points merge pairwise and the stride doubles,
+// so arbitrarily long runs keep O(Cap) state while the curve's shape
+// survives at progressively coarser resolution. The zero value is ready
+// to use with DefaultSeriesCap points; Cap must be even.
+type Series struct {
+	Cap    int      `json:"cap"`
+	Stride uint64   `json:"stride"`
+	Fill   uint64   `json:"fill"` // observations folded into the last point
+	Points []Stream `json:"points"`
+}
+
+// NewSeries returns a Series bounded at capPoints (rounded up to even).
+func NewSeries(capPoints int) Series {
+	if capPoints < 2 {
+		capPoints = 2
+	}
+	if capPoints%2 != 0 {
+		capPoints++
+	}
+	return Series{Cap: capPoints}
+}
+
+// Observe appends one observation to the series.
+func (s *Series) Observe(v float64) {
+	if s.Cap == 0 {
+		s.Cap = DefaultSeriesCap
+	}
+	if s.Stride == 0 {
+		s.Stride = 1
+	}
+	if len(s.Points) == 0 || s.Fill == s.Stride {
+		if len(s.Points) == s.Cap {
+			// Compact: merge adjacent pairs, double the stride.
+			for i := 0; i < s.Cap/2; i++ {
+				p := s.Points[2*i]
+				p.Merge(s.Points[2*i+1])
+				s.Points[i] = p
+			}
+			s.Points = s.Points[:s.Cap/2]
+			s.Stride *= 2
+		}
+		s.Points = append(s.Points, Stream{})
+		s.Fill = 0
+	}
+	s.Points[len(s.Points)-1].Observe(v)
+	s.Fill++
+}
+
+// Count is the total number of observations folded into the series.
+func (s Series) Count() uint64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return uint64(len(s.Points)-1)*s.Stride + s.Fill
+}
+
+// Flatten folds every point into one Stream, the whole-series summary.
+func (s Series) Flatten() Stream {
+	var all Stream
+	for _, p := range s.Points {
+		all.Merge(p)
+	}
+	return all
+}

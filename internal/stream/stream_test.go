@@ -1,0 +1,103 @@
+package stream
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestStreamMoments(t *testing.T) {
+	var s Stream
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, v := range vals {
+		s.Observe(v)
+	}
+	if s.N != 8 || s.Sum != 40 || s.Lo != 2 || s.Hi != 9 {
+		t.Fatalf("stream = %+v", s)
+	}
+	if !almost(s.Mean, 5) {
+		t.Fatalf("mean = %v, want 5", s.Mean)
+	}
+	// Sample variance of the set is 32/7.
+	if !almost(s.Std(), math.Sqrt(32.0/7)) {
+		t.Fatalf("std = %v", s.Std())
+	}
+}
+
+func TestStreamMergeMatchesSinglePass(t *testing.T) {
+	// Any sharding of the observation sequence must merge to the same
+	// aggregate as one pass (the property the lean collectors rely on).
+	vals := make([]float64, 257)
+	for i := range vals {
+		vals[i] = float64((i*i)%97) / 7.0
+	}
+	var whole Stream
+	for _, v := range vals {
+		whole.Observe(v)
+	}
+	for _, cut := range []int{0, 1, 64, 128, 256, 257} {
+		var a, b Stream
+		for _, v := range vals[:cut] {
+			a.Observe(v)
+		}
+		for _, v := range vals[cut:] {
+			b.Observe(v)
+		}
+		a.Merge(b)
+		if a.N != whole.N || !almost(a.Mean, whole.Mean) || !almost(a.M2, whole.M2) ||
+			a.Lo != whole.Lo || a.Hi != whole.Hi {
+			t.Fatalf("cut %d: merged %+v != whole %+v", cut, a, whole)
+		}
+	}
+}
+
+func TestSeriesBoundedDecimation(t *testing.T) {
+	s := NewSeries(8)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		s.Observe(float64(i))
+	}
+	if len(s.Points) > 8 {
+		t.Fatalf("series grew to %d points, cap 8", len(s.Points))
+	}
+	if s.Count() != n {
+		t.Fatalf("count = %d, want %d", s.Count(), n)
+	}
+	flat := s.Flatten()
+	if flat.N != n || !almost(flat.Mean, float64(n-1)/2) || flat.Lo != 0 || flat.Hi != n-1 {
+		t.Fatalf("flatten = %+v", flat)
+	}
+	// Points remain in time order: per-point means must be increasing for
+	// a monotone input.
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Mean <= s.Points[i-1].Mean {
+			t.Fatalf("point %d mean %v not after %v", i, s.Points[i].Mean, s.Points[i-1].Mean)
+		}
+	}
+}
+
+func TestSeriesZeroValueAndRoundTrip(t *testing.T) {
+	var s Series
+	for i := 0; i < 500; i++ {
+		s.Observe(1.0)
+	}
+	if s.Cap != DefaultSeriesCap || len(s.Points) > DefaultSeriesCap {
+		t.Fatalf("zero-value series = cap %d, %d points", s.Cap, len(s.Points))
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Series
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	back.Observe(1.0)
+	s.Observe(1.0)
+	if back.Count() != s.Count() || len(back.Points) != len(s.Points) {
+		t.Fatalf("round-trip diverged: %d/%d vs %d/%d",
+			back.Count(), len(back.Points), s.Count(), len(s.Points))
+	}
+}
